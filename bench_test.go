@@ -1,0 +1,388 @@
+// Benchmarks regenerating every figure of the paper's evaluation at reduced
+// scale (one testing.B bench per figure — run a single iteration of each to
+// smoke the full experiment pipeline), plus engine micro-benchmarks and the
+// ablations DESIGN.md calls out. The full-scale figures come from
+// cmd/pama-bench; EXPERIMENTS.md records their outputs against the paper.
+package pamakv
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/oracle"
+	"pamakv/internal/sim"
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+// benchScale shrinks the figure experiments so a -bench=. sweep stays in
+// seconds per figure; absolute numbers are meaningless at this scale — the
+// figures for EXPERIMENTS.md come from cmd/pama-bench.
+const benchScale = 0.01
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := sim.FigureByID(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunMatrix(f.Specs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Render(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+		var gets uint64
+		for _, r := range res {
+			gets += r.Stats.Gets
+		}
+		b.ReportMetric(float64(gets)/float64(b.Elapsed().Seconds()), "gets/s")
+	}
+}
+
+// BenchmarkFig1PenaltyModel samples the miss-penalty model (paper Fig. 1's
+// penalty-vs-size scatter).
+func BenchmarkFig1PenaltyModel(b *testing.B) {
+	cfg := workload.APP()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		h := kv.Mix64(uint64(i) * 0x9e3779b97f4a7c15)
+		sink += cfg.Penalty.Of(h, cfg.SizeOf(h))
+	}
+	_ = sink
+}
+
+// BenchmarkFig3Allocation regenerates the per-class slab allocation series
+// under the four schemes (paper Fig. 3).
+func BenchmarkFig3Allocation(b *testing.B) { runFigure(b, "3") }
+
+// BenchmarkFig4Subclasses regenerates PAMA's per-subclass allocation series
+// for Classes 0 and 8 (paper Fig. 4).
+func BenchmarkFig4Subclasses(b *testing.B) { runFigure(b, "4") }
+
+// BenchmarkFig5HitRatioETC and BenchmarkFig6ServiceTimeETC regenerate the
+// ETC matrix (papers Figs. 5 and 6 share runs: hit ratio and service time
+// of the same experiments).
+func BenchmarkFig5HitRatioETC(b *testing.B) { runFigure(b, "5") }
+
+// BenchmarkFig6ServiceTimeETC is the service-time view of the same ETC runs.
+func BenchmarkFig6ServiceTimeETC(b *testing.B) { runFigure(b, "6") }
+
+// BenchmarkFig7HitRatioAPP and BenchmarkFig8ServiceTimeAPP regenerate the
+// APP matrix with the trace played twice (papers Figs. 7 and 8).
+func BenchmarkFig7HitRatioAPP(b *testing.B) { runFigure(b, "7") }
+
+// BenchmarkFig8ServiceTimeAPP is the service-time view of the same APP runs.
+func BenchmarkFig8ServiceTimeAPP(b *testing.B) { runFigure(b, "8") }
+
+// BenchmarkFig9Burst regenerates the cold-burst impact experiment (paper
+// Fig. 9).
+func BenchmarkFig9Burst(b *testing.B) { runFigure(b, "9") }
+
+// BenchmarkFig10Sensitivity regenerates the m-sensitivity sweep (paper
+// Fig. 10).
+func BenchmarkFig10Sensitivity(b *testing.B) { runFigure(b, "10") }
+
+// ---- Engine micro-benchmarks ----
+
+func benchCache(b *testing.B, pol cache.Policy, tracker cache.TrackerKind) *cache.Cache {
+	b.Helper()
+	c, err := cache.New(cache.Config{
+		CacheBytes: 64 << 20,
+		WindowLen:  100_000,
+		Tracker:    tracker,
+	}, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkEngineGetHit measures the hit path under PAMA with exact
+// tracking.
+func BenchmarkEngineGetHit(b *testing.B) {
+	c := benchCache(b, core.New(core.DefaultConfig()), cache.TrackerExact)
+	const n = 1 << 14
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = kv.KeyString(uint64(i))
+		c.Set(keys[i], 100, 0.01, 0, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(keys[i&(n-1)], 0, 0, nil)
+	}
+}
+
+// BenchmarkEngineSetChurn measures steady-state insert+evict throughput.
+func BenchmarkEngineSetChurn(b *testing.B) {
+	c := benchCache(b, core.New(core.DefaultConfig()), cache.TrackerExact)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Set(kv.KeyString(uint64(i)), 200, 0.01, 0, nil)
+	}
+}
+
+// BenchmarkEngineMixed measures a 90/10 get/set mix over a working set
+// larger than the cache.
+func BenchmarkEngineMixed(b *testing.B) {
+	for _, tk := range []struct {
+		name string
+		kind cache.TrackerKind
+	}{{"exact", cache.TrackerExact}, {"bloom", cache.TrackerBloom}} {
+		b.Run(tk.name, func(b *testing.B) {
+			c := benchCache(b, core.New(core.DefaultConfig()), tk.kind)
+			wl := workload.ETC()
+			wl.Keys = 1 << 16
+			gen, err := workload.New(wl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _ := gen.Next()
+				key := kv.KeyString(r.Key)
+				if r.Op == kv.Get {
+					if _, _, hit := c.Get(key, int(r.Size), 0.01, nil); !hit {
+						c.Set(key, int(r.Size), 0.01, 0, nil)
+					}
+				} else {
+					c.Set(key, int(r.Size), 0.01, 0, nil)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md §4) ----
+
+func ablationSpec(kind string, mutate func(*sim.Spec)) sim.Spec {
+	wl := workload.ETC()
+	wl.Keys = 1 << 15
+	s := sim.Spec{
+		Name:           kind,
+		Workload:       wl,
+		CacheBytes:     32 << 20,
+		Requests:       150_000,
+		MetricsWindow:  50_000,
+		Policy:         sim.PolicySpec{Kind: kind},
+		SampleSubClass: -1,
+	}
+	if mutate != nil {
+		mutate(&s)
+	}
+	return s
+}
+
+// BenchmarkAblationTracker compares PAMA under exact vs Bloom segment
+// tracking: same workload, identical decisions wanted, different costs.
+func BenchmarkAblationTracker(b *testing.B) {
+	for _, tk := range []struct {
+		name string
+		kind cache.TrackerKind
+	}{{"exact", cache.TrackerExact}, {"bloom", cache.TrackerBloom}} {
+		b.Run(tk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationSpec("pama", func(s *sim.Spec) { s.Tracker = tk.kind }))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series.MeanHitRatio(), "hit-ratio")
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSubclasses varies how many penalty subclasses divide
+// each class (paper fixes five; this probes the knob).
+func BenchmarkAblationSubclasses(b *testing.B) {
+	bounds := map[string][]float64{
+		"1": {5.0},
+		"3": {0.01, 0.5, 5.0},
+		"5": {0.001, 0.01, 0.1, 1.0, 5.0},
+		"8": {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 5.0},
+	}
+	for _, name := range []string{"1", "3", "5", "8"} {
+		bs := bounds[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationSpec("pama", func(s *sim.Spec) {
+					s.Policy.PAMA = core.Config{M: 2, PenaltyAware: true, Bounds: bs}
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindow varies the value-window length (accesses between
+// rollovers of the segment-value accumulators).
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, w := range []uint64{5_000, 25_000, 100_000} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationSpec("pama", func(s *sim.Spec) { s.EngineWindow = w }))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBounds compares the paper's fixed decade subclass edges
+// against workload-calibrated quantile edges (core.CalibrateBounds).
+func BenchmarkAblationBounds(b *testing.B) {
+	wl := workload.ETC()
+	wl.Keys = 1 << 15
+	calibrated, err := core.CalibrateBounds(wl, 20_000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name   string
+		bounds []float64
+	}{
+		{"paper-decades", nil}, // nil -> penalty.SubclassBounds
+		{"quantile", calibrated},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationSpec("pama", func(s *sim.Spec) {
+					s.Workload = wl
+					s.Policy.PAMA = core.Config{M: 2, PenaltyAware: true, Bounds: cfg.bounds}
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMRCvsPAMA contrasts the LAMA-flavoured MRC allocator
+// (average miss times, related work §II) with PAMA's per-item penalties on
+// the APP workload — the paper's core argument that averages are not
+// representative when penalties span three decades.
+func BenchmarkExtensionMRCvsPAMA(b *testing.B) {
+	wl := workload.APP()
+	for _, kind := range []string{"mrc-hit", "mrc-time", "lama-hit", "lama-time", "pama"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Spec{
+					Name: kind, Workload: wl, CacheBytes: 64 << 20,
+					Requests: 200_000, MetricsWindow: 50_000,
+					Policy: sim.PolicySpec{Kind: kind}, SampleSubClass: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series.MeanHitRatio(), "hit-ratio")
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionGDSF compares the slab-constrained PAMA against the
+// item-granularity GreedyDual-Size-Frequency engine, which optimizes the
+// same penalty-per-byte objective without slab mechanics — separating how
+// much of PAMA's win is penalty awareness versus slab-granularity cost.
+func BenchmarkExtensionGDSF(b *testing.B) {
+	wl := workload.APP()
+	for _, kind := range []string{"pre-pama", "pama", "gdsf"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Spec{
+					Name: kind, Workload: wl, CacheBytes: 64 << 20,
+					Requests: 200_000, MetricsWindow: 50_000,
+					Policy: sim.PolicySpec{Kind: kind}, SampleSubClass: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series.MeanHitRatio(), "hit-ratio")
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionOracleBound relates the online policies to the offline
+// clairvoyant references (Belady and its cost-aware variant): how much of
+// the reachable service-time head-room does PAMA capture?
+func BenchmarkExtensionOracleBound(b *testing.B) {
+	wl := workload.ETC()
+	wl.Keys = 1 << 15
+	const capBytes, requests = 16 << 20, 150_000
+	collect := func() []trace.Request {
+		gen, err := workload.New(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs, err := trace.Collect(&trace.Limit{S: gen, N: requests}, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return reqs
+	}
+	for _, v := range []struct {
+		name string
+		kind oracle.Variant
+	}{{"belady", oracle.Belady}, {"cost-belady", oracle.CostBelady}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := oracle.Run(collect(), capBytes, wl.Penalty, 0.0005, v.kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.HitRatio, "hit-ratio")
+				b.ReportMetric(1e3*res.AvgService, "svc-ms")
+			}
+		})
+	}
+	for _, kind := range []string{"pama", "gdsf"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Spec{
+					Name: kind, Workload: wl, CacheBytes: capBytes,
+					Requests: requests, MetricsWindow: 50_000,
+					Policy: sim.PolicySpec{Kind: kind}, SampleSubClass: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series.MeanHitRatio(), "hit-ratio")
+				b.ReportMetric(1e3*res.Series.MeanAvgService(), "svc-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkPolicies runs the whole policy roster on one workload for a
+// throughput overview (allocation-decision overhead included).
+func BenchmarkPolicies(b *testing.B) {
+	for _, kind := range []string{"memcached", "psa", "pama", "pre-pama", "twemcache", "facebook-age", "mrc-hit", "mrc-time", "lama-hit", "lama-time", "gdsf"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(ablationSpec(kind, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	// Tiny scale; prints to stdout, which `go test` captures.
+	if err := run("9", 0.0005, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigurePlots(t *testing.T) {
+	if err := run("4", 0.0005, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6AliasesFig5(t *testing.T) {
+	if err := run("6", 0.0002, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("42", 1, 1, false); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Command pama-loadgen drives a running pama-server (or any Memcached-
+// ASCII-protocol server) over TCP with a synthetic workload and reports
+// client-observed throughput, hit ratio, and latency percentiles — the
+// memtier/mc-crusher role in this repository's toolbox.
+//
+// Each connection runs an independent stream of the chosen workload
+// (seeded by connection id, so runs are reproducible), issuing GETs and
+// SETs in the workload's own proportions; GET misses are followed by a
+// client refill SET, the same pattern the paper's penalty estimation
+// assumes.
+//
+// Usage:
+//
+//	pama-server -addr :11211 -policy pama &
+//	pama-loadgen -addr localhost:11211 -workload etc -n 200000 -conns 4
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/metrics"
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "server address")
+	wl := flag.String("workload", "etc", "workload model: etc, app, usr, sys, var")
+	n := flag.Uint64("n", 100_000, "total requests across all connections")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	keys := flag.Uint64("keys", 65536, "hot keyspace size")
+	valueBytes := flag.Int("value-bytes", 0, "fixed value size (0 = workload sizes, capped at 64 KiB)")
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "pama-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// connStats aggregates one connection's observations.
+type connStats struct {
+	gets, hits, sets uint64
+	errs             uint64
+	lat              *metrics.Histogram
+}
+
+func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes int) error {
+	if conns < 1 {
+		conns = 1
+	}
+	cfg, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	cfg.Keys = keys
+	perConn := n / uint64(conns)
+	if perConn == 0 {
+		perConn = 1
+	}
+
+	stats := make([]*connStats, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + uint64(i)*1e9
+			stats[i] = &connStats{lat: metrics.NewHistogram(1e-6, 6)}
+			errs[i] = drive(addr, c, perConn, valueBytes, stats[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := &connStats{lat: metrics.NewHistogram(1e-6, 6)}
+	for i, s := range stats {
+		if errs[i] != nil {
+			return fmt.Errorf("connection %d: %w", i, errs[i])
+		}
+		total.gets += s.gets
+		total.hits += s.hits
+		total.sets += s.sets
+		total.errs += s.errs
+		total.lat.Merge(s.lat)
+	}
+	ops := total.gets + total.sets
+	fmt.Fprintf(w, "loadgen: %d ops over %d conns in %s (%.0f ops/s)\n",
+		ops, conns, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	hitRatio := 0.0
+	if total.gets > 0 {
+		hitRatio = float64(total.hits) / float64(total.gets)
+	}
+	fmt.Fprintf(w, "gets=%d hit-ratio=%.4f sets=%d protocol-errors=%d\n",
+		total.gets, hitRatio, total.sets, total.errs)
+	fmt.Fprintf(w, "client latency: p50<=%.1fus p99<=%.1fus mean=%.1fus\n",
+		1e6*total.lat.Quantile(0.50), 1e6*total.lat.Quantile(0.99), 1e6*total.lat.Mean())
+	return nil
+}
+
+// drive runs one connection's request stream.
+func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connStats) error {
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	valueOf := func(size int) string {
+		if valueBytes > 0 {
+			size = valueBytes
+		}
+		if size > 64<<10 {
+			size = 64 << 10
+		}
+		if size < 1 {
+			size = 1
+		}
+		return strings.Repeat("v", size)
+	}
+	keyOf := func(id uint64) string { return fmt.Sprintf("lg:%d", id) }
+
+	doSet := func(key, val string) error {
+		start := time.Now()
+		fmt.Fprintf(w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		st.lat.Add(time.Since(start).Seconds())
+		st.sets++
+		if !strings.HasPrefix(line, "STORED") && !strings.HasPrefix(line, "SERVER_ERROR") {
+			st.errs++
+		}
+		return nil
+	}
+	doGet := func(key string, size int) error {
+		start := time.Now()
+		fmt.Fprintf(w, "get %s\r\n", key)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		hit := false
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if strings.HasPrefix(line, "VALUE ") {
+				hit = true
+				// Consume the body plus CRLF.
+				var k string
+				var flags, blen int
+				if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &blen); err != nil {
+					st.errs++
+					continue
+				}
+				if _, err := io.CopyN(io.Discard, r, int64(blen)+2); err != nil {
+					return err
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "END") {
+				break
+			}
+			st.errs++
+			break
+		}
+		st.lat.Add(time.Since(start).Seconds())
+		st.gets++
+		if hit {
+			st.hits++
+		} else {
+			// Client refill, as a real cache client would.
+			return doSet(key, valueOf(size))
+		}
+		return nil
+	}
+
+	stream := &trace.Limit{S: gen, N: n}
+	for {
+		req, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		key := keyOf(req.Key)
+		switch req.Op {
+		case kv.Get:
+			if err := doGet(key, int(req.Size)); err != nil {
+				return err
+			}
+		case kv.Set:
+			if err := doSet(key, valueOf(int(req.Size))); err != nil {
+				return err
+			}
+		case kv.Delete:
+			fmt.Fprintf(w, "delete %s noreply\r\n", key)
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/server"
+)
+
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		CacheBytes:  32 << 20,
+		StoreValues: true,
+		WindowLen:   50_000,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(c, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	return ln.Addr().String()
+}
+
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	addr := startTestServer(t)
+	var sb strings.Builder
+	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ops/s", "hit-ratio=", "client latency", "protocol-errors=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// With a keyspace this hot the second half of the run must hit.
+	if strings.Contains(out, "hit-ratio=0.0") {
+		t.Fatalf("implausibly cold run:\n%s", out)
+	}
+}
+
+func TestLoadgenWorkloadSizes(t *testing.T) {
+	addr := startTestServer(t)
+	var sb strings.Builder
+	// value-bytes 0: use (capped) workload sizes.
+	if err := run(&sb, addr, "sys", 1000, 1, 512, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadgenErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

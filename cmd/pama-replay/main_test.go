@@ -1,0 +1,75 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+func writeTestTrace(t *testing.T, n uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	cfg := workload.ETC()
+	cfg.Keys = 8192
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, closer, err := trace.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := &trace.Limit{S: gen, N: n}
+	for {
+		r, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayModelPenalties(t *testing.T) {
+	path := writeTestTrace(t, 20_000)
+	for _, kind := range []string{"pama", "memcached"} {
+		if err := run(path, kind, 8, 5_000, "model", 0.0005); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestReplayEstimatedPenalties(t *testing.T) {
+	path := writeTestTrace(t, 20_000)
+	if err := run(path, "psa", 8, 5_000, "estimate", 0.0005); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := run("", "pama", 8, 1000, "model", 0.0005); err == nil {
+		t.Fatal("missing trace path accepted")
+	}
+	if err := run("/nonexistent.trace", "pama", 8, 1000, "model", 0.0005); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTestTrace(t, 100)
+	if err := run(path, "bogus", 8, 1000, "model", 0.0005); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run(path, "pama", 8, 1000, "psychic", 0.0005); err == nil {
+		t.Fatal("unknown penalty source accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command pama-server runs the cache as a network service speaking the
+// Memcached ASCII protocol, with a selectable allocation policy and an
+// optional simulated read-through back end that makes miss penalties felt
+// in real (scaled) time.
+//
+// Usage:
+//
+//	pama-server -addr :11211 -cache 256 -policy pama
+//	pama-server -addr :11211 -readthrough -penalty-scale 0.05
+//
+// Try it with a plain TCP client:
+//
+//	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc localhost 11211
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pamakv/internal/backend"
+	"pamakv/internal/cache"
+	"pamakv/internal/penalty"
+	"pamakv/internal/server"
+	"pamakv/internal/shard"
+	"pamakv/internal/sim"
+	"pamakv/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
+	cacheMiB := flag.Int64("cache", 256, "cache size in MiB")
+	policyKind := flag.String("policy", "pama", "policy: memcached, psa, pama, pre-pama, twemcache, facebook-age, mrc-hit, mrc-time, lama-hit, lama-time")
+	readthrough := flag.Bool("readthrough", false, "serve GET misses from a simulated back end")
+	penaltyScale := flag.Float64("penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
+	shards := flag.Int("shards", 1, "hash shards (rounded up to a power of two)")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
+	flag.Parse()
+
+	if err := run(*addr, *cacheMiB, *policyKind, *readthrough, *penaltyScale, *shards, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "pama-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheMiB int64, policyKind string, readthrough bool, penaltyScale float64, shards int, snapshot string) error {
+	if pol, err := (sim.PolicySpec{Kind: policyKind}).Build(); err != nil {
+		return err // validate the kind before building per-shard copies
+	} else if pol == nil {
+		return fmt.Errorf("policy %q is a simulator-only engine, not a slab policy", policyKind)
+	}
+	cfg := cache.Config{
+		CacheBytes:  cacheMiB << 20,
+		StoreValues: true,
+		WindowLen:   100_000,
+	}
+	if snapshot != "" && shards > 1 {
+		return fmt.Errorf("-snapshot requires a single shard")
+	}
+	var c server.Store
+	if shards > 1 {
+		g, err := shard.New(cfg, shards, func() cache.Policy {
+			p, _ := (sim.PolicySpec{Kind: policyKind}).Build()
+			return p
+		})
+		if err != nil {
+			return err
+		}
+		c = g
+	} else {
+		pol, _ := (sim.PolicySpec{Kind: policyKind}).Build()
+		eng, err := cache.New(cfg, pol)
+		if err != nil {
+			return err
+		}
+		c = eng
+	}
+	if snapshot != "" {
+		if eng, ok := c.(*cache.Cache); ok {
+			if f, err := os.Open(snapshot); err == nil {
+				if err := eng.LoadSnapshot(f); err != nil {
+					f.Close()
+					return fmt.Errorf("loading snapshot: %w", err)
+				}
+				f.Close()
+				log.Printf("pama-server: restored %d items from %s", eng.Items(), snapshot)
+			}
+		}
+	}
+	opts := server.Options{Logger: log.New(os.Stderr, "pama-server: ", log.LstdFlags)}
+	if readthrough {
+		cfg := workload.ETC()
+		opts.Backend = backend.NewRealTime(penalty.Default(), cfg.SizeOf, penaltyScale)
+	}
+	srv := server.New(c, opts)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Println("pama-server: shutting down")
+		srv.Shutdown()
+		if snapshot != "" {
+			if eng, ok := c.(*cache.Cache); ok {
+				if f, err := os.Create(snapshot); err == nil {
+					if err := eng.SaveSnapshot(f); err != nil {
+						log.Printf("pama-server: snapshot save failed: %v", err)
+					}
+					f.Close()
+					log.Printf("pama-server: snapshot saved to %s", snapshot)
+				}
+			}
+		}
+	}()
+
+	log.Printf("pama-server: %s policy, %d MiB, %d shard(s), listening on %s (readthrough=%v)",
+		policyKind, cacheMiB, shards, addr, readthrough)
+	return srv.ListenAndServe(addr)
+}

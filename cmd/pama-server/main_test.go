@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	if err := run("127.0.0.1:0", 16, "bogus", false, 0, 1, ""); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	if err := run("256.256.256.256:99999", 16, "pama", false, 0, 1, ""); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// TestRunServesTraffic boots the real binary path (run blocks in
+// ListenAndServe, so it runs in a goroutine) on an ephemeral port, then
+// talks protocol to it. Shutdown is exercised via the listener teardown at
+// process exit; the goroutine is intentionally left serving.
+func TestRunServesTraffic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port for run; a tiny race window is acceptable in tests
+	errc := make(chan error, 1)
+	go func() { errc <- run(addr, 16, "pama", false, 0, 2, "") }()
+
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		select {
+		case e := <-errc:
+			t.Fatalf("server exited early: %v", e)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	conn.Write([]byte("set k 0 0 5\r\nhello\r\nget k\r\n"))
+	line, _ := r.ReadString('\n')
+	if !strings.HasPrefix(line, "STORED") {
+		t.Fatalf("set -> %q", line)
+	}
+	line, _ = r.ReadString('\n')
+	if !strings.HasPrefix(line, "VALUE k 0 5") {
+		t.Fatalf("get -> %q", line)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+func writeTrace(t *testing.T, n uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	cfg := workload.ETC()
+	cfg.Keys = 4096
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, closer, err := trace.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := &trace.Limit{S: gen, N: n}
+	for {
+		r, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(r)
+	}
+	closer.Close()
+	return path
+}
+
+func TestStatsReport(t *testing.T) {
+	path := writeTrace(t, 30_000)
+	var sb strings.Builder
+	if err := run(&sb, path, 5, 16, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fitted workload.Config",
+		"30000 requests",
+		"ops: get=",
+		"request share by slab class",
+		"class  0",
+		"top 5 keys",
+		"miss penalties",
+		"reuse-distance profile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// ETC is a GET-heavy workload; the report must reflect it.
+	if !strings.Contains(out, "get=0.9") {
+		t.Fatalf("GET share implausible:\n%s", out)
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 5, 8, false); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if err := run(&sb, "/nonexistent.trace", 5, 8, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Empty trace.
+	path := filepath.Join(t.TempDir(), "empty.trace")
+	_, closer, err := trace.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closer.Close()
+	if err := run(&sb, path, 5, 8, false); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestStatsTopNClamped(t *testing.T) {
+	path := writeTrace(t, 1000)
+	var sb strings.Builder
+	if err := run(&sb, path, 1_000_000, 8, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Command pama-tracegen materializes a synthetic workload as a trace file
+// in the repository's binary format (or CSV), for replay with pama-replay
+// or external analysis.
+//
+// Output format follows the file name: binary by default, ".csv" for CSV,
+// and a ".gz" suffix adds gzip compression.
+//
+// Usage:
+//
+//	pama-tracegen -workload etc -n 1000000 -out etc.trace
+//	pama-tracegen -workload app -n 500000 -out app.csv.gz
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "etc", "workload model: etc, app, usr, sys, var")
+	n := flag.Uint64("n", 1_000_000, "number of requests")
+	out := flag.String("out", "", "output path (.csv/.gz select format; default binary to stdout)")
+	seed := flag.Uint64("seed", 0, "override workload seed (0 keeps the default)")
+	keys := flag.Uint64("keys", 0, "override hot keyspace size (0 keeps the default)")
+	flag.Parse()
+
+	if err := run(*wl, *n, *out, *seed, *keys); err != nil {
+		fmt.Fprintln(os.Stderr, "pama-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, n uint64, out string, seed, keys uint64) error {
+	cfg, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if keys != 0 {
+		cfg.Keys = keys
+	}
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return err
+	}
+	stream := &trace.Limit{S: gen, N: n}
+	cfg.Describe(os.Stderr)
+
+	if out == "" {
+		tw, err := trace.NewWriter(os.Stdout)
+		if err != nil {
+			return err
+		}
+		if err := copyStream(stream, tw.Write); err != nil {
+			return err
+		}
+		return tw.Flush()
+	}
+	write, closer, err := trace.CreateFile(out)
+	if err != nil {
+		return err
+	}
+	if err := copyStream(stream, write); err != nil {
+		closer.Close()
+		return err
+	}
+	if err := closer.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", n, out)
+	return nil
+}
+
+func copyStream(s trace.Stream, write func(trace.Request) error) error {
+	for {
+		r, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+}

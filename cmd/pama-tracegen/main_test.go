@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pamakv/internal/trace"
+)
+
+func TestRunWritesTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	if err := run("etc", 5000, out, 7, 1024); err != nil {
+		t.Fatal(err)
+	}
+	stream, closer, err := trace.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	reqs, err := trace.Collect(stream, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 5000 {
+		t.Fatalf("got %d records, want 5000", len(reqs))
+	}
+}
+
+func TestRunWritesGzipCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.csv.gz")
+	if err := run("app", 500, out, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	stream, closer, err := trace.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	reqs, err := trace.Collect(stream, -1)
+	if err != nil || len(reqs) != 500 {
+		t.Fatalf("records=%d err=%v", len(reqs), err)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run("nope", 10, filepath.Join(t.TempDir(), "x"), 0, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.trace"), filepath.Join(dir, "b.trace")
+	if err := run("etc", 100, a, 1, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("etc", 100, b, 2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	ra, ca, _ := trace.OpenFile(a)
+	defer ca.Close()
+	rb, cb, _ := trace.OpenFile(b)
+	defer cb.Close()
+	qa, _ := trace.Collect(ra, -1)
+	qb, _ := trace.Collect(rb, -1)
+	same := true
+	for i := range qa {
+		if qa[i] != qb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

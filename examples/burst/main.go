@@ -1,0 +1,64 @@
+// Burst: reproduction of the paper's §IV-C experiment as a demo — a flood
+// of unpopular items (10% of the cache) is SET into a running cache, and
+// the hit-ratio dip and recovery are compared between PSA and PAMA.
+//
+//	go run ./examples/burst
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pamakv"
+)
+
+func main() {
+	wl := pamakv.ETCWorkload()
+	wl.Keys = 64 * 1024
+
+	const (
+		cacheBytes = 64 << 20
+		requests   = 600_000
+		burstAt    = 150_000
+	)
+	fmt.Printf("cold-item burst demo: %d MiB cache, burst of 10%% of cache at request %d\n\n",
+		cacheBytes>>20, burstAt)
+
+	for _, kind := range []string{"psa", "pama"} {
+		for _, withBurst := range []bool{false, true} {
+			spec := pamakv.SimSpec{
+				Name:           kind,
+				Workload:       wl,
+				CacheBytes:     cacheBytes,
+				Requests:       requests,
+				MetricsWindow:  50_000,
+				Policy:         pamakv.SimPolicySpec{Kind: kind},
+				SampleSubClass: -1,
+			}
+			if withBurst {
+				spec.Burst = &pamakv.SimBurstSpec{
+					At:          burstAt,
+					FracOfCache: 0.10,
+					Classes:     []int{3, 4, 5},
+				}
+			}
+			res, err := pamakv.RunSim(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "steady  "
+			if withBurst {
+				label = "impacted"
+			}
+			fmt.Printf("%-5s %s  hit-ratio by window:", kind, label)
+			for _, p := range res.Series.Points {
+				fmt.Printf(" %.3f", p.HitRatio)
+			}
+			fmt.Printf("   (mean svc %.2f ms)\n", 1e3*res.Series.MeanAvgService())
+		}
+		fmt.Println()
+	}
+	fmt.Println("PAMA's dip is shallower and recovers faster: cold items sink to the")
+	fmt.Println("bottoms of their stacks, so the impacted classes never look valuable")
+	fmt.Println("enough to steal slabs from the classes doing real work.")
+}

@@ -1,0 +1,97 @@
+// Netserver: run the Memcached-protocol server on a loopback port with a
+// read-through simulated database, then exercise it with a small client —
+// all in one process, so the demo needs no external tooling.
+//
+//	go run ./examples/netserver
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"pamakv"
+)
+
+func main() {
+	c, err := pamakv.New(pamakv.Config{
+		CacheBytes:  32 << 20,
+		StoreValues: true,
+	}, pamakv.NewPAMA(pamakv.DefaultPAMAConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl := pamakv.ETCWorkload()
+	// Penalties are slept at 2% of their simulated value, so an expensive
+	// key visibly stalls its first GET.
+	db := pamakv.NewRealTimeBackend(wl.Penalty, wl.SizeOf, 0.02)
+	srv := pamakv.NewServer(c, pamakv.ServerOptions{Backend: db})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+	addr := ln.Addr().String()
+	fmt.Printf("pama server listening on %s (read-through, penalties at 2%% real time)\n\n", addr)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	send := func(cmd string) {
+		if _, err := fmt.Fprintf(conn, "%s\r\n", cmd); err != nil {
+			log.Fatal(err)
+		}
+	}
+	recvUntilEnd := func() []string {
+		var lines []string
+		for {
+			l, err := r.ReadString('\n')
+			if err != nil {
+				log.Fatal(err)
+			}
+			l = strings.TrimRight(l, "\r\n")
+			lines = append(lines, l)
+			if l == "END" || l == "STORED" || l == "DELETED" ||
+				strings.HasPrefix(l, "VERSION") || strings.HasPrefix(l, "CLIENT_ERROR") {
+				return lines
+			}
+		}
+	}
+
+	// A stored value is served instantly.
+	send("set motd 0 0 13\r\nhello, pamakv")
+	recvUntilEnd()
+
+	timeGet := func(key string) time.Duration {
+		start := time.Now()
+		send("get " + key)
+		recvUntilEnd()
+		return time.Since(start)
+	}
+	fmt.Printf("get motd (cached):          %8s\n", timeGet("motd").Round(time.Microsecond))
+
+	// A cold key is fetched read-through from the simulated database —
+	// the first GET pays (2%% of) the key's miss penalty, the second is
+	// served from cache.
+	cold := "report:2026-q3"
+	first := timeGet(cold)
+	second := timeGet(cold)
+	fmt.Printf("get cold key (read-through): %8s  <- paid the back-end penalty\n", first.Round(time.Microsecond))
+	fmt.Printf("get cold key (now cached):   %8s\n\n", second.Round(time.Microsecond))
+
+	send("stats")
+	for _, l := range recvUntilEnd() {
+		if strings.HasPrefix(l, "STAT get_") || strings.HasPrefix(l, "STAT policy") {
+			fmt.Println(l)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a PAMA cache, store items with observed miss penalties,
+// and watch the engine's counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pamakv"
+)
+
+func main() {
+	// A 16 MiB cache under the paper's PAMA configuration (m=2 reference
+	// segments, five penalty subclasses). StoreValues keeps item bodies;
+	// leave it off to use the engine as a metadata-only simulator.
+	c, err := pamakv.New(pamakv.Config{
+		CacheBytes:  16 << 20,
+		StoreValues: true,
+	}, pamakv.NewPAMA(pamakv.DefaultPAMAConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Set takes the item's logical size and the miss penalty you observed
+	// when producing the value (how long the database query or
+	// computation took, in seconds). PAMA uses it to decide which items
+	// are worth keeping when memory runs short.
+	items := []struct {
+		key     string
+		value   string
+		penalty float64
+	}{
+		{"session:alice", `{"uid":1,"cart":[7,9]}`, 0.002},    // cheap lookup
+		{"timeline:bob", `[...200 posts...]`, 0.180},          // mid-weight query
+		{"report:q2-2026", `<32 pages of aggregates>`, 3.500}, // expensive analytics
+	}
+	for _, it := range items {
+		if err := c.Set(it.key, len(it.value), it.penalty, 0, []byte(it.value)); err != nil {
+			log.Fatalf("set %s: %v", it.key, err)
+		}
+	}
+
+	for _, it := range items {
+		val, _, hit := c.Get(it.key, 0, 0, nil)
+		fmt.Printf("get %-16s hit=%-5v value=%q\n", it.key, hit, val)
+	}
+	if _, _, hit := c.Get("absent:key", 0, 0, nil); !hit {
+		fmt.Println("get absent:key      hit=false (as expected — fetch it from your backend, then Set it with the observed penalty)")
+	}
+
+	st := c.Stats()
+	fmt.Printf("\nstats: gets=%d hits=%d misses=%d sets=%d items=%d\n",
+		st.Gets, st.Hits, st.Misses, st.Sets, c.Items())
+	fmt.Printf("slab allocation by class: %v\n", c.SnapshotSlabs())
+}

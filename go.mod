@@ -1,0 +1,3 @@
+module pamakv
+
+go 1.22

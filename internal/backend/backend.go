@@ -1,0 +1,100 @@
+// Package backend simulates the back-end store (database / computation tier)
+// that a key-value cache shields. On a cache miss the front end fetches the
+// value from here, paying the item's miss penalty, and then SETs it back
+// into the cache — the GET-miss → SET pattern the paper uses to estimate
+// penalties from traces.
+//
+// Two modes share one type: accounting mode returns the penalty as a number
+// (the simulator adds it to service time), and real-time mode additionally
+// sleeps for a scaled-down fraction of it (the live network server uses
+// this, so a demo actually feels the penalty difference).
+package backend
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+)
+
+// Sizer reports the canonical value size in bytes for a key hash; workloads
+// provide it so the backend regenerates the same value a trace would have
+// SET. A nil Sizer defaults to 100-byte values.
+type Sizer func(keyHash uint64) int
+
+// Store is a simulated back end.
+type Store struct {
+	model penalty.Model
+	sizer Sizer
+	// sleepScale > 0 makes Fetch sleep penalty*sleepScale wall-clock time.
+	sleepScale float64
+
+	fetches atomic.Uint64
+	// penaltyNanos accumulates total simulated penalty, in nanoseconds,
+	// for diagnostics.
+	penaltyNanos atomic.Uint64
+}
+
+// New returns an accounting-mode store.
+func New(model penalty.Model, sizer Sizer) *Store {
+	return &Store{model: model, sizer: sizer}
+}
+
+// NewRealTime returns a store that sleeps penalty*scale per fetch. scale 1.0
+// reproduces penalties in real time; demos use 0.01–0.1.
+func NewRealTime(model penalty.Model, sizer Sizer, scale float64) *Store {
+	return &Store{model: model, sizer: sizer, sleepScale: scale}
+}
+
+// Fetch produces the value for key: its size, its miss penalty in seconds,
+// and (when fill is true) a synthesized value body. It is safe for
+// concurrent use.
+func (s *Store) Fetch(key string, fill bool) (size int, pen float64, value []byte) {
+	h := kv.HashString(key)
+	size = 100
+	if s.sizer != nil {
+		size = s.sizer(h)
+	}
+	pen = s.model.Of(h, size)
+	s.fetches.Add(1)
+	s.penaltyNanos.Add(uint64(pen * 1e9))
+	if s.sleepScale > 0 {
+		time.Sleep(time.Duration(pen * s.sleepScale * float64(time.Second)))
+	}
+	if fill {
+		value = Synthesize(h, size)
+	}
+	return size, pen, value
+}
+
+// Penalty returns the penalty for a key without fetching (used by replayers
+// that know an item's size already).
+func (s *Store) Penalty(key string, size int) float64 {
+	return s.model.Of(kv.HashString(key), size)
+}
+
+// Fetches returns the number of Fetch calls served.
+func (s *Store) Fetches() uint64 { return s.fetches.Load() }
+
+// TotalPenalty returns the accumulated simulated penalty in seconds.
+func (s *Store) TotalPenalty() float64 {
+	return float64(s.penaltyNanos.Load()) / 1e9
+}
+
+// Synthesize deterministically generates a value body of the given size from
+// a key hash, so repeated fetches of one key return identical bytes.
+func Synthesize(keyHash uint64, size int) []byte {
+	if size <= 0 {
+		return []byte{}
+	}
+	v := make([]byte, size)
+	x := keyHash
+	for i := 0; i < size; i += 8 {
+		x = kv.Mix64(x)
+		for j := 0; j < 8 && i+j < size; j++ {
+			v[i+j] = byte(x >> (8 * uint(j)))
+		}
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package backend
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pamakv/internal/penalty"
+)
+
+func TestFetchDeterministic(t *testing.T) {
+	s := New(penalty.Default(), func(uint64) int { return 256 })
+	sz1, p1, v1 := s.Fetch("alpha", true)
+	sz2, p2, v2 := s.Fetch("alpha", true)
+	if sz1 != sz2 || p1 != p2 || !bytes.Equal(v1, v2) {
+		t.Fatal("Fetch is not deterministic per key")
+	}
+	if sz1 != 256 {
+		t.Fatalf("size = %d, want sizer's 256", sz1)
+	}
+	if len(v1) != 256 {
+		t.Fatalf("value length = %d, want 256", len(v1))
+	}
+}
+
+func TestFetchNilSizerDefaults(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	sz, _, _ := s.Fetch("k", false)
+	if sz != 100 {
+		t.Fatalf("default size = %d, want 100", sz)
+	}
+}
+
+func TestFetchNoFillSkipsValue(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	_, _, v := s.Fetch("k", false)
+	if v != nil {
+		t.Fatal("fill=false should not synthesize a value")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	s := New(penalty.Uniform(0.5), nil)
+	for i := 0; i < 4; i++ {
+		s.Fetch("k", false)
+	}
+	if s.Fetches() != 4 {
+		t.Fatalf("Fetches = %d, want 4", s.Fetches())
+	}
+	if got := s.TotalPenalty(); got < 1.99 || got > 2.01 {
+		t.Fatalf("TotalPenalty = %v, want ~2.0", got)
+	}
+}
+
+func TestPenaltyMatchesFetch(t *testing.T) {
+	s := New(penalty.Default(), func(uint64) int { return 512 })
+	_, p, _ := s.Fetch("beta", false)
+	if got := s.Penalty("beta", 512); got != p {
+		t.Fatalf("Penalty(%v) != Fetch penalty (%v)", got, p)
+	}
+}
+
+func TestRealTimeSleeps(t *testing.T) {
+	s := NewRealTime(penalty.Uniform(0.2), nil, 0.1) // 20ms sleep
+	start := time.Now()
+	s.Fetch("k", false)
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("real-time fetch returned after %v, want >=~20ms", el)
+	}
+}
+
+func TestSynthesizeShapes(t *testing.T) {
+	if got := Synthesize(1, 0); len(got) != 0 {
+		t.Fatal("size 0 should give empty value")
+	}
+	if got := Synthesize(1, -3); len(got) != 0 {
+		t.Fatal("negative size should give empty value")
+	}
+	a, b := Synthesize(1, 33), Synthesize(2, 33)
+	if bytes.Equal(a, b) {
+		t.Fatal("different keys should synthesize different bodies")
+	}
+	if len(a) != 33 {
+		t.Fatalf("length %d, want 33", len(a))
+	}
+}
+
+func TestFetchConcurrent(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				s.Fetch("shared", false)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Fetches() != 8000 {
+		t.Fatalf("Fetches = %d, want 8000", s.Fetches())
+	}
+}

@@ -1,0 +1,140 @@
+// Package bloom implements the Bloom filters PAMA uses to test, in O(1),
+// whether an accessed key currently lies in one of the slab-sized segments
+// at the bottom of a subclass's LRU stack (paper §III, third challenge).
+//
+// One filter guards each reference segment. Because a plain Bloom filter
+// cannot delete, a shared *removal filter* records keys pulled out of the
+// bottom region when they are re-accessed (LRU moves them to the top of the
+// stack): a key counts as present in a segment only if the segment filter
+// says yes AND the removal filter says no. When a key being added to a
+// segment is already in the removal filter the removal filter is cleared,
+// preserving its invariant of only naming keys absent from all segments.
+//
+// Filters hash with the classic double-hashing scheme g_i(x) = h1 + i*h2
+// derived from one 64-bit key hash, so membership tests cost no additional
+// hashing of the key bytes.
+package bloom
+
+import "pamakv/internal/kv"
+
+// Filter is a fixed-size Bloom filter keyed by precomputed 64-bit hashes.
+type Filter struct {
+	bits []uint64
+	mask uint64 // number of bits - 1 (power of two)
+	k    int
+	n    int // keys added since last reset
+}
+
+// New returns a filter sized for approximately capacity keys at roughly 1%
+// false-positive rate: 10 bits per key, 4 probes (near-optimal for 10 b/key
+// while staying cheap). Capacity below 64 is rounded up.
+func New(capacity int) *Filter {
+	if capacity < 64 {
+		capacity = 64
+	}
+	bits := 1
+	for bits < capacity*10 {
+		bits <<= 1
+	}
+	return &Filter{bits: make([]uint64, bits/64), mask: uint64(bits - 1), k: 4}
+}
+
+// Add inserts a key hash.
+func (f *Filter) Add(hash uint64) {
+	h1, h2 := hash, kv.Mix64(hash)|1
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) & f.mask
+		f.bits[b>>6] |= 1 << (b & 63)
+	}
+	f.n++
+}
+
+// MayContain reports whether the key hash may have been added: false means
+// definitely absent; true may be a false positive.
+func (f *Filter) MayContain(hash uint64) bool {
+	h1, h2 := hash, kv.Mix64(hash)|1
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) & f.mask
+		if f.bits[b>>6]&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Count returns the number of Adds since the last Reset.
+func (f *Filter) Count() int { return f.n }
+
+// Bits returns the filter size in bits (diagnostics and tests).
+func (f *Filter) Bits() int { return len(f.bits) * 64 }
+
+// SegmentSet bundles the per-segment filters of one LRU stack's bottom
+// region with the shared removal filter, implementing the paper's membership
+// protocol.
+type SegmentSet struct {
+	segs    []*Filter
+	removal *Filter
+}
+
+// NewSegmentSet creates filters for nseg segments of up to segCapacity keys
+// each.
+func NewSegmentSet(nseg, segCapacity int) *SegmentSet {
+	s := &SegmentSet{
+		segs:    make([]*Filter, nseg),
+		removal: New(segCapacity * nseg),
+	}
+	for i := range s.segs {
+		s.segs[i] = New(segCapacity)
+	}
+	return s
+}
+
+// Segments returns the number of per-segment filters.
+func (s *SegmentSet) Segments() int { return len(s.segs) }
+
+// AddToSegment records the key hash as a member of segment i (0 = candidate
+// segment at the very bottom). Per the paper, if the key is currently named
+// by the removal filter the removal filter is cleared first so it never
+// contradicts a true member.
+func (s *SegmentSet) AddToSegment(i int, hash uint64) {
+	if s.removal.MayContain(hash) {
+		s.removal.Reset()
+	}
+	s.segs[i].Add(hash)
+}
+
+// Lookup returns the lowest segment index whose filter claims the key and
+// that the removal filter does not veto, or -1 when the key is in no
+// segment.
+func (s *SegmentSet) Lookup(hash uint64) int {
+	for i, f := range s.segs {
+		if f.MayContain(hash) {
+			if s.removal.MayContain(hash) {
+				return -1
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// MarkRemoved records that the key left the bottom region (it was accessed
+// and moved to the top of the stack, or evicted out of band).
+func (s *SegmentSet) MarkRemoved(hash uint64) { s.removal.Add(hash) }
+
+// Reset clears every filter; called when the tracker rebuilds segment
+// snapshots at a window boundary.
+func (s *SegmentSet) Reset() {
+	for _, f := range s.segs {
+		f.Reset()
+	}
+	s.removal.Reset()
+}

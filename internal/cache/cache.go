@@ -1,0 +1,728 @@
+// Package cache implements the slab-class key-value cache engine that all
+// allocation policies plug into: a Memcached-style store with per-class slab
+// accounting (package slab), per-subclass LRU stacks, optional bottom-region
+// segment tracking (package segment), and ghost regions that remember
+// recently evicted keys for incoming-value estimation (paper §III).
+//
+// The engine owns mechanism; policy packages own decisions. A Policy
+// declares how stacks are organized (penalty subclass bounds, segments to
+// track, ghost depth) and reacts to engine events (hits with segment
+// attribution, misses with ghost attribution, inserts, evictions, window
+// rollovers). When a SET needs a slot in a full class the engine first
+// grabs a free slab if one exists; only when memory is exhausted does it
+// delegate to Policy.MakeRoom, which is where the paper's schemes differ.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pamakv/internal/hashtable"
+	"pamakv/internal/kv"
+	"pamakv/internal/lru"
+	"pamakv/internal/penalty"
+	"pamakv/internal/rank"
+	"pamakv/internal/segment"
+	"pamakv/internal/slab"
+)
+
+// Sentinel errors returned by Set.
+var (
+	// ErrTooLarge reports an item exceeding the largest class slot.
+	ErrTooLarge = errors.New("cache: item larger than largest slab class")
+	// ErrNoSpace reports that no slot could be produced for the item's
+	// class (class owns no slabs and nothing can be reallocated).
+	ErrNoSpace = errors.New("cache: no space available for class")
+)
+
+// TrackerKind selects the segment-tracking implementation.
+type TrackerKind int
+
+const (
+	// TrackerExact uses the order-statistics ring (ground truth).
+	TrackerExact TrackerKind = iota
+	// TrackerBloom uses the paper's per-segment Bloom filters.
+	TrackerBloom
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Geometry is the slab/class layout; zero value means
+	// kv.DefaultGeometry.
+	Geometry kv.Geometry
+	// CacheBytes is the memory budget (must hold >= 1 slab).
+	CacheBytes int64
+	// StoreValues keeps item bodies; off, the engine is a metadata-only
+	// simulator costing a few bytes per item.
+	StoreValues bool
+	// WindowLen is the value/statistics window in cache accesses
+	// (paper: windows are counted in accesses, not wall-clock).
+	WindowLen uint64
+	// Tracker selects exact or Bloom segment tracking.
+	Tracker TrackerKind
+	// Now supplies wall-clock unix seconds for TTL expiry; nil uses
+	// time.Now. Only consulted for items stored with a TTL.
+	Now func() int64
+}
+
+// Stats are engine-level counters; all monotonically increasing.
+type Stats struct {
+	Gets, Hits, Misses   uint64
+	Sets, Deletes        uint64
+	Evictions, GhostHits uint64
+	Expired              uint64
+	TooLarge, NoSpace    uint64
+	FallbackEvicts       uint64
+	WindowRollovers      uint64
+	// SlabMigrations counts cross-class slab moves, whatever policy
+	// performed them.
+	SlabMigrations uint64
+}
+
+// Policy is an allocation scheme plugged into the engine. Implementations
+// live in internal/policy (baselines) and internal/core (PAMA).
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// SubclassBounds returns penalty edges dividing each class into
+	// subclasses (penalty.SubclassBounds for PAMA); nil yields a single
+	// subclass per class.
+	SubclassBounds() []float64
+	// Segments returns how many bottom segments (candidate + reference)
+	// the engine must track per stack; 0 disables tracking.
+	Segments() int
+	// GhostSegments returns the ghost-region depth in segments
+	// (receiving + reference); 0 disables ghost regions.
+	GhostSegments() int
+	// Attach hands the policy its engine; called once by New.
+	Attach(c *Cache)
+	// MakeRoom must try to produce >= 1 free slot in class via the
+	// engine's reallocation primitives. Called with memory exhausted
+	// (no free slabs). sub is the subclass of the incoming item.
+	MakeRoom(class, sub int)
+	// OnHit reports a GET hit and the bottom segment it landed in
+	// (-1 when above the tracked region or tracking is off).
+	OnHit(it *kv.Item, seg int)
+	// OnMiss reports a GET miss. class/sub locate the would-be home of
+	// the item (-1 when unknown); ghost is the ghost entry when the key
+	// was recently evicted, with ghostSeg its ghost-region segment.
+	OnMiss(class, sub int, ghost *kv.Item, ghostSeg int)
+	// OnInsert reports a completed SET.
+	OnInsert(it *kv.Item)
+	// OnEvict reports an eviction (not an explicit delete).
+	OnEvict(it *kv.Item)
+	// OnWindow fires every WindowLen accesses, before per-window
+	// counters reset.
+	OnWindow()
+}
+
+type subclass struct {
+	list  lru.List
+	tr    segment.Tracker
+	ghost lru.List
+	gring *rank.Ring
+	gcap  int
+}
+
+type class struct {
+	spc  int // slots per slab
+	subs []subclass
+}
+
+// Cache is the engine. All methods are safe for concurrent use; the engine
+// serializes internally (cache state is a single logical object — the lock
+// is the same design point as Memcached's cache_lock).
+type Cache struct {
+	mu     sync.Mutex
+	cfg    Config
+	geom   kv.Geometry
+	policy Policy
+	slabs  *slab.Manager
+	index  *hashtable.Table
+	gindex *hashtable.Table
+
+	classes []class
+	bounds  []float64
+
+	clock   uint64
+	winTick uint64
+	winReqs []uint64
+	winMiss []uint64
+
+	stats Stats
+	pool  []*kv.Item
+	// casCounter issues unique CAS tokens; incremented per store.
+	casCounter uint64
+}
+
+// New builds an engine bound to the given policy.
+func New(cfg Config, pol Policy) (*Cache, error) {
+	if pol == nil {
+		return nil, errors.New("cache: nil policy")
+	}
+	if cfg.Geometry == (kv.Geometry{}) {
+		cfg.Geometry = kv.DefaultGeometry()
+	}
+	if cfg.WindowLen == 0 {
+		cfg.WindowLen = 100_000
+	}
+	mgr, err := slab.NewManager(cfg.Geometry, cfg.CacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:    cfg,
+		geom:   cfg.Geometry,
+		policy: pol,
+		slabs:  mgr,
+		index:  hashtable.New(1 << 12),
+		gindex: hashtable.New(1 << 10),
+		bounds: pol.SubclassBounds(),
+	}
+	nsub := len(c.bounds)
+	if nsub == 0 {
+		nsub = 1
+	}
+	nseg := pol.Segments()
+	gseg := pol.GhostSegments()
+	c.classes = make([]class, c.geom.NumClasses)
+	for ci := range c.classes {
+		cl := &c.classes[ci]
+		cl.spc = c.geom.SlotsPerSlab(ci)
+		cl.subs = make([]subclass, nsub)
+		for si := range cl.subs {
+			s := &cl.subs[si]
+			if nseg > 0 {
+				switch cfg.Tracker {
+				case TrackerBloom:
+					s.tr = segment.NewBloom(&s.list, cl.spc, nseg)
+				default:
+					s.tr = segment.NewExact(&s.list, cl.spc, nseg)
+				}
+			}
+			if gseg > 0 {
+				s.gcap = gseg * cl.spc
+				s.gring = rank.New(256)
+			}
+		}
+	}
+	c.winReqs = make([]uint64, c.geom.NumClasses)
+	c.winMiss = make([]uint64, c.geom.NumClasses)
+	pol.Attach(c)
+	return c, nil
+}
+
+// ---- Public request API ----
+
+// Get looks key up. sizeHint/penHint describe the item a miss would fetch
+// (replayers know them; servers pass 0) and only affect per-class miss
+// attribution. When StoreValues is on and the key hits, the value is
+// appended to buf.
+func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val []byte, flags uint32, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	c.stats.Gets++
+	h := kv.HashString(key)
+	if it := c.index.Get(h, key); it != nil && c.expired(it) {
+		// Lazy expiry, as in Memcached: the GET that finds a stale
+		// item reaps it and proceeds as a miss (no ghost entry — the
+		// value is dead, not a victim of space pressure).
+		c.unlinkResident(it)
+		c.release(it)
+		c.stats.Expired++
+	}
+	if it := c.index.Get(h, key); it != nil {
+		cl := it.Class
+		s := &c.classes[cl].subs[it.Sub]
+		seg := -1
+		if s.tr != nil {
+			seg = s.tr.Touch(it)
+		} else {
+			s.list.MoveToFront(it)
+		}
+		it.LastAccess = c.clock
+		c.winReqs[cl]++
+		c.stats.Hits++
+		c.policy.OnHit(it, seg)
+		if c.cfg.StoreValues {
+			buf = append(buf, it.Value...)
+		}
+		return buf, it.Flags, true
+	}
+	c.stats.Misses++
+	var g *kv.Item
+	gseg := -1
+	clHint, subHint := -1, -1
+	if g = c.gindex.Get(h, key); g != nil {
+		c.stats.GhostHits++
+		clHint, subHint = g.Class, g.Sub
+		gseg = c.ghostSeg(g)
+	} else if sizeHint > 0 {
+		clHint = c.geom.ClassFor(sizeHint)
+		subHint = c.subclassFor(penHint)
+	}
+	if clHint >= 0 {
+		c.winReqs[clHint]++
+		c.winMiss[clHint]++
+	}
+	c.policy.OnMiss(clHint, subHint, g, gseg)
+	return buf, 0, false
+}
+
+// Set inserts or replaces key with the given logical size, miss penalty,
+// client flags, and (when StoreValues) value bytes. The item never expires;
+// use SetTTL for expiring items.
+func (c *Cache) Set(key string, size int, pen float64, flags uint32, value []byte) error {
+	return c.SetTTL(key, size, pen, flags, 0, value)
+}
+
+// SetTTL is Set with an expiry deadline in unix seconds (0 = never).
+func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	c.stats.Sets++
+	cl := c.geom.ClassFor(size)
+	if cl < 0 {
+		c.stats.TooLarge++
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	sub := c.subclassFor(pen)
+	h := kv.HashString(key)
+
+	// A refill supersedes any ghost memory of the key.
+	if g := c.gindex.Get(h, key); g != nil {
+		c.dropGhost(g)
+	}
+	// Replace semantics: free the old incarnation first (it may live in a
+	// different class if the size changed).
+	if old := c.index.Get(h, key); old != nil {
+		c.unlinkResident(old)
+		c.release(old)
+	}
+
+	if c.slabs.FreeSlots(cl) == 0 {
+		if c.slabs.FreeSlabs() > 0 {
+			// Growth phase: grant a free slab, as Memcached does.
+			_ = c.slabs.AllocSlab(cl)
+		} else {
+			c.policy.MakeRoom(cl, sub)
+		}
+	}
+	if c.slabs.FreeSlots(cl) == 0 {
+		// Policy produced nothing; keep the engine live by evicting
+		// within the class, or fail if the class owns nothing.
+		if !c.evictOneInClassLocked(cl) {
+			c.stats.NoSpace++
+			return fmt.Errorf("%w %d", ErrNoSpace, cl)
+		}
+		c.stats.FallbackEvicts++
+	}
+	if err := c.slabs.UseSlot(cl); err != nil {
+		// Unreachable: a slot was just guaranteed.
+		return err
+	}
+	it := c.acquire()
+	it.Key = key
+	it.Hash = h
+	it.Size = size
+	it.Penalty = pen
+	it.Flags = flags
+	it.Class = cl
+	it.Sub = sub
+	it.LastAccess = c.clock
+	it.ExpireAt = expireAt
+	c.casCounter++
+	it.CAS = c.casCounter
+	if c.cfg.StoreValues {
+		it.Value = append(it.Value[:0], value...)
+	}
+	c.index.Put(it)
+	s := &c.classes[cl].subs[sub]
+	s.list.PushFront(it)
+	if s.tr != nil {
+		s.tr.Insert(it)
+	}
+	c.policy.OnInsert(it)
+	return nil
+}
+
+// Delete removes key if resident (and forgets any ghost memory of it). It
+// reports whether a resident item was removed.
+func (c *Cache) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	c.stats.Deletes++
+	h := kv.HashString(key)
+	if g := c.gindex.Get(h, key); g != nil {
+		c.dropGhost(g)
+	}
+	it := c.index.Get(h, key)
+	if it == nil {
+		return false
+	}
+	c.unlinkResident(it)
+	c.release(it)
+	return true
+}
+
+// Flush evicts every resident item and drops all ghost memory (the
+// protocol's flush_all). Slab ownership is retained, matching Memcached,
+// whose flush does not return slabs to the global pool.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for ci := range c.classes {
+		cl := &c.classes[ci]
+		for si := range cl.subs {
+			s := &cl.subs[si]
+			for it := s.list.PopFront(); it != nil; it = s.list.PopFront() {
+				if s.tr != nil {
+					s.tr.Remove(it)
+				}
+				c.index.Delete(it.Hash, it.Key)
+				_ = c.slabs.FreeSlot(ci)
+				c.release(it)
+			}
+			if s.gcap > 0 {
+				for g := s.ghost.PopFront(); g != nil; g = s.ghost.PopFront() {
+					s.gring.Remove(g)
+					c.gindex.Delete(g.Hash, g.Key)
+					c.releaseRaw(g)
+				}
+			}
+		}
+	}
+}
+
+// Contains reports residency without touching LRU state or stats (tests and
+// tools).
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.index.Get(kv.HashString(key), key) != nil
+}
+
+// ---- Policy-facing primitives ----
+// These are called from Policy hooks, which run with c.mu held.
+
+// TakeFreeSlab grants a free slab to class cl, reporting success.
+func (c *Cache) TakeFreeSlab(cl int) bool {
+	if c.slabs.FreeSlabs() == 0 {
+		return false
+	}
+	return c.slabs.AllocSlab(cl) == nil
+}
+
+// EvictBottom evicts the LRU item of (class, sub) into its ghost region,
+// reporting success.
+func (c *Cache) EvictBottom(class, sub int) bool {
+	return c.evictBottomLocked(class, sub) != nil
+}
+
+// EvictOneInClass evicts one item from the most populated subclass of the
+// class, reporting success.
+func (c *Cache) EvictOneInClass(class int) bool {
+	return c.evictOneInClassLocked(class)
+}
+
+// MigrateSlab evicts the candidate segment of (fromClass, fromSub) — and,
+// if that stack runs dry, bottoms of the class's other stacks — until the
+// donor class has one slab's worth of free slots, then moves the slab to
+// toClass. This is the paper's "discard the virtual slab's items in their
+// physical slabs, compact, and hand over an empty slab".
+func (c *Cache) MigrateSlab(fromClass, fromSub, toClass int) error {
+	if fromClass == toClass {
+		return fmt.Errorf("cache: migrate within class %d", fromClass)
+	}
+	spc := c.classes[fromClass].spc
+	sub := fromSub
+	for c.slabs.FreeSlots(fromClass) < spc {
+		if c.evictBottomLocked(fromClass, sub) == nil {
+			next := c.largestSub(fromClass)
+			if next < 0 {
+				return fmt.Errorf("cache: class %d cannot free a slab", fromClass)
+			}
+			sub = next
+		}
+	}
+	return c.slabs.MoveSlab(fromClass, toClass)
+}
+
+// ---- Policy-facing accessors ----
+
+// NumClasses returns the class count.
+func (c *Cache) NumClasses() int { return c.geom.NumClasses }
+
+// NumSubclasses returns subclasses per class.
+func (c *Cache) NumSubclasses() int { return len(c.classes[0].subs) }
+
+// SlotsPerSlab returns the slot yield of one slab in class cl.
+func (c *Cache) SlotsPerSlab(cl int) int { return c.classes[cl].spc }
+
+// Slabs returns slabs owned by class cl.
+func (c *Cache) Slabs(cl int) int { return c.slabs.Slabs(cl) }
+
+// FreeSlabs returns the unassigned slab count.
+func (c *Cache) FreeSlabs() int { return c.slabs.FreeSlabs() }
+
+// TotalSlabsBudget returns the cache's total slab budget.
+func (c *Cache) TotalSlabsBudget() int { return c.slabs.TotalSlabs() }
+
+// FreeSlots returns unoccupied slots in class cl.
+func (c *Cache) FreeSlots(cl int) int { return c.slabs.FreeSlots(cl) }
+
+// UsedSlots returns occupied slots in class cl.
+func (c *Cache) UsedSlots(cl int) int { return c.slabs.Used(cl) }
+
+// SubLen returns the resident population of (class, sub).
+func (c *Cache) SubLen(class, sub int) int { return c.classes[class].subs[sub].list.Len() }
+
+// SubTail returns the LRU item of (class, sub), or nil (read-only peek).
+func (c *Cache) SubTail(class, sub int) *kv.Item { return c.classes[class].subs[sub].list.Back() }
+
+// Clock returns the access clock.
+func (c *Cache) Clock() uint64 { return c.clock }
+
+// WindowReqs returns requests attributed to class cl in the current window.
+func (c *Cache) WindowReqs(cl int) uint64 { return c.winReqs[cl] }
+
+// WindowMisses returns misses attributed to class cl in the current window.
+func (c *Cache) WindowMisses(cl int) uint64 { return c.winMiss[cl] }
+
+// Geometry returns the class geometry.
+func (c *Cache) Geometry() kv.Geometry { return c.geom }
+
+// PolicyName returns the attached policy's name.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// ---- Snapshots (taken under the lock; callers may race with traffic) ----
+
+// SnapshotSlabs returns per-class slab counts.
+func (c *Cache) SnapshotSlabs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slabs.Snapshot()
+}
+
+// SnapshotSubSlabs returns, for class cl, each subclass's slab-equivalent
+// share (resident items / slots per slab) — Fig. 4's per-subclass series.
+func (c *Cache) SnapshotSubSlabs(cl int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, len(c.classes[cl].subs))
+	for i := range c.classes[cl].subs {
+		out[i] = float64(c.classes[cl].subs[i].list.Len()) / float64(c.classes[cl].spc)
+	}
+	return out
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.SlabMigrations = c.slabs.Migrations
+	return st
+}
+
+// Items returns the resident item count.
+func (c *Cache) Items() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.index.Len()
+}
+
+// CheckInvariants validates engine-wide accounting; tests call it between
+// operation batches.
+func (c *Cache) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.slabs.CheckInvariants(); err != nil {
+		return err
+	}
+	total := 0
+	for ci := range c.classes {
+		n := 0
+		for si := range c.classes[ci].subs {
+			n += c.classes[ci].subs[si].list.Len()
+		}
+		if n != c.slabs.Used(ci) {
+			return fmt.Errorf("cache: class %d lists hold %d items, slab accounting says %d",
+				ci, n, c.slabs.Used(ci))
+		}
+		total += n
+	}
+	if total != c.index.Len() {
+		return fmt.Errorf("cache: lists hold %d items, index holds %d", total, c.index.Len())
+	}
+	return nil
+}
+
+// ---- Internals ----
+
+// expired reports whether it carries a TTL that has passed.
+func (c *Cache) expired(it *kv.Item) bool {
+	if it.ExpireAt == 0 {
+		return false
+	}
+	now := c.cfg.Now
+	if now == nil {
+		return it.ExpireAt <= time.Now().Unix()
+	}
+	return it.ExpireAt <= now()
+}
+
+func (c *Cache) subclassFor(pen float64) int {
+	if len(c.bounds) == 0 {
+		return 0
+	}
+	return penalty.SubclassFor(pen, c.bounds)
+}
+
+func (c *Cache) tick() {
+	c.clock++
+	c.winTick++
+	if c.winTick >= c.cfg.WindowLen {
+		c.stats.WindowRollovers++
+		c.policy.OnWindow()
+		for ci := range c.classes {
+			for si := range c.classes[ci].subs {
+				if tr := c.classes[ci].subs[si].tr; tr != nil {
+					tr.Rollover()
+				}
+			}
+			c.winReqs[ci] = 0
+			c.winMiss[ci] = 0
+		}
+		c.winTick = 0
+	}
+}
+
+// unlinkResident detaches a resident item from list, tracker, index, and
+// slot accounting, without ghost bookkeeping.
+func (c *Cache) unlinkResident(it *kv.Item) {
+	s := &c.classes[it.Class].subs[it.Sub]
+	if s.tr != nil {
+		s.tr.Remove(it)
+	}
+	s.list.Remove(it)
+	c.index.Delete(it.Hash, it.Key)
+	_ = c.slabs.FreeSlot(it.Class)
+}
+
+func (c *Cache) evictBottomLocked(class, sub int) *kv.Item {
+	s := &c.classes[class].subs[sub]
+	it := s.list.Back()
+	if it == nil {
+		return nil
+	}
+	if s.tr != nil {
+		s.tr.Remove(it)
+	}
+	s.list.Remove(it)
+	c.index.Delete(it.Hash, it.Key)
+	_ = c.slabs.FreeSlot(class)
+	c.stats.Evictions++
+	c.policy.OnEvict(it)
+	c.pushGhost(it)
+	return it
+}
+
+func (c *Cache) evictOneInClassLocked(class int) bool {
+	sub := c.largestSub(class)
+	if sub < 0 {
+		return false
+	}
+	return c.evictBottomLocked(class, sub) != nil
+}
+
+func (c *Cache) largestSub(class int) int {
+	best, bestN := -1, 0
+	for si := range c.classes[class].subs {
+		if n := c.classes[class].subs[si].list.Len(); n > bestN {
+			best, bestN = si, n
+		}
+	}
+	return best
+}
+
+// pushGhost turns an evicted item into a ghost entry (key + penalty only),
+// or releases it when ghost regions are disabled.
+func (c *Cache) pushGhost(it *kv.Item) {
+	s := &c.classes[it.Class].subs[it.Sub]
+	if s.gcap == 0 {
+		c.release(it)
+		return
+	}
+	it.Ghost = true
+	it.Value = nil
+	if old := c.gindex.Put(it); old != nil {
+		// A stale ghost with the same key: drop the old entry.
+		s2 := &c.classes[old.Class].subs[old.Sub]
+		s2.gring.Remove(old)
+		s2.ghost.Remove(old)
+		c.releaseRaw(old)
+	}
+	s.ghost.PushFront(it)
+	if s.gring.Full() {
+		s.gring.Reset()
+		s.ghost.AscendFromBack(func(x *kv.Item) bool {
+			if x != it {
+				s.gring.Insert(x)
+			}
+			return true
+		})
+	}
+	s.gring.Insert(it)
+	for s.ghost.Len() > s.gcap {
+		oldest := s.ghost.PopBack()
+		s.gring.Remove(oldest)
+		c.gindex.Delete(oldest.Hash, oldest.Key)
+		c.releaseRaw(oldest)
+	}
+}
+
+// ghostSeg returns the ghost-region segment of g: 0 is the receiving
+// segment (most recent evictions).
+func (c *Cache) ghostSeg(g *kv.Item) int {
+	s := &c.classes[g.Class].subs[g.Sub]
+	if s.gring == nil {
+		return -1
+	}
+	posFromFront := s.ghost.Len() - 1 - s.gring.Rank(g)
+	return posFromFront / c.classes[g.Class].spc
+}
+
+// dropGhost removes a ghost entry entirely.
+func (c *Cache) dropGhost(g *kv.Item) {
+	s := &c.classes[g.Class].subs[g.Sub]
+	s.gring.Remove(g)
+	s.ghost.Remove(g)
+	c.gindex.Delete(g.Hash, g.Key)
+	c.releaseRaw(g)
+}
+
+func (c *Cache) acquire() *kv.Item {
+	if n := len(c.pool); n > 0 {
+		it := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		return it
+	}
+	return &kv.Item{}
+}
+
+// release returns a detached item to the pool.
+func (c *Cache) release(it *kv.Item) { c.releaseRaw(it) }
+
+func (c *Cache) releaseRaw(it *kv.Item) {
+	if len(c.pool) >= 8192 {
+		return
+	}
+	it.Reset()
+	c.pool = append(c.pool, it)
+}

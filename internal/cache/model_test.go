@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// modelItem mirrors what the engine should remember about a key.
+type modelItem struct {
+	value string
+	cas   uint64
+}
+
+// TestOpsAgainstMapModel drives Set/SetMode/Get/GetWithCAS/Delete/Delta
+// against a plain map model. Eviction is avoided (cache big enough), so the
+// engine must agree with the model exactly.
+func TestOpsAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{
+			Geometry:    smallGeom(),
+			CacheBytes:  64 * 4096, // far larger than the 40-key working set
+			StoreValues: true,
+			WindowLen:   131,
+		}, &nullPolicy{bounds: []float64{0.01, 5}, nseg: 2, gseg: 2})
+		if err != nil {
+			return false
+		}
+		model := map[string]*modelItem{}
+		keyOf := func() string { return fmt.Sprintf("k%d", rng.Intn(40)) }
+		for op := 0; op < 2000; op++ {
+			key := keyOf()
+			switch rng.Intn(8) {
+			case 0: // set
+				v := fmt.Sprintf("v%d", op)
+				if c.Set(key, len(v), 0.01, 0, []byte(v)) != nil {
+					return false
+				}
+				_, _, cas, _ := c.GetWithCAS(key, nil)
+				model[key] = &modelItem{value: v, cas: cas}
+			case 1: // add
+				v := fmt.Sprintf("a%d", op)
+				err := c.SetMode(key, ModeAdd, 0, len(v), 0.01, 0, 0, []byte(v))
+				if _, exists := model[key]; exists {
+					if err == nil {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					_, _, cas, _ := c.GetWithCAS(key, nil)
+					model[key] = &modelItem{value: v, cas: cas}
+				}
+			case 2: // replace
+				v := fmt.Sprintf("r%d", op)
+				err := c.SetMode(key, ModeReplace, 0, len(v), 0.01, 0, 0, []byte(v))
+				if m, exists := model[key]; exists {
+					if err != nil {
+						return false
+					}
+					_, _, cas, _ := c.GetWithCAS(key, nil)
+					m.value, m.cas = v, cas
+				} else if err == nil {
+					return false
+				}
+			case 3: // cas with the model's (correct) token
+				if m, exists := model[key]; exists {
+					v := fmt.Sprintf("c%d", op)
+					if c.SetMode(key, ModeCAS, m.cas, len(v), 0.01, 0, 0, []byte(v)) != nil {
+						return false
+					}
+					_, _, cas, _ := c.GetWithCAS(key, nil)
+					m.value, m.cas = v, cas
+				}
+			case 4: // cas with a stale token
+				if m, exists := model[key]; exists {
+					if c.SetMode(key, ModeCAS, m.cas+1, 3, 0.01, 0, 0, []byte("xxx")) == nil {
+						return false
+					}
+				}
+			case 5: // delete
+				removed := c.Delete(key)
+				if _, exists := model[key]; exists != removed {
+					return false
+				}
+				delete(model, key)
+			case 6: // delta over a numeric value
+				v := fmt.Sprintf("%d", rng.Intn(1000))
+				c.Set(key, len(v), 0.01, 0, []byte(v))
+				_, _, cas, _ := c.GetWithCAS(key, nil)
+				model[key] = &modelItem{value: v, cas: cas}
+				n, err := c.Delta(key, 7, false)
+				if err != nil {
+					return false
+				}
+				model[key].value = fmt.Sprintf("%d", n)
+			default: // get
+				val, _, hit := c.Get(key, 0, 0, nil)
+				m, exists := model[key]
+				if hit != exists {
+					return false
+				}
+				if exists && string(val) != m.value {
+					return false
+				}
+			}
+		}
+		// Final agreement sweep.
+		for key, m := range model {
+			val, _, cas, hit := c.GetWithCAS(key, nil)
+			if !hit || string(val) != m.value {
+				return false
+			}
+			// Delta rewrites in place without changing CAS in this
+			// engine; the model tracks CAS only at store time, so just
+			// require a token exists.
+			if cas == 0 {
+				return false
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

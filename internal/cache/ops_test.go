@@ -1,0 +1,208 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+func newOpsCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		Geometry:    smallGeom(),
+		CacheBytes:  4 * 4096,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+	}, &nullPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGetWithCASTokens(t *testing.T) {
+	c := newOpsCache(t)
+	c.Set("k", 10, 0.01, 0, []byte("v1"))
+	_, _, cas1, hit := c.GetWithCAS("k", nil)
+	if !hit || cas1 == 0 {
+		t.Fatalf("cas1=%d hit=%v", cas1, hit)
+	}
+	// A read does not change the token.
+	_, _, cas2, _ := c.GetWithCAS("k", nil)
+	if cas2 != cas1 {
+		t.Fatal("reads must not change the CAS token")
+	}
+	// A write does.
+	c.Set("k", 10, 0.01, 0, []byte("v2"))
+	_, _, cas3, _ := c.GetWithCAS("k", nil)
+	if cas3 == cas1 {
+		t.Fatal("writes must change the CAS token")
+	}
+	if _, _, _, hit := c.GetWithCAS("absent", nil); hit {
+		t.Fatal("phantom CAS hit")
+	}
+}
+
+func TestGetWithCASValueCopied(t *testing.T) {
+	c := newOpsCache(t)
+	c.Set("k", 5, 0.01, 0, []byte("hello"))
+	val, _, _, _ := c.GetWithCAS("k", nil)
+	val[0] = 'X'
+	val2, _, _, _ := c.GetWithCAS("k", nil)
+	if string(val2) != "hello" {
+		t.Fatal("GetWithCAS returned aliased value")
+	}
+}
+
+func TestSetModeAdd(t *testing.T) {
+	c := newOpsCache(t)
+	if err := c.SetMode("k", ModeAdd, 0, 10, 0.01, 0, 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	err := c.SetMode("k", ModeAdd, 0, 10, 0.01, 0, 0, []byte("b"))
+	if !errors.Is(err, ErrNotStored) {
+		t.Fatalf("second add: %v", err)
+	}
+	val, _, _ := c.Get("k", 0, 0, nil)
+	if string(val) != "a" {
+		t.Fatal("add overwrote existing value")
+	}
+}
+
+func TestSetModeReplace(t *testing.T) {
+	c := newOpsCache(t)
+	if err := c.SetMode("k", ModeReplace, 0, 10, 0.01, 0, 0, []byte("x")); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("replace of absent key: %v", err)
+	}
+	c.Set("k", 10, 0.01, 0, []byte("a"))
+	if err := c.SetMode("k", ModeReplace, 0, 10, 0.01, 0, 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _ := c.Get("k", 0, 0, nil)
+	if string(val) != "b" {
+		t.Fatal("replace did not store")
+	}
+}
+
+func TestSetModeCAS(t *testing.T) {
+	c := newOpsCache(t)
+	if err := c.SetMode("k", ModeCAS, 1, 10, 0.01, 0, 0, nil); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("cas on absent key: %v", err)
+	}
+	c.Set("k", 10, 0.01, 0, []byte("v1"))
+	_, _, cas, _ := c.GetWithCAS("k", nil)
+	if err := c.SetMode("k", ModeCAS, cas+99, 10, 0.01, 0, 0, []byte("bad")); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("stale cas: %v", err)
+	}
+	if err := c.SetMode("k", ModeCAS, cas, 10, 0.01, 0, 0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _ := c.Get("k", 0, 0, nil)
+	if string(val) != "v2" {
+		t.Fatal("cas did not store")
+	}
+	// The winning cas bumped the token; replaying the old token fails.
+	if err := c.SetMode("k", ModeCAS, cas, 10, 0.01, 0, 0, []byte("v3")); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("replayed cas: %v", err)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	now := int64(1000)
+	c, err := New(Config{
+		Geometry:    smallGeom(),
+		CacheBytes:  4 * 4096,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+		Now:         func() int64 { return now },
+	}, &nullPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTTL("k", 10, 0.01, 0, 1010, []byte("v"))
+	if !c.Touch("k", 2000) {
+		t.Fatal("touch of resident key failed")
+	}
+	now = 1500 // would have expired without the touch
+	if _, _, hit := c.Get("k", 0, 0, nil); !hit {
+		t.Fatal("touched item expired")
+	}
+	if c.Touch("absent", 2000) {
+		t.Fatal("touch of absent key reported success")
+	}
+	now = 3000
+	if c.Touch("k", 4000) {
+		t.Fatal("touch of expired key reported success")
+	}
+}
+
+func TestDeltaIncrDecr(t *testing.T) {
+	c := newOpsCache(t)
+	c.Set("n", 10, 0.01, 0, []byte("10"))
+	if v, err := c.Delta("n", 5, false); err != nil || v != 15 {
+		t.Fatalf("incr: %d %v", v, err)
+	}
+	if v, err := c.Delta("n", 20, true); err != nil || v != 0 {
+		t.Fatalf("decr should clamp at 0: %d %v", v, err)
+	}
+	val, _, _ := c.Get("n", 0, 0, nil)
+	if string(val) != "0" {
+		t.Fatalf("stored value = %q", val)
+	}
+	if _, err := c.Delta("missing", 1, false); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("delta on absent key: %v", err)
+	}
+	c.Set("s", 10, 0.01, 0, []byte("pears"))
+	if _, err := c.Delta("s", 1, false); !errors.Is(err, ErrNotNumeric) {
+		t.Fatalf("delta on text: %v", err)
+	}
+}
+
+func TestReapExpired(t *testing.T) {
+	now := int64(1000)
+	c, err := New(Config{
+		Geometry:    smallGeom(),
+		CacheBytes:  4 * 4096,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+		Now:         func() int64 { return now },
+	}, &nullPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		exp := int64(0)
+		if i%2 == 0 {
+			exp = 1500 // half the items expire at t=1500
+		}
+		c.SetTTL(kvKey(i), 50, 0.01, 0, exp, nil)
+	}
+	if n := c.ReapExpired(0); n != 0 {
+		t.Fatalf("reaped %d before expiry", n)
+	}
+	now = 2000
+	if n := c.ReapExpired(3); n != 3 {
+		t.Fatalf("bounded reap removed %d, want 3", n)
+	}
+	if n := c.ReapExpired(0); n != 7 {
+		t.Fatalf("full reap removed %d, want remaining 7", n)
+	}
+	if c.Items() != 10 {
+		t.Fatalf("items = %d, want the 10 immortal ones", c.Items())
+	}
+	if c.Stats().Expired != 10 {
+		t.Fatalf("Expired = %d", c.Stats().Expired)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func kvKey(i int) string { return string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+func TestDeltaWraps(t *testing.T) {
+	c := newOpsCache(t)
+	c.Set("n", 20, 0.01, 0, []byte("18446744073709551615")) // 2^64-1
+	if v, err := c.Delta("n", 1, false); err != nil || v != 0 {
+		t.Fatalf("incr should wrap: %d %v", v, err)
+	}
+}

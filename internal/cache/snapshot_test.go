@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	pol := &nullPolicy{bounds: []float64{0.01, 5}}
+	src, err := New(Config{
+		Geometry:    smallGeom(),
+		CacheBytes:  4 * 4096,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+	}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v := fmt.Sprintf("value-%d", i)
+		if err := src.Set(fmt.Sprintf("k%d", i), len(v), 0.02, uint32(i), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{
+		Geometry:    smallGeom(),
+		CacheBytes:  4 * 4096,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+	}, &nullPolicy{bounds: []float64{0.01, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Items() != 50 {
+		t.Fatalf("restored %d items, want 50", dst.Items())
+	}
+	for i := 0; i < 50; i++ {
+		val, flags, hit := dst.Get(fmt.Sprintf("k%d", i), 0, 0, nil)
+		if !hit || string(val) != fmt.Sprintf("value-%d", i) || flags != uint32(i) {
+			t.Fatalf("k%d restored wrong: hit=%v val=%q flags=%d", i, hit, val, flags)
+		}
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPreservesLRUOrder(t *testing.T) {
+	src := newTestCache(t, 1, &nullPolicy{})
+	for i := 0; i < 64; i++ {
+		src.Set(fmt.Sprintf("k%d", i), 50, 0.02, 0, nil)
+	}
+	src.Get("k0", 0, 0, nil) // refresh the oldest item
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestCache(t, 1, &nullPolicy{})
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// One insert must evict the restored LRU item: k1 (k0 was refreshed
+	// before the save, so it must survive).
+	dst.Set("new", 50, 0.02, 0, nil)
+	if dst.Contains("k1") {
+		t.Fatal("restored LRU order lost: k1 should have been evicted first")
+	}
+	if !dst.Contains("k0") {
+		t.Fatal("refreshed item did not survive restore+evict")
+	}
+}
+
+func TestSnapshotIntoSmallerCache(t *testing.T) {
+	src := newTestCache(t, 4, &nullPolicy{})
+	for i := 0; i < 200; i++ {
+		src.Set(fmt.Sprintf("k%d", i), 50, 0.02, 0, nil)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestCache(t, 1, &nullPolicy{}) // quarter the capacity
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Items() != 64 {
+		t.Fatalf("restored %d items into 64 slots", dst.Items())
+	}
+	// The survivors must be the most recent tail of the snapshot.
+	if !dst.Contains("k199") || dst.Contains("k0") {
+		t.Fatal("wrong survivors after shrinking restore")
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotTTLPreserved(t *testing.T) {
+	now := int64(1000)
+	mk := func() *Cache {
+		c, err := New(Config{
+			Geometry:    smallGeom(),
+			CacheBytes:  2 * 4096,
+			StoreValues: true,
+			WindowLen:   1 << 50,
+			Now:         func() int64 { return now },
+		}, &nullPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	src := mk()
+	src.SetTTL("mortal", 50, 0.02, 0, 1500, []byte("x"))
+	src.Set("immortal", 50, 0.02, 0, []byte("y"))
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	now = 2000
+	if _, _, hit := dst.Get("mortal", 0, 0, nil); hit {
+		t.Fatal("TTL lost in snapshot: expired item served")
+	}
+	if _, _, hit := dst.Get("immortal", 0, 0, nil); !hit {
+		t.Fatal("immortal item lost")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	c := newTestCache(t, 1, &nullPolicy{})
+	if err := c.LoadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated: valid header then nothing.
+	var buf bytes.Buffer
+	src := newTestCache(t, 1, &nullPolicy{})
+	src.Set("k", 50, 0.02, 0, nil)
+	src.SaveSnapshot(&buf)
+	data := buf.Bytes()[:buf.Len()-4]
+	if err := c.LoadSnapshot(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotEmptyCache(t *testing.T) {
+	src := newTestCache(t, 1, &nullPolicy{})
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestCache(t, 1, &nullPolicy{})
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Items() != 0 {
+		t.Fatal("phantom items from empty snapshot")
+	}
+}

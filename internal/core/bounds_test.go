@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/workload"
+)
+
+func TestCalibrateBoundsShape(t *testing.T) {
+	cfg := workload.ETC()
+	bounds, err := CalibrateBounds(cfg, 20_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 5 {
+		t.Fatalf("got %d bounds, want 5", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", bounds)
+		}
+	}
+	if bounds[4] != penalty.Cap {
+		t.Fatalf("last bound %v must be the cap", bounds[4])
+	}
+}
+
+func TestCalibrateBoundsBalancesMass(t *testing.T) {
+	cfg := workload.ETC()
+	const k = 5
+	bounds, err := CalibrateBounds(cfg, 50_000, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, k)
+	const probes = 20_000
+	for i := 0; i < probes; i++ {
+		h := kv.Mix64(uint64(i)*2654435761 + 12345)
+		p := cfg.Penalty.Of(h, cfg.SizeOf(h))
+		counts[penalty.SubclassFor(p, bounds)]++
+	}
+	for s, c := range counts {
+		share := float64(c) / probes
+		if share < 0.10 || share > 0.35 {
+			t.Fatalf("subclass %d holds %.3f of keys (counts %v); quantile calibration failed", s, share, counts)
+		}
+	}
+}
+
+func TestCalibrateBoundsRejects(t *testing.T) {
+	cfg := workload.ETC()
+	if _, err := CalibrateBounds(cfg, 2, 5); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+	if _, err := CalibrateBounds(cfg, 100, 0); err == nil {
+		t.Fatal("zero subclasses accepted")
+	}
+}
+
+func TestCalibratedBoundsDriveCache(t *testing.T) {
+	cfg := workload.ETC()
+	bounds, err := CalibrateBounds(cfg, 10_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newPAMACache(t, 2, Config{M: 2, PenaltyAware: true, Bounds: bounds})
+	for i := 0; i < 100; i++ {
+		if err := c.Set(kv.KeyString(uint64(i)), 50, 0.02, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Items() != 100 {
+		t.Fatalf("items = %d", c.Items())
+	}
+}

@@ -1,0 +1,394 @@
+// Package core implements PAMA — the Penalty Aware Memory Allocation scheme
+// of Ou et al. (ICPP 2015) — as a cache.Policy.
+//
+// PAMA divides every size class into subclasses by miss-penalty range, runs
+// one LRU stack per subclass, and prices the bottom slab-worth of every
+// stack (the candidate slab) by the miss penalty its items absorbed in the
+// recent past:
+//
+//	V = Σ_{i=0..m} V_i / 2^(i+1)             (paper Eq. 2)
+//
+// where V_i sums the penalties of requests that hit the i-th bottom segment
+// in the value window (V_0 = candidate segment, higher i = reference
+// segments; paper Eq. 1). Symmetrically, each subclass has an incoming value
+// computed over its ghost region — the penalties of misses that an extra
+// slab would have converted to hits.
+//
+// On a miss that needs space with memory exhausted, PAMA picks the globally
+// cheapest candidate slab. Two guard rails from the paper §III: if the
+// requesting subclass's incoming value does not exceed the cheapest outgoing
+// value, migration cannot pay for itself and the class replaces internally;
+// and if the cheapest candidate belongs to the requesting class, there is
+// nothing to migrate — one item is replaced in place.
+//
+// Setting PenaltyAware to false yields the paper's pre-PAMA reference
+// scheme: identical machinery, but a segment's value is its request count
+// and penalty subclasses collapse to one.
+package core
+
+import (
+	"math"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+)
+
+// Config parameterizes PAMA.
+type Config struct {
+	// M is the number of reference segments blended into a value
+	// (paper default 2; Fig. 10 sweeps 0/2/4/8).
+	M int
+	// PenaltyAware selects PAMA (true) or pre-PAMA (false).
+	PenaltyAware bool
+	// Bounds are the penalty subclass edges. nil defaults to
+	// penalty.SubclassBounds for PAMA and a single subclass for
+	// pre-PAMA.
+	Bounds []float64
+}
+
+// DefaultConfig returns the paper's configuration: m=2, penalty aware, five
+// subclasses.
+func DefaultConfig() Config {
+	return Config{M: 2, PenaltyAware: true, Bounds: penalty.SubclassBounds}
+}
+
+// PrePAMAConfig returns the pre-PAMA reference scheme.
+func PrePAMAConfig() Config { return Config{M: 2, PenaltyAware: false} }
+
+// Decisions counts PAMA's reallocation outcomes (diagnostics and tests).
+type Decisions struct {
+	// Migrations counts cross-class slab moves.
+	Migrations uint64
+	// SameClass counts times the cheapest candidate was already in the
+	// requesting class (in-place replacement, paper scenario 2).
+	SameClass uint64
+	// NotWorthIt counts times the incoming value could not beat the
+	// cheapest outgoing value (paper scenario 1).
+	NotWorthIt uint64
+	// Forced counts migrations forced because the requesting class owned
+	// no slabs at all.
+	Forced uint64
+	// SrcByClass and DstByClass histogram migration donors and
+	// receivers by class (allocated at Attach).
+	SrcByClass, DstByClass []uint64
+	// EvictsBySub histograms evictions by subclass, summed over classes
+	// (allocated at Attach).
+	EvictsBySub []uint64
+	// EvictedPenalty sums the penalties of evicted items per subclass.
+	EvictedPenalty []float64
+}
+
+// PAMA implements cache.Policy.
+type PAMA struct {
+	cfg Config
+	c   *cache.Cache
+
+	nseg int
+	// out[class][sub][seg] accumulates segment values in the current
+	// window; outPrev holds the previous window. in/inPrev mirror them
+	// for ghost (incoming) values.
+	out, outPrev [][][]float64
+	in, inPrev   [][][]float64
+
+	dec Decisions
+}
+
+// New returns a PAMA policy with the given configuration.
+func New(cfg Config) *PAMA {
+	if cfg.M < 0 {
+		cfg.M = 0
+	}
+	if cfg.Bounds == nil && cfg.PenaltyAware {
+		cfg.Bounds = penalty.SubclassBounds
+	}
+	return &PAMA{cfg: cfg, nseg: cfg.M + 1}
+}
+
+// Name implements cache.Policy.
+func (p *PAMA) Name() string {
+	if p.cfg.PenaltyAware {
+		return "pama"
+	}
+	return "pre-pama"
+}
+
+// SubclassBounds implements cache.Policy.
+func (p *PAMA) SubclassBounds() []float64 { return p.cfg.Bounds }
+
+// Segments implements cache.Policy.
+func (p *PAMA) Segments() int { return p.nseg }
+
+// GhostSegments implements cache.Policy.
+func (p *PAMA) GhostSegments() int { return p.nseg }
+
+// Attach implements cache.Policy.
+func (p *PAMA) Attach(c *cache.Cache) {
+	p.c = c
+	nc := c.NumClasses()
+	ns := c.NumSubclasses()
+	alloc := func() [][][]float64 {
+		a := make([][][]float64, nc)
+		for ci := range a {
+			a[ci] = make([][]float64, ns)
+			for si := range a[ci] {
+				a[ci][si] = make([]float64, p.nseg)
+			}
+		}
+		return a
+	}
+	p.out, p.outPrev = alloc(), alloc()
+	p.in, p.inPrev = alloc(), alloc()
+	p.dec.SrcByClass = make([]uint64, nc)
+	p.dec.DstByClass = make([]uint64, nc)
+	p.dec.EvictsBySub = make([]uint64, ns)
+	p.dec.EvictedPenalty = make([]float64, ns)
+}
+
+// weight is the value contribution of one request: its miss penalty under
+// PAMA, one request under pre-PAMA.
+func (p *PAMA) weight(pen float64) float64 {
+	if p.cfg.PenaltyAware {
+		return pen
+	}
+	return 1
+}
+
+// OnHit implements cache.Policy: hits on tracked bottom segments accrue
+// outgoing value (Eq. 1).
+func (p *PAMA) OnHit(it *kv.Item, seg int) {
+	if seg >= 0 && seg < p.nseg {
+		p.out[it.Class][it.Sub][seg] += p.weight(it.Penalty)
+	}
+}
+
+// OnMiss implements cache.Policy: ghost-region hits accrue incoming value.
+func (p *PAMA) OnMiss(class, sub int, ghost *kv.Item, ghostSeg int) {
+	if ghost != nil && ghostSeg >= 0 && ghostSeg < p.nseg {
+		p.in[class][sub][ghostSeg] += p.weight(ghost.Penalty)
+	}
+}
+
+// OnInsert implements cache.Policy.
+func (p *PAMA) OnInsert(*kv.Item) {}
+
+// OnEvict implements cache.Policy.
+func (p *PAMA) OnEvict(it *kv.Item) {
+	p.dec.EvictsBySub[it.Sub]++
+	p.dec.EvictedPenalty[it.Sub] += it.Penalty
+}
+
+// OnWindow implements cache.Policy: the finished window becomes the
+// prediction baseline and accumulation restarts (values always blend the
+// previous full window with the current partial one, so decisions early in
+// a window are not starved of signal).
+func (p *PAMA) OnWindow() {
+	swap := func(cur, prev [][][]float64) {
+		for ci := range cur {
+			for si := range cur[ci] {
+				copy(prev[ci][si], cur[ci][si])
+				for k := range cur[ci][si] {
+					cur[ci][si][k] = 0
+				}
+			}
+		}
+	}
+	swap(p.out, p.outPrev)
+	swap(p.in, p.inPrev)
+}
+
+// blend applies Eq. 2's geometric weights over previous + current window
+// accumulations.
+func blend(cur, prev []float64) float64 {
+	v, w := 0.0, 0.5
+	for i := range cur {
+		v += (cur[i] + prev[i]) * w
+		w /= 2
+	}
+	return v
+}
+
+// OutgoingValue returns the candidate slab value of (class, sub): the
+// service-time loss per window if its candidate slab were taken away.
+func (p *PAMA) OutgoingValue(class, sub int) float64 {
+	return blend(p.out[class][sub], p.outPrev[class][sub])
+}
+
+// IncomingValue returns the value of granting (class, sub) one more slab:
+// the service-time saving per window implied by its ghost region.
+func (p *PAMA) IncomingValue(class, sub int) float64 {
+	return blend(p.in[class][sub], p.inPrev[class][sub])
+}
+
+// Decisions returns a copy of the decision counters.
+func (p *PAMA) Decisions() Decisions {
+	d := p.dec
+	d.SrcByClass = append([]uint64(nil), p.dec.SrcByClass...)
+	d.DstByClass = append([]uint64(nil), p.dec.DstByClass...)
+	d.EvictsBySub = append([]uint64(nil), p.dec.EvictsBySub...)
+	d.EvictedPenalty = append([]float64(nil), p.dec.EvictedPenalty...)
+	return d
+}
+
+// findVictim returns the cheapest candidate slab among donor classes owning
+// more than minSlabs slabs (the requesting class is always eligible: its
+// "donation" is an in-place replacement). A class sitting on a full slab's
+// worth of free slots donates at zero cost. A subclass is only a candidate
+// when its own candidate segment (plus the class's free slots) covers one
+// slab — otherwise the donation would spill evictions into sibling
+// subclasses whose items were never priced into the candidate's value.
+func (p *PAMA) findVictim(class, minSlabs int) (bestC, bestS int, bestVal float64) {
+	c := p.c
+	bestC, bestS, bestVal = -1, -1, math.Inf(1)
+	for d := 0; d < c.NumClasses(); d++ {
+		if c.Slabs(d) == 0 || (d != class && c.Slabs(d) <= minSlabs) {
+			continue
+		}
+		need := c.SlotsPerSlab(d) - c.FreeSlots(d)
+		if need <= 0 {
+			if bestVal > 0 || bestC < 0 {
+				bestC, bestS, bestVal = d, p.largestSub(d), 0
+			}
+			continue
+		}
+		for s := 0; s < c.NumSubclasses(); s++ {
+			if c.SubLen(d, s) < need {
+				continue
+			}
+			if v := p.OutgoingValue(d, s); v < bestVal {
+				bestC, bestS, bestVal = d, s, v
+			}
+		}
+	}
+	return bestC, bestS, bestVal
+}
+
+// shiftOut slides (class, sub)'s outgoing accumulators one segment down
+// after its candidate slab was evicted: the first reference segment becomes
+// the new candidate, inheriting its history (the reason reference segments
+// exist, paper §III).
+func (p *PAMA) shiftOut(class, sub int) {
+	shift := func(a []float64) {
+		copy(a, a[1:])
+		a[len(a)-1] = 0
+	}
+	shift(p.out[class][sub])
+	shift(p.outPrev[class][sub])
+}
+
+// shiftIn slides (class, sub)'s incoming accumulators one segment down
+// after the subclass received a slab: the receiving segment's demand is now
+// servable, and the next ghost segment moves up.
+func (p *PAMA) shiftIn(class, sub int) {
+	shift := func(a []float64) {
+		copy(a, a[1:])
+		a[len(a)-1] = 0
+	}
+	shift(p.in[class][sub])
+	shift(p.inPrev[class][sub])
+}
+
+// migrate performs the slab move with value-history maintenance.
+func (p *PAMA) migrate(fromC, fromS, toC, toS int) bool {
+	if err := p.c.MigrateSlab(fromC, maxInt(fromS, 0), toC); err != nil {
+		return false
+	}
+	p.dec.Migrations++
+	p.dec.SrcByClass[fromC]++
+	p.dec.DstByClass[toC]++
+	if fromS >= 0 {
+		p.shiftOut(fromC, fromS)
+	}
+	p.shiftIn(toC, toS)
+	return true
+}
+
+// MakeRoom implements cache.Policy.
+func (p *PAMA) MakeRoom(class, sub int) {
+	c := p.c
+	// Donors keep at least one slab so no class is starved into
+	// unservability (every production rebalancer has this guard); when no
+	// two-slab donor exists the guard relaxes.
+	bestC, bestS, bestVal := p.findVictim(class, 1)
+	if bestC < 0 {
+		bestC, bestS, bestVal = p.findVictim(class, 0)
+	}
+	if bestC < 0 {
+		// No class owns a slab — nothing PAMA can do; the engine will
+		// fail the SET.
+		return
+	}
+
+	if c.Slabs(class) == 0 {
+		// The requesting class cannot replace in place; it must
+		// receive a slab no matter the price.
+		if bestC == class {
+			// Unreachable (class owns no slabs), defensive.
+			return
+		}
+		if p.migrate(bestC, bestS, class, sub) {
+			p.dec.Forced++
+		}
+		return
+	}
+
+	if bestC == class {
+		// Paper scenario 2: cheapest candidate is local — replace one
+		// item, no cross-class migration.
+		p.dec.SameClass++
+		p.evictWithin(class)
+		return
+	}
+
+	if p.IncomingValue(class, sub) <= bestVal {
+		// Paper scenario 1: the grant would be worth less than the
+		// donor's loss — keep allocations, replace in place.
+		p.dec.NotWorthIt++
+		p.evictWithin(class)
+		return
+	}
+
+	if !p.migrate(bestC, bestS, class, sub) {
+		p.evictWithin(class)
+	}
+}
+
+// evictWithin replaces one item inside class, preferring the subclass with
+// the cheapest candidate segment.
+func (p *PAMA) evictWithin(class int) {
+	c := p.c
+	bestS, bestVal := -1, math.Inf(1)
+	for s := 0; s < c.NumSubclasses(); s++ {
+		if c.SubLen(class, s) == 0 {
+			continue
+		}
+		if v := p.OutgoingValue(class, s); v < bestVal {
+			bestS, bestVal = s, v
+		}
+	}
+	if bestS < 0 {
+		return
+	}
+	c.EvictBottom(class, bestS)
+}
+
+// largestSub returns the most populated subclass of class (fallback donor
+// stack when the class donates pure free space).
+func (p *PAMA) largestSub(class int) int {
+	best, bestN := 0, -1
+	for s := 0; s < p.c.NumSubclasses(); s++ {
+		if n := p.c.SubLen(class, s); n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ cache.Policy = (*PAMA)(nil)

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+)
+
+func smallGeom() kv.Geometry { return kv.Geometry{SlabSize: 4096, Base: 64, NumClasses: 4} }
+
+func newPAMACache(t *testing.T, slabs int, cfg Config) (*cache.Cache, *PAMA) {
+	t.Helper()
+	p := New(cfg)
+	c, err := cache.New(cache.Config{
+		Geometry:   smallGeom(),
+		CacheBytes: int64(slabs) * 4096,
+		WindowLen:  256,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Name() != "pama" || p.Segments() != 3 || p.GhostSegments() != 3 {
+		t.Fatalf("defaults: name=%q segs=%d ghost=%d", p.Name(), p.Segments(), p.GhostSegments())
+	}
+	if len(p.SubclassBounds()) != 5 {
+		t.Fatalf("bounds = %v, want the paper's 5 subclasses", p.SubclassBounds())
+	}
+	pre := New(PrePAMAConfig())
+	if pre.Name() != "pre-pama" || pre.SubclassBounds() != nil {
+		t.Fatalf("pre-PAMA: name=%q bounds=%v", pre.Name(), pre.SubclassBounds())
+	}
+	if neg := New(Config{M: -3, PenaltyAware: true}); neg.Segments() != 1 {
+		t.Fatalf("negative M should clamp to 0 references, got %d segments", neg.Segments())
+	}
+}
+
+func TestWeightReflectsPenaltyAwareness(t *testing.T) {
+	pa, pre := New(DefaultConfig()), New(PrePAMAConfig())
+	if pa.weight(2.5) != 2.5 {
+		t.Fatal("PAMA weight should be the penalty")
+	}
+	if pre.weight(2.5) != 1 {
+		t.Fatal("pre-PAMA weight should be 1")
+	}
+}
+
+func TestValueAccumulationAndWindow(t *testing.T) {
+	c, p := newPAMACache(t, 2, DefaultConfig())
+	_ = c
+	it := &kv.Item{Class: 0, Sub: 1, Penalty: 0.5}
+	p.OnHit(it, 0)
+	p.OnHit(it, 1)
+	p.OnHit(it, -1) // untracked region: ignored
+	p.OnHit(it, 99) // out of range: ignored
+	// Eq. 2: V = V0/2 + V1/4 + V2/8 = 0.25 + 0.125.
+	if got, want := p.OutgoingValue(0, 1), 0.375; got != want {
+		t.Fatalf("OutgoingValue = %v, want %v", got, want)
+	}
+	p.OnWindow()
+	// Previous window still contributes fully.
+	if got := p.OutgoingValue(0, 1); got != 0.375 {
+		t.Fatalf("post-window OutgoingValue = %v, want 0.375", got)
+	}
+	p.OnWindow()
+	if got := p.OutgoingValue(0, 1); got != 0 {
+		t.Fatalf("stale value survived two windows: %v", got)
+	}
+}
+
+func TestIncomingValueFromGhosts(t *testing.T) {
+	_, p := newPAMACache(t, 2, DefaultConfig())
+	g := &kv.Item{Class: 1, Sub: 2, Penalty: 1.0, Ghost: true}
+	p.OnMiss(1, 2, g, 0)
+	p.OnMiss(1, 2, g, 2)
+	p.OnMiss(1, 2, nil, -1) // plain miss: no incoming value
+	if got, want := p.IncomingValue(1, 2), 0.5+0.125; got != want {
+		t.Fatalf("IncomingValue = %v, want %v", got, want)
+	}
+}
+
+// fillClass inserts n items of the given size and penalty.
+func fillClass(c *cache.Cache, prefix string, n, size int, pen float64) {
+	for i := 0; i < n; i++ {
+		c.Set(fmt.Sprintf("%s%d", prefix, i), size, pen, 0, nil)
+	}
+}
+
+func TestForcedMigrationWhenClassEmpty(t *testing.T) {
+	c, p := newPAMACache(t, 1, DefaultConfig())
+	fillClass(c, "small", 64, 50, 0.05) // class 0 owns the only slab
+	// Class 3 needs a slab; PAMA must migrate regardless of values.
+	if err := c.Set("big", 512, 0.05, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decisions()
+	if d.Forced != 1 || d.Migrations != 1 {
+		t.Fatalf("decisions = %+v, want one forced migration", d)
+	}
+	if c.Slabs(0) != 0 || c.Slabs(3) != 1 {
+		t.Fatalf("slabs: class0=%d class3=%d", c.Slabs(0), c.Slabs(3))
+	}
+}
+
+func TestSameClassReplacesInPlace(t *testing.T) {
+	c, p := newPAMACache(t, 1, DefaultConfig())
+	fillClass(c, "x", 64, 50, 0.05)
+	// Class 0 full, memory exhausted; the only candidate is class 0
+	// itself -> in-place replacement, no migration.
+	if err := c.Set("one-more", 50, 0.05, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decisions()
+	if d.SameClass != 1 || d.Migrations != 0 {
+		t.Fatalf("decisions = %+v, want one SameClass", d)
+	}
+	if c.Items() != 64 {
+		t.Fatalf("items = %d, want 64", c.Items())
+	}
+}
+
+func TestNotWorthItKeepsAllocations(t *testing.T) {
+	c, p := newPAMACache(t, 2, DefaultConfig())
+	fillClass(c, "hot", 64, 50, 0.05) // class 0, slab 1
+	fillClass(c, "big", 8, 400, 0.05) // class 2, slab 2 (8 slots of 256B? 400 -> class 3 slot 512, 8 per slab)
+	// Make class 0's candidate expensive: hit its bottom items heavily.
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 10; i++ {
+			c.Get(fmt.Sprintf("hot%d", i), 0, 0, nil)
+		}
+	}
+	// Class 3 is full with zero incoming value (no ghost hits yet): a new
+	// class-3 insert should not strip class 0.
+	preSlabs0 := c.Slabs(0)
+	if err := c.Set("bignew", 400, 0.05, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Slabs(0) != preSlabs0 {
+		t.Fatal("migration happened despite zero incoming value")
+	}
+	d := p.Decisions()
+	if d.NotWorthIt == 0 && d.SameClass == 0 {
+		t.Fatalf("decisions = %+v, expected an in-place path", d)
+	}
+}
+
+func TestMigrationPrefersCheapDonor(t *testing.T) {
+	cfg := DefaultConfig()
+	c, p := newPAMACache(t, 2, cfg)
+	// Slab 1: class 0 filled with cheap-penalty items, never re-accessed
+	// (worthless candidate). Slab 2: class 1 filled with items that keep
+	// getting hit at the stack bottom (valuable candidate).
+	fillClass(c, "cold", 64, 50, 0.002) // class 0
+	fillClass(c, "warm", 32, 100, 2.0)  // class 1
+	for r := 0; r < 20; r++ {
+		for i := 0; i < 32; i++ {
+			c.Get(fmt.Sprintf("warm%d", i), 0, 0, nil)
+		}
+	}
+	// Class 3 appears and needs a slab: donor must be class 0.
+	if err := c.Set("big", 512, 1.0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Slabs(0) != 0 {
+		t.Fatalf("class 0 (worthless) kept its slab; slabs: %v %v %v",
+			c.Slabs(0), c.Slabs(1), c.Slabs(3))
+	}
+	if c.Slabs(1) != 1 {
+		t.Fatal("class 1 (valuable) was robbed")
+	}
+	if p.Decisions().Migrations == 0 {
+		t.Fatal("no migration recorded")
+	}
+}
+
+func TestPenaltyAwarenessChangesVictim(t *testing.T) {
+	// Two donor subclasses with identical request counts but different
+	// penalties: PAMA must take from the cheap one, pre-PAMA is
+	// indifferent (ties broken by scan order, so it takes the first).
+	run := func(aware bool) int {
+		cfg := Config{M: 0, PenaltyAware: aware, Bounds: []float64{0.01, 5.0}}
+		p := New(cfg)
+		c, err := cache.New(cache.Config{
+			Geometry:   smallGeom(),
+			CacheBytes: 3 * 4096,
+			WindowLen:  1 << 30,
+		}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Class 0 sub 0: cheap penalties; class 1 sub 1: dear penalties.
+		fillClass(c, "cheap", 64, 50, 0.005)
+		fillClass(c, "dear", 32, 100, 2.0)
+		fillClass(c, "filler", 8, 500, 2.0) // class 3 takes 3rd slab
+		// Equal bottom-segment traffic on the cheap and dear candidates,
+		// and keep the filler expensive so it is never the obvious donor.
+		for r := 0; r < 10; r++ {
+			for i := 0; i < 8; i++ {
+				c.Get(fmt.Sprintf("cheap%d", i), 0, 0, nil)
+				c.Get(fmt.Sprintf("dear%d", i), 0, 0, nil)
+				c.Get(fmt.Sprintf("filler%d", i), 0, 0, nil)
+			}
+		}
+		// Force class 2 to need a slab, with high incoming pressure
+		// faked by ghost traffic: first create misses with ghosts.
+		for i := 0; i < 40; i++ {
+			c.Set(fmt.Sprintf("mid%d", i), 200, 2.0, 0, nil)
+			c.Get(fmt.Sprintf("mid%d", i), 200, 2.0, nil)
+		}
+		if c.Slabs(0) == 0 {
+			return 0
+		}
+		if c.Slabs(1) == 0 {
+			return 1
+		}
+		return -1
+	}
+	if victim := run(true); victim != 0 {
+		t.Fatalf("PAMA robbed class %d, want cheap class 0", victim)
+	}
+}
+
+func TestDecisionsCopied(t *testing.T) {
+	_, p := newPAMACache(t, 1, DefaultConfig())
+	d := p.Decisions()
+	d.Migrations = 99
+	if p.Decisions().Migrations == 99 {
+		t.Fatal("Decisions returned a reference")
+	}
+}

@@ -1,0 +1,210 @@
+package gds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capBytes int64) *Cache {
+	t.Helper()
+	c, err := New(capBytes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejects(t *testing.T) {
+	if _, err := New(0, false); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	c, _ := New(1<<20, true)
+	if err := c.Set("k", 5, 0.1, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, flags, hit := c.Get("k", 0, 0, nil)
+	if !hit || string(val) != "hello" || flags != 7 {
+		t.Fatalf("get: %q %d %v", val, flags, hit)
+	}
+	if !c.Delete("k") || c.Delete("k") {
+		t.Fatal("delete semantics")
+	}
+	if _, _, hit := c.Get("k", 0, 0, nil); hit {
+		t.Fatal("deleted key served")
+	}
+	st := c.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 || st.Sets != 1 || st.Deletes != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	c := mustNew(t, 1000)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), 100, 0.1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if c.UsedBytes() > 1000 {
+			t.Fatalf("over capacity: %d", c.UsedBytes())
+		}
+	}
+	if c.Items() != 10 {
+		t.Fatalf("items = %d, want 10", c.Items())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	c := mustNew(t, 100)
+	if err := c.Set("big", 500, 0.1, 0, nil); err == nil {
+		t.Fatal("oversized item accepted")
+	}
+	if c.Stats().TooLarge != 1 {
+		t.Fatal("TooLarge not counted")
+	}
+}
+
+func TestEvictsCheapestPerByte(t *testing.T) {
+	c := mustNew(t, 300)
+	c.Set("cheap", 100, 0.001, 0, nil) // H ~ 0.00001
+	c.Set("dear", 100, 1.0, 0, nil)    // H ~ 0.01
+	c.Set("mid", 100, 0.1, 0, nil)     // H ~ 0.001
+	// Inserting one more forces one eviction: the cheap item must go.
+	c.Set("new", 100, 0.1, 0, nil)
+	if _, _, hit := c.Get("cheap", 0, 0, nil); hit {
+		t.Fatal("cheapest item survived")
+	}
+	if _, _, hit := c.Get("dear", 0, 0, nil); !hit {
+		t.Fatal("most valuable item evicted")
+	}
+}
+
+func TestFrequencyRaisesPriority(t *testing.T) {
+	c := mustNew(t, 200)
+	c.Set("a", 100, 0.01, 0, nil)
+	c.Set("b", 100, 0.01, 0, nil)
+	for i := 0; i < 10; i++ {
+		c.Get("a", 0, 0, nil)
+	}
+	c.Set("new", 100, 0.01, 0, nil) // evicts one of a/b
+	if _, _, hit := c.Get("a", 0, 0, nil); !hit {
+		t.Fatal("frequently used item evicted")
+	}
+	if _, _, hit := c.Get("b", 0, 0, nil); hit {
+		t.Fatal("cold item survived over hot one")
+	}
+}
+
+func TestInflationAgesStaleItems(t *testing.T) {
+	c := mustNew(t, 200)
+	c.Set("old-hot", 100, 1.0, 0, nil)
+	for i := 0; i < 50; i++ {
+		c.Get("old-hot", 0, 0, nil) // H ≈ 51*1.0/100 ≈ 0.5
+	}
+	// Churn single-use items through the remaining 100 bytes: every
+	// insert evicts the previous churn item and raises L by its H
+	// (L + 0.2/100 each round), so L must eventually exceed the stale
+	// hot item's priority and evict it — the GDSF aging property.
+	for i := 0; i < 2000; i++ {
+		c.Set(fmt.Sprintf("churn%d", i), 100, 0.2, 0, nil)
+	}
+	if c.Inflation() == 0 {
+		t.Fatal("inflation never advanced")
+	}
+	if c.Contains("old-hot") {
+		t.Fatalf("stale hot item survived aging (L=%v)", c.Inflation())
+	}
+}
+
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := mustNew(t, 1000)
+	c.Set("k", 100, 0.1, 0, nil)
+	c.Set("k", 600, 0.1, 0, nil)
+	if c.UsedBytes() != 600 || c.Items() != 1 {
+		t.Fatalf("used=%d items=%d", c.UsedBytes(), c.Items())
+	}
+	c.Set("k", 50, 0.1, 0, nil)
+	if c.UsedBytes() != 50 {
+		t.Fatalf("shrink not accounted: %d", c.UsedBytes())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeClamped(t *testing.T) {
+	c := mustNew(t, 100)
+	if err := c.Set("k", 0, 0.1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.UsedBytes() != 1 {
+		t.Fatalf("zero size should clamp to 1, used=%d", c.UsedBytes())
+	}
+}
+
+// TestHeapAgainstModel drives random operations and verifies the evicted
+// item is always the minimum-H one by checking invariants continuously.
+func TestHeapAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := mustNew(&testing.T{}, 5000)
+		for op := 0; op < 2000; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(200))
+			switch rng.Intn(10) {
+			case 0:
+				c.Delete(key)
+			case 1, 2, 3:
+				size := 1 + rng.Intn(400)
+				pen := []float64{0.001, 0.05, 2.0}[rng.Intn(3)]
+				c.Set(key, size, pen, 0, nil)
+			default:
+				c.Get(key, 0, 0, nil)
+			}
+			if op%100 == 0 {
+				if err := c.CheckInvariants(); err != nil {
+					return false
+				}
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesCopied(t *testing.T) {
+	c, _ := New(1000, true)
+	v := []byte("abc")
+	c.Set("k", 3, 0.1, 0, v)
+	v[0] = 'X'
+	got, _, _ := c.Get("k", 0, 0, nil)
+	if string(got) != "abc" {
+		t.Fatal("stored value aliases caller buffer")
+	}
+	got[1] = 'Y'
+	got2, _, _ := c.Get("k", 0, 0, nil)
+	if string(got2) != "abc" {
+		t.Fatal("returned value aliases stored buffer")
+	}
+}
+
+func BenchmarkGDSFMixed(b *testing.B) {
+	c, _ := New(64<<20, false)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(100000))
+		if _, _, hit := c.Get(key, 0, 0, nil); !hit {
+			c.Set(key, 1+rng.Intn(4096), 0.05, 0, nil)
+		}
+	}
+}

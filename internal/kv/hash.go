@@ -1,0 +1,61 @@
+package kv
+
+import "encoding/binary"
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// HashString computes the 64-bit FNV-1a hash of s followed by a strong
+// avalanche finalizer (the splitmix64 mixer). Plain FNV leaves the low bits
+// poorly mixed for short keys, which would bias both the bucket choice in the
+// hash index and the double-hashing scheme in the Bloom filters.
+func HashString(s string) uint64 {
+	h := uint64(fnv64Offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnv64Prime
+	}
+	return Mix64(h)
+}
+
+// HashBytes is HashString for byte slices, avoiding a string conversion.
+func HashBytes(b []byte) uint64 {
+	h := uint64(fnv64Offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnv64Prime
+	}
+	return Mix64(h)
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer with full
+// avalanche, used to post-process FNV output and to derive independent hash
+// streams for Bloom double hashing.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KeyString encodes a numeric workload key id as a fixed 8-byte string so the
+// simulator and the string-keyed engine share one key representation.
+func KeyString(id uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return string(b[:])
+}
+
+// KeyID decodes a key produced by KeyString. It returns 0 for keys of other
+// shapes (e.g. keys set through the network protocol).
+func KeyID(key string) uint64 {
+	if len(key) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64([]byte(key))
+}

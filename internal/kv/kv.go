@@ -1,0 +1,156 @@
+// Package kv defines the key-value item representation shared by the cache
+// engine and its substrates, together with the slab-class size geometry used
+// by Memcached-style allocators.
+//
+// Items carry intrusive links for the LRU lists (package lru) and the hash
+// index (package hashtable) so that a resident item costs exactly one
+// allocation and every list/index operation is pointer surgery, never a map
+// rehash or a container allocation. The fields are exported because the
+// sibling internal packages splice them directly; outside code never sees a
+// *kv.Item.
+package kv
+
+import "fmt"
+
+// Op identifies a request operation in traces and workloads.
+type Op uint8
+
+const (
+	// Get retrieves an item.
+	Get Op = iota
+	// Set inserts or replaces an item.
+	Set
+	// Delete removes an item.
+	Delete
+)
+
+// String returns the Memcached-style lower-case name of the operation.
+func (o Op) String() string {
+	switch o {
+	case Get:
+		return "get"
+	case Set:
+		return "set"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Item is one cached object: key, logical size, last observed miss penalty,
+// and the intrusive hooks that place it in exactly one LRU stack and one hash
+// chain. Ghost entries (evicted items remembered for incoming-value
+// estimation) reuse the same struct with Ghost set and Value nil.
+type Item struct {
+	// Key is the full key string. For simulator-generated workloads it is
+	// the 8-byte big-endian encoding of a numeric key id.
+	Key string
+	// Hash caches the 64-bit hash of Key used by the index and the Bloom
+	// filters; it is computed once at insertion.
+	Hash uint64
+	// Size is the item's footprint in bytes charged against its slot: key
+	// length + value length + per-item metadata overhead.
+	Size int
+	// Penalty is the most recently observed miss penalty for this key, in
+	// seconds. It selects the penalty subclass under PAMA and prices the
+	// segment an access lands in.
+	Penalty float64
+	// Value holds the item bytes when the cache stores values; nil in
+	// metadata-only (simulation) mode.
+	Value []byte
+	// Flags carries opaque client flags (Memcached protocol compatibility).
+	Flags uint32
+
+	// Class and Sub locate the LRU stack holding the item.
+	Class, Sub int
+	// Ghost marks an entry in a ghost region rather than a resident item.
+	Ghost bool
+	// LastAccess is the cache access-clock value of the latest touch.
+	LastAccess uint64
+	// ExpireAt is the unix-seconds expiry deadline; 0 means no expiry.
+	// Expiry is lazy: the engine reaps an expired item when a GET finds
+	// it, as Memcached does.
+	ExpireAt int64
+	// Seq is the rank-ring sequence assigned by the segment tracker; it is
+	// owned by package rank.
+	Seq uint64
+	// CAS is the compare-and-set token, changed on every store of the
+	// key (Memcached cas semantics).
+	CAS uint64
+
+	// Prev and Next are the intrusive LRU links (owned by package lru).
+	Prev, Next *Item
+	// HNext is the intrusive hash-chain link (owned by package hashtable).
+	HNext *Item
+}
+
+// Reset clears an item for reuse from a free pool, keeping only the backing
+// Value capacity.
+func (it *Item) Reset() {
+	v := it.Value
+	*it = Item{}
+	if v != nil {
+		it.Value = v[:0]
+	}
+}
+
+// Geometry describes the slab-class layout: class i holds items of size at
+// most Base << i, up to NumClasses classes, each slab being SlabSize bytes.
+// The zero Geometry is not valid; use DefaultGeometry or fill all fields.
+type Geometry struct {
+	// SlabSize is the size of one slab in bytes (Memcached default 1 MiB).
+	SlabSize int
+	// Base is the slot size of class 0 in bytes (paper: 64).
+	Base int
+	// NumClasses is the number of size classes. The largest class slot is
+	// Base << (NumClasses-1), which must not exceed SlabSize.
+	NumClasses int
+}
+
+// DefaultGeometry mirrors the paper's setup: 1 MiB slabs, class 0 at 64 B,
+// doubling per class, 15 classes (largest slot 1 MiB).
+func DefaultGeometry() Geometry {
+	return Geometry{SlabSize: 1 << 20, Base: 64, NumClasses: 15}
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.SlabSize <= 0:
+		return fmt.Errorf("kv: slab size %d must be positive", g.SlabSize)
+	case g.Base <= 0:
+		return fmt.Errorf("kv: base slot size %d must be positive", g.Base)
+	case g.NumClasses <= 0:
+		return fmt.Errorf("kv: class count %d must be positive", g.NumClasses)
+	case g.SlotSize(g.NumClasses-1) > g.SlabSize:
+		return fmt.Errorf("kv: largest slot %d exceeds slab size %d",
+			g.SlotSize(g.NumClasses-1), g.SlabSize)
+	}
+	return nil
+}
+
+// SlotSize returns the slot size of class c in bytes.
+func (g Geometry) SlotSize(c int) int { return g.Base << uint(c) }
+
+// SlotsPerSlab returns how many slots one slab yields in class c.
+func (g Geometry) SlotsPerSlab(c int) int { return g.SlabSize / g.SlotSize(c) }
+
+// MaxItemSize returns the largest cacheable item size.
+func (g Geometry) MaxItemSize() int { return g.SlotSize(g.NumClasses - 1) }
+
+// ClassFor returns the smallest class whose slot fits size bytes, or -1 if
+// the item is too large to cache.
+func (g Geometry) ClassFor(size int) int {
+	if size <= 0 {
+		size = 1
+	}
+	s := g.Base
+	for c := 0; c < g.NumClasses; c++ {
+		if size <= s {
+			return c
+		}
+		s <<= 1
+	}
+	return -1
+}

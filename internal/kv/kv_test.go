@@ -1,0 +1,147 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if got := g.MaxItemSize(); got != 1<<20 {
+		t.Fatalf("MaxItemSize = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	cases := []Geometry{
+		{SlabSize: 0, Base: 64, NumClasses: 4},
+		{SlabSize: 1 << 20, Base: 0, NumClasses: 4},
+		{SlabSize: 1 << 20, Base: 64, NumClasses: 0},
+		{SlabSize: 1 << 10, Base: 64, NumClasses: 6}, // largest slot 2 KiB > 1 KiB slab
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestClassForBoundaries(t *testing.T) {
+	g := DefaultGeometry()
+	cases := []struct {
+		size, want int
+	}{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, 14}, {1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := g.ClassFor(c.size); got != c.want {
+			t.Errorf("ClassFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestClassForFitsSlot(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(size uint32) bool {
+		s := int(size % uint32(g.MaxItemSize()+2))
+		c := g.ClassFor(s)
+		if s > g.MaxItemSize() {
+			return c == -1
+		}
+		if c < 0 || c >= g.NumClasses {
+			return false
+		}
+		if s > g.SlotSize(c) {
+			return false // item must fit its slot
+		}
+		// Must be the smallest fitting class.
+		return c == 0 || s > g.SlotSize(c-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotsPerSlab(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.SlotsPerSlab(0); got != 16384 {
+		t.Fatalf("SlotsPerSlab(0) = %d, want 16384", got)
+	}
+	if got := g.SlotsPerSlab(14); got != 1 {
+		t.Fatalf("SlotsPerSlab(14) = %d, want 1", got)
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	f := func(id uint64) bool { return KeyID(KeyString(id)) == id }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyIDWrongShape(t *testing.T) {
+	if KeyID("not8b") != 0 {
+		t.Fatal("KeyID should return 0 for non-8-byte keys")
+	}
+}
+
+func TestHashStringMatchesBytes(t *testing.T) {
+	f := func(b []byte) bool { return HashString(string(b)) == HashBytes(b) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringSpreadsLowBits(t *testing.T) {
+	// Short sequential keys must not collide in the low bits the index uses
+	// for bucket selection.
+	const n = 4096
+	seen := make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		h := HashString(KeyString(uint64(i))) & 1023
+		seen[h]++
+	}
+	// With 4096 keys over 1024 buckets, a catastrophically biased hash puts
+	// hundreds in one bucket; a decent one stays near the mean of 4.
+	for b, c := range seen {
+		if c > 32 {
+			t.Fatalf("bucket %d received %d of %d keys: low bits not mixed", b, c, n)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (spot check).
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		m := Mix64(i)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix64 collision: %d and %d -> %d", prev, i, m)
+		}
+		seen[m] = i
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Get.String() != "get" || Set.String() != "set" || Delete.String() != "delete" {
+		t.Fatal("Op.String mismatch")
+	}
+	if Op(77).String() != "op(77)" {
+		t.Fatal("unknown Op formatting")
+	}
+}
+
+func TestItemReset(t *testing.T) {
+	it := &Item{Key: "k", Size: 10, Penalty: 0.5, Value: []byte("abcd"), Class: 3}
+	it.Reset()
+	if it.Key != "" || it.Size != 0 || it.Penalty != 0 || it.Class != 0 {
+		t.Fatalf("Reset left state behind: %+v", it)
+	}
+	if it.Value == nil || len(it.Value) != 0 || cap(it.Value) != 4 {
+		t.Fatalf("Reset should keep value capacity, got len=%d cap=%d", len(it.Value), cap(it.Value))
+	}
+}

@@ -1,0 +1,281 @@
+// Package metrics collects the windowed statistics the paper reports: hit
+// ratio and average GET service time per window of served GETs, plus slab
+// allocation snapshots, totals, and log-scale latency histograms.
+//
+// A Window accumulates; a Series records one row per closed window. The
+// figure emitters in internal/sim and cmd/pama-bench print Series as TSV.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Window accumulates GET statistics until the window closes.
+type Window struct {
+	Gets        uint64
+	Hits        uint64
+	ServiceTime float64 // seconds, summed over GETs
+}
+
+// Add records one GET with the given service time.
+func (w *Window) Add(hit bool, service float64) {
+	w.Gets++
+	if hit {
+		w.Hits++
+	}
+	w.ServiceTime += service
+}
+
+// HitRatio returns hits/gets, or 0 for an empty window.
+func (w *Window) HitRatio() float64 {
+	if w.Gets == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(w.Gets)
+}
+
+// AvgService returns mean service time per GET in seconds, or 0 when empty.
+func (w *Window) AvgService() float64 {
+	if w.Gets == 0 {
+		return 0
+	}
+	return w.ServiceTime / float64(w.Gets)
+}
+
+// Reset zeroes the window.
+func (w *Window) Reset() { *w = Window{} }
+
+// Point is one closed window in a series.
+type Point struct {
+	// GetsServed is the cumulative GET count at window close (the
+	// paper's x-axis, "# of served GET requests").
+	GetsServed uint64
+	HitRatio   float64
+	AvgService float64
+	// Slabs is the per-class slab allocation snapshot at window close
+	// (nil when not sampled).
+	Slabs []int
+	// Extra holds policy-specific columns (e.g. per-subclass slabs).
+	Extra []float64
+}
+
+// Series is an ordered collection of windows for one experiment
+// configuration.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a closed window snapshot.
+func (s *Series) Append(p Point) { s.Points = append(s.Points, p) }
+
+// Final returns the last point, or a zero Point when empty.
+func (s *Series) Final() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// MeanHitRatio averages hit ratio over all points (unweighted, matching the
+// paper's per-window presentation).
+func (s *Series) MeanHitRatio() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, p := range s.Points {
+		t += p.HitRatio
+	}
+	return t / float64(len(s.Points))
+}
+
+// MeanAvgService averages the per-window mean service time.
+func (s *Series) MeanAvgService() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, p := range s.Points {
+		t += p.AvgService
+	}
+	return t / float64(len(s.Points))
+}
+
+// TailMeanAvgService averages AvgService over the last frac of points —
+// "when the service time curves stabilize" in the paper's wording.
+func (s *Series) TailMeanAvgService(frac float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	start := n - int(math.Ceil(frac*float64(n)))
+	if start < 0 {
+		start = 0
+	}
+	t := 0.0
+	for _, p := range s.Points[start:] {
+		t += p.AvgService
+	}
+	return t / float64(n-start)
+}
+
+// WriteTSV renders several series side by side: one row per window, columns
+// gets<TAB>name:hit<TAB>name:svc per series. Series may have differing
+// lengths; missing cells print as "-".
+func WriteTSV(w io.Writer, series []*Series) error {
+	header := []string{"gets"}
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, s.Name+":hit", s.Name+":svc")
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(header))
+		gets := "-"
+		for _, s := range series {
+			if i < len(s.Points) {
+				gets = fmt.Sprintf("%d", s.Points[i].GetsServed)
+				break
+			}
+		}
+		row = append(row, gets)
+		for _, s := range series {
+			if i < len(s.Points) {
+				p := s.Points[i]
+				row = append(row, fmt.Sprintf("%.4f", p.HitRatio), fmt.Sprintf("%.6f", p.AvgService))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSlabTSV renders the per-class slab allocation series of one
+// experiment: one row per window, one column per class.
+func WriteSlabTSV(w io.Writer, s *Series, numClasses int) error {
+	header := []string{"gets"}
+	for c := 0; c < numClasses; c++ {
+		header = append(header, fmt.Sprintf("class%d", c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{fmt.Sprintf("%d", p.GetsServed)}
+		for c := 0; c < numClasses; c++ {
+			v := 0
+			if c < len(p.Slabs) {
+				v = p.Slabs[c]
+			}
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram is a logarithmic histogram over positive values (decade buckets
+// subdivided 8x), used for penalty and service-time distributions.
+type Histogram struct {
+	min     float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// NewHistogram covers [min, min*10^decades).
+func NewHistogram(min float64, decades int) *Histogram {
+	return &Histogram{min: min, buckets: make([]uint64, decades*8+1)}
+}
+
+// Add records a value; values below min land in bucket 0, values above the
+// range in the last bucket.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	h.sum += v
+	i := 0
+	if v > h.min {
+		i = int(math.Log10(v/h.min)*8) + 1
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0<=q<=1) from bucket
+// edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return h.min
+			}
+			return h.min * math.Pow(10, float64(i)/8)
+		}
+	}
+	return h.min * math.Pow(10, float64(len(h.buckets)-1)/8)
+}
+
+// Summary formats count/mean/p50/p99 on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4fs p50<=%.4fs p99<=%.4fs",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+}
+
+// Merge folds other into h; both must share min and decade span.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.min != h.min || len(other.buckets) != len(h.buckets) {
+		return fmt.Errorf("metrics: merging incompatible histograms")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	return nil
+}
+
+// SortedNames returns map keys in sorted order; a small helper for stable
+// report output.
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWindowAccumulates(t *testing.T) {
+	var w Window
+	w.Add(true, 0.001)
+	w.Add(false, 0.5)
+	w.Add(true, 0.001)
+	if w.Gets != 3 || w.Hits != 2 {
+		t.Fatalf("gets=%d hits=%d", w.Gets, w.Hits)
+	}
+	if got := w.HitRatio(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("HitRatio = %v", got)
+	}
+	if got := w.AvgService(); math.Abs(got-0.502/3) > 1e-12 {
+		t.Fatalf("AvgService = %v", got)
+	}
+	w.Reset()
+	if w.Gets != 0 || w.HitRatio() != 0 || w.AvgService() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Final().GetsServed != 0 {
+		t.Fatal("empty Final should be zero")
+	}
+	s.Append(Point{GetsServed: 100, HitRatio: 0.5, AvgService: 0.2})
+	s.Append(Point{GetsServed: 200, HitRatio: 0.7, AvgService: 0.1})
+	s.Append(Point{GetsServed: 300, HitRatio: 0.9, AvgService: 0.3})
+	if got := s.MeanHitRatio(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("MeanHitRatio = %v", got)
+	}
+	if got := s.MeanAvgService(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MeanAvgService = %v", got)
+	}
+	if got := s.Final().GetsServed; got != 300 {
+		t.Fatalf("Final gets = %d", got)
+	}
+	if got := s.TailMeanAvgService(0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("TailMeanAvgService = %v", got)
+	}
+	if got := s.TailMeanAvgService(1.0); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("TailMeanAvgService(1.0) = %v", got)
+	}
+}
+
+func TestEmptySeriesAggregates(t *testing.T) {
+	s := &Series{}
+	if s.MeanHitRatio() != 0 || s.MeanAvgService() != 0 || s.TailMeanAvgService(0.5) != 0 {
+		t.Fatal("empty series aggregates should be 0")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	a := &Series{Name: "pama"}
+	a.Append(Point{GetsServed: 10, HitRatio: 0.5, AvgService: 0.01})
+	a.Append(Point{GetsServed: 20, HitRatio: 0.6, AvgService: 0.02})
+	b := &Series{Name: "psa"}
+	b.Append(Point{GetsServed: 10, HitRatio: 0.4, AvgService: 0.03})
+	var sb strings.Builder
+	if err := WriteTSV(&sb, []*Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "gets\tpama:hit\tpama:svc\tpsa:hit\tpsa:svc") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Fatal("short series should pad with '-'")
+	}
+}
+
+func TestWriteSlabTSV(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(Point{GetsServed: 10, Slabs: []int{3, 1}})
+	var sb strings.Builder
+	if err := WriteSlabTSV(&sb, s, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "class2") || !strings.Contains(out, "10\t3\t1\t0") {
+		t.Fatalf("bad slab TSV:\n%s", out)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0.001, 4) // 1ms .. 10s
+	for i := 0; i < 90; i++ {
+		h.Add(0.002)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1.5)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q > 0.01 {
+		t.Fatalf("p50 = %v, want ~2ms bound", q)
+	}
+	if q := h.Quantile(0.95); q < 1.0 {
+		t.Fatalf("p95 = %v, want >=1s", q)
+	}
+	if m := h.Mean(); math.Abs(m-(90*0.002+10*1.5)/100) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0.001, 2)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	h.Add(1e-9) // below min -> bucket 0
+	h.Add(1e9)  // above range -> clamped last bucket
+	if h.Count() != 2 {
+		t.Fatal("count")
+	}
+	if q := h.Quantile(0.0); q != 0.001 {
+		t.Fatalf("Quantile(0) = %v, want min", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(0.001, 2), NewHistogram(0.001, 2)
+	a.Add(0.01)
+	b.Add(0.02)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	c := NewHistogram(0.01, 2)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(0.001, 2)
+	h.Add(0.01)
+	if s := h.Summary(); !strings.Contains(s, "n=1") {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedNames(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedNames = %v", got)
+	}
+}

@@ -1,0 +1,239 @@
+package mrc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pamakv/internal/kv"
+)
+
+func access(t *Tracker, key string) {
+	t.Access(key, kv.HashString(key))
+}
+
+func TestFirstTouchesAreInfinite(t *testing.T) {
+	tr := NewTracker(4, 2)
+	for i := 0; i < 5; i++ {
+		access(tr, fmt.Sprintf("k%d", i))
+	}
+	if tr.Infinite != 5 {
+		t.Fatalf("Infinite = %d, want 5", tr.Infinite)
+	}
+	for _, h := range tr.Hist() {
+		if h != 0 {
+			t.Fatal("first touches must not land in finite buckets")
+		}
+	}
+}
+
+func TestReuseDistanceBuckets(t *testing.T) {
+	tr := NewTracker(2, 3) // buckets of 2 items, depth 3 slabs (6 keys)
+	keys := []string{"a", "b", "c", "d", "e"}
+	for _, k := range keys {
+		access(tr, k)
+	}
+	// Stack (top..bottom): e d c b a.
+	access(tr, "e") // distance 0 -> bucket 0
+	access(tr, "d") // e above it -> distance 1 -> bucket 0
+	access(tr, "a") // d e c b above -> distance 4 -> bucket 2
+	want := []uint64{2, 0, 1}
+	for i, w := range want {
+		if tr.Hist()[i] != w {
+			t.Fatalf("hist = %v, want %v", tr.Hist(), want)
+		}
+	}
+}
+
+func TestShadowDepthBounded(t *testing.T) {
+	tr := NewTracker(2, 2) // 4 keys deep
+	for i := 0; i < 100; i++ {
+		access(tr, fmt.Sprintf("k%d", i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("shadow len = %d, want 4", tr.Len())
+	}
+	// k96..k99 resident; k0 long gone -> re-access is Infinite.
+	inf := tr.Infinite
+	access(tr, "k0")
+	if tr.Infinite != inf+1 {
+		t.Fatal("evicted-from-shadow key should count as infinite")
+	}
+}
+
+// TestDistancesMatchNaive cross-checks the ring-based distances against a
+// brute-force stack simulation.
+func TestDistancesMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const depth, spc = 8, 4
+		tr := NewTracker(spc, depth)
+		var stack []string // 0 = top
+		naiveHist := make([]uint64, depth)
+		var naiveInf uint64
+		for op := 0; op < 800; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(40))
+			// Naive model.
+			pos := -1
+			for i, s := range stack {
+				if s == k {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				naiveInf++
+				stack = append([]string{k}, stack...)
+				if len(stack) > depth*spc {
+					stack = stack[:depth*spc]
+				}
+			} else {
+				if b := pos / spc; b < depth {
+					naiveHist[b]++
+				} else {
+					naiveInf++
+				}
+				stack = append(stack[:pos], stack[pos+1:]...)
+				stack = append([]string{k}, stack...)
+			}
+			access(tr, k)
+		}
+		if tr.Infinite != naiveInf {
+			return false
+		}
+		for i := range naiveHist {
+			if tr.Hist()[i] != naiveHist[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitCurveCumulative(t *testing.T) {
+	tr := NewTracker(1, 3)
+	access(tr, "a")
+	access(tr, "b")
+	access(tr, "a") // dist 1 -> bucket 1
+	access(tr, "a") // dist 0 -> bucket 0
+	curve := tr.HitCurve()
+	want := []float64{0, 1, 2, 2}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestResetWindowKeepsStack(t *testing.T) {
+	tr := NewTracker(1, 4)
+	access(tr, "a")
+	access(tr, "b")
+	tr.ResetWindow()
+	if tr.Infinite != 0 {
+		t.Fatal("ResetWindow should clear Infinite")
+	}
+	access(tr, "a") // stack survived: finite distance 1
+	if tr.Hist()[1] != 1 {
+		t.Fatalf("hist after reset = %v", tr.Hist())
+	}
+}
+
+func TestTinyParamsClamped(t *testing.T) {
+	tr := NewTracker(0, 0)
+	access(tr, "x")
+	if tr.Depth() != 1 || tr.Len() != 1 {
+		t.Fatalf("clamped tracker depth=%d len=%d", tr.Depth(), tr.Len())
+	}
+}
+
+func TestWaterfillConcaveOptimal(t *testing.T) {
+	// Two concave curves; brute force the optimum and compare.
+	a := []float64{0, 10, 16, 19, 20, 20}
+	b := []float64{0, 6, 11, 15, 18, 20}
+	curves := [][]float64{a, b}
+	w := []float64{1, 1}
+	const total = 6
+	bestVal, bestKA := -1.0, -1
+	for ka := 0; ka <= total; ka++ {
+		kb := total - ka
+		va, vb := 0.0, 0.0
+		if ka < len(a) {
+			va = a[ka]
+		} else {
+			va = a[len(a)-1]
+		}
+		if kb < len(b) {
+			vb = b[kb]
+		} else {
+			vb = b[len(b)-1]
+		}
+		if va+vb > bestVal {
+			bestVal, bestKA = va+vb, ka
+		}
+	}
+	alloc := Waterfill(curves, w, total, 0)
+	if alloc[0]+alloc[1] != total {
+		t.Fatalf("allocation %v does not sum to %d", alloc, total)
+	}
+	gotVal := a[alloc[0]] + b[alloc[1]]
+	if gotVal != bestVal {
+		t.Fatalf("waterfill alloc %v value %v, brute force ka=%d value %v",
+			alloc, gotVal, bestKA, bestVal)
+	}
+}
+
+func TestWaterfillWeights(t *testing.T) {
+	// Identical curves, one class weighted 10x: it should get the slabs
+	// that matter.
+	c1 := []float64{0, 10, 12}
+	c2 := []float64{0, 10, 12}
+	alloc := Waterfill([][]float64{c1, c2}, []float64{1, 10}, 2, 0)
+	if alloc[1] < alloc[0] {
+		t.Fatalf("weighted class under-allocated: %v", alloc)
+	}
+}
+
+func TestWaterfillMinPerAndBudget(t *testing.T) {
+	curves := [][]float64{{0, 5}, {0, 1}, {0, 0}}
+	alloc := Waterfill(curves, []float64{1, 1, 1}, 5, 1)
+	if alloc[0] < 1 || alloc[1] < 1 || alloc[2] < 1 {
+		t.Fatalf("minPer violated: %v", alloc)
+	}
+	if alloc[0]+alloc[1]+alloc[2] != 5 {
+		t.Fatalf("budget violated: %v", alloc)
+	}
+	// Budget smaller than minPer * classes: spread what exists.
+	alloc = Waterfill(curves, []float64{1, 1, 1}, 2, 1)
+	if alloc[0]+alloc[1]+alloc[2] != 2 {
+		t.Fatalf("tight budget violated: %v", alloc)
+	}
+	// Degenerate inputs.
+	if got := Waterfill(nil, nil, 10, 1); len(got) != 0 {
+		t.Fatal("empty input should give empty allocation")
+	}
+	if got := Waterfill(curves, []float64{1, 1, 1}, 0, 1); got[0]+got[1]+got[2] != 0 {
+		t.Fatal("zero budget should allocate nothing")
+	}
+}
+
+func BenchmarkTrackerAccess(b *testing.B) {
+	tr := NewTracker(64, 32)
+	keys := make([]string, 4096)
+	hashes := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = kv.KeyString(uint64(i))
+		hashes[i] = kv.HashString(keys[i])
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(keys))
+		tr.Access(keys[j], hashes[j])
+	}
+}

@@ -1,0 +1,239 @@
+// Package oracle replays a finite request sequence under clairvoyant
+// (Belady/MIN) replacement: on eviction, the resident item whose next use
+// lies farthest in the future goes first. With variable item sizes this is
+// a (standard) heuristic rather than the provable optimum, but it is the
+// usual offline reference: no online policy — PAMA included — can be
+// expected to beat it on hit ratio, so it calibrates how much of the
+// remaining miss mass is simply unreachable.
+//
+// Two variants share the machinery:
+//
+//   - Belady: evict the farthest next use (hit-ratio oriented).
+//   - CostBelady: among items never used again, evict all of them first
+//     (they are free); otherwise evict the item with the smallest
+//     penalty-per-byte-per-step urgency pen/(size·(next-now)) — a greedy
+//     cost-aware clairvoyant that targets service time.
+//
+// The replay is byte-bounded at item granularity (like package gds), so the
+// bound is optimistic with respect to slab fragmentation too.
+package oracle
+
+import (
+	"fmt"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/trace"
+)
+
+// Variant selects the eviction rule.
+type Variant int
+
+const (
+	// Belady evicts the farthest next use.
+	Belady Variant = iota
+	// CostBelady weighs next use by penalty per byte.
+	CostBelady
+)
+
+// Result summarizes a clairvoyant replay.
+type Result struct {
+	Gets, Hits, Misses uint64
+	Evictions          uint64
+	// ServiceTime sums hit time + miss penalties over GETs, seconds.
+	ServiceTime float64
+	// HitRatio and AvgService are the derived headline numbers.
+	HitRatio   float64
+	AvgService float64
+}
+
+const never = int(^uint(0) >> 1) // sentinel next-use for "no future use"
+
+type entry struct {
+	key     string
+	size    int
+	pen     float64
+	next    int // request index of next use, or never
+	heapIdx int
+}
+
+// Run replays reqs clairvoyantly with capBytes of cache. Penalties come
+// from model (by key hash and size); hits cost hitTime seconds.
+func Run(reqs []trace.Request, capBytes int64, model penalty.Model, hitTime float64, v Variant) (Result, error) {
+	if capBytes <= 0 {
+		return Result{}, fmt.Errorf("oracle: capacity %d must be positive", capBytes)
+	}
+	// Pass 1 (backwards): next-use index for every request position.
+	nextUse := make([]int, len(reqs))
+	last := make(map[uint64]int, 1024)
+	for i := len(reqs) - 1; i >= 0; i-- {
+		k := reqs[i].Key
+		if j, ok := last[k]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		last[k] = i
+	}
+
+	// Pass 2: simulate with a clairvoyant heap.
+	h := &oracleHeap{variant: v}
+	idx := make(map[uint64]*entry, 1024)
+	var used int64
+	var res Result
+	for i, r := range reqs {
+		key := kv.KeyString(r.Key)
+		size := int(r.Size)
+		if size < 1 {
+			size = 1
+		}
+		pen := model.Of(kv.HashString(key), size)
+		switch r.Op {
+		case kv.Get:
+			res.Gets++
+			e, hit := idx[r.Key]
+			if hit {
+				res.Hits++
+				res.ServiceTime += hitTime
+				e.next = nextUse[i]
+				h.fix(e, i)
+				continue
+			}
+			res.Misses++
+			res.ServiceTime += pen
+			fallthrough // miss refill, like the simulator's GET path
+		case kv.Set:
+			if int64(size) > capBytes {
+				continue
+			}
+			if e, ok := idx[r.Key]; ok {
+				used += int64(size) - int64(e.size)
+				e.size = size
+				e.pen = pen
+				e.next = nextUse[i]
+				h.fix(e, i)
+			} else {
+				e := &entry{key: key, size: size, pen: pen, next: nextUse[i]}
+				idx[r.Key] = e
+				h.push(e, i)
+				used += int64(size)
+			}
+			for used > capBytes {
+				victim := h.pop(i)
+				delete(idx, kv.KeyID(victim.key))
+				used -= int64(victim.size)
+				res.Evictions++
+			}
+		case kv.Delete:
+			if e, ok := idx[r.Key]; ok {
+				h.remove(e)
+				delete(idx, r.Key)
+				used -= int64(e.size)
+			}
+		}
+	}
+	if res.Gets > 0 {
+		res.HitRatio = float64(res.Hits) / float64(res.Gets)
+		res.AvgService = res.ServiceTime / float64(res.Gets)
+	}
+	return res, nil
+}
+
+// oracleHeap is a max-heap on "safeness": the safest item to evict first.
+type oracleHeap struct {
+	items   []*entry
+	variant Variant
+}
+
+// safer reports whether a should be evicted before b at time now.
+func (h *oracleHeap) safer(a, b *entry, now int) bool {
+	if h.variant == Belady {
+		return a.next > b.next
+	}
+	// CostBelady: items never reused are free; otherwise lowest urgency
+	// pen/(size·distance) first — equivalently highest size·distance/pen.
+	an, bn := a.next == never, b.next == never
+	if an != bn {
+		return an
+	}
+	if an && bn {
+		return a.pen/float64(a.size) < b.pen/float64(b.size)
+	}
+	av := float64(a.next-now) * float64(a.size) / a.pen
+	bv := float64(b.next-now) * float64(b.size) / b.pen
+	return av > bv
+}
+
+func (h *oracleHeap) push(e *entry, now int) {
+	e.heapIdx = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.heapIdx, now)
+}
+
+func (h *oracleHeap) pop(now int) *entry {
+	top := h.items[0]
+	h.remove(top)
+	_ = now
+	return top
+}
+
+func (h *oracleHeap) remove(e *entry) {
+	lastIdx := len(h.items) - 1
+	i := e.heapIdx
+	h.swap(i, lastIdx)
+	h.items = h.items[:lastIdx]
+	if i < lastIdx {
+		// Position i may violate either direction; fix both ways with
+		// now=0 (ordering is only approximate for CostBelady between
+		// rebuilds, which is acceptable for a reference heuristic).
+		if !h.down(i, 0) {
+			h.up(i, 0)
+		}
+	}
+}
+
+func (h *oracleHeap) fix(e *entry, now int) {
+	if !h.down(e.heapIdx, now) {
+		h.up(e.heapIdx, now)
+	}
+}
+
+func (h *oracleHeap) swap(i, j int) {
+	if i == j {
+		return
+	}
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *oracleHeap) up(i, now int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.safer(h.items[i], h.items[parent], now) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *oracleHeap) down(i, now int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.safer(h.items[l], h.items[best], now) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.safer(h.items[r], h.items[best], now) {
+			best = r
+		}
+		if best == i {
+			return moved
+		}
+		h.swap(i, best)
+		i = best
+		moved = true
+	}
+}

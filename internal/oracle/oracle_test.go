@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"testing"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+func get(key uint64, size uint32) trace.Request {
+	return trace.Request{Op: kv.Get, Key: key, Size: size}
+}
+
+func TestRunRejectsZeroCapacity(t *testing.T) {
+	if _, err := Run(nil, 0, penalty.Uniform(0.1), 0.0005, Belady); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestBeladyOnTextbookSequence(t *testing.T) {
+	// Capacity 2 items of 100B; sequence A B C A B. At C's arrival the
+	// clairvoyant sees C has no future use and evicts it on the spot
+	// (equivalently, never caches it), so both re-references of A and B
+	// hit — the true MIN outcome for this sequence.
+	reqs := []trace.Request{
+		get(1, 100), get(2, 100), get(3, 100), get(1, 100), get(2, 100),
+	}
+	res, err := Run(reqs, 200, penalty.Uniform(0.1), 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 2 || res.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 2/3", res.Hits, res.Misses)
+	}
+}
+
+func TestBeladyBeatsLRUOnLoopingScan(t *testing.T) {
+	// Cyclic scan over N+1 items with capacity N defeats LRU completely
+	// (0 hits) but Belady keeps N-1 of them hot.
+	const n = 8
+	var reqs []trace.Request
+	for round := 0; round < 20; round++ {
+		for k := uint64(0); k < n+1; k++ {
+			reqs = append(reqs, get(k, 100))
+		}
+	}
+	res, err := Run(reqs, n*100, penalty.Uniform(0.1), 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRatio < 0.7 {
+		t.Fatalf("Belady hit ratio %.3f on looping scan, want high", res.HitRatio)
+	}
+}
+
+func TestCostBeladyPrefersEvictingCheap(t *testing.T) {
+	// Two items contend for one slot; both are re-referenced equally far
+	// ahead, but one costs 100x more to miss. The cost variant must keep
+	// the expensive one.
+	model := penalty.Model{Base: 0, Slope: 0, Sigma: 0, Min: 0.001, Max: 5}
+	// Uniform won't differentiate; craft per-key penalties via sizes:
+	// penalty model is size-correlated, so give the dear item a big size?
+	// Simpler: use the default model and distinct keys; find two keys
+	// with very different penalties at equal size.
+	model = penalty.Default()
+	var cheap, dear uint64
+	cheapPen, dearPen := 1e9, 0.0
+	for k := uint64(0); k < 200; k++ {
+		p := model.Of(kv.HashString(kv.KeyString(k)), 100)
+		if p < cheapPen {
+			cheap, cheapPen = k, p
+		}
+		if p > dearPen {
+			dear, dearPen = k, p
+		}
+	}
+	if dearPen < 50*cheapPen {
+		t.Skipf("model sample too flat: %v vs %v", cheapPen, dearPen)
+	}
+	var reqs []trace.Request
+	reqs = append(reqs, get(cheap, 100), get(dear, 100))
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, get(cheap, 100), get(dear, 100))
+	}
+	res, err := Run(reqs, 100, model, 0.0005, CostBelady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(reqs, 100, model, 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceTime > base.ServiceTime {
+		t.Fatalf("cost-aware clairvoyant (%.3fs) worse than Belady (%.3fs)",
+			res.ServiceTime, base.ServiceTime)
+	}
+}
+
+func TestOracleBoundsOnlinePolicy(t *testing.T) {
+	cfg := workload.ETC()
+	cfg.Keys = 8192
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := trace.Collect(&trace.Limit{S: gen, N: 60_000}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(reqs, 2<<20, cfg.Penalty, 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRatio <= 0.5 || res.HitRatio > 1 {
+		t.Fatalf("implausible clairvoyant hit ratio %.3f", res.HitRatio)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("no eviction pressure in the bound run")
+	}
+	// The clairvoyant bound must beat a cost-aware online policy (GDSF)
+	// replayed over the same requests — checked loosely via hit ratio
+	// ordering computed in the extension bench; here just sanity.
+	if res.Gets == 0 || res.ServiceTime <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestDeleteReleasesSpace(t *testing.T) {
+	reqs := []trace.Request{
+		get(1, 100),
+		{Op: kv.Delete, Key: 1},
+		get(2, 100),
+		get(2, 100),
+	}
+	res, err := Run(reqs, 100, penalty.Uniform(0.1), 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 0 {
+		t.Fatalf("delete should have made room, evictions=%d", res.Evictions)
+	}
+	if res.Hits != 1 {
+		t.Fatalf("hits=%d, want 1 (second access of key 2)", res.Hits)
+	}
+}
+
+func TestOversizedItemSkipped(t *testing.T) {
+	reqs := []trace.Request{get(1, 1000), get(1, 1000)}
+	res, err := Run(reqs, 100, penalty.Uniform(0.1), 0.0005, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 {
+		t.Fatal("oversized item should never be cached")
+	}
+}

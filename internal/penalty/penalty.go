@@ -1,0 +1,140 @@
+// Package penalty models per-item miss penalties.
+//
+// The paper (Fig. 1) measures, on Facebook's APP trace, GET-miss penalties
+// spanning roughly three decades — about a millisecond to several seconds —
+// with the central tendency rising with item size (bigger values come from
+// heavier database queries or computations) while retaining a wide spread at
+// every size. The traces themselves are proprietary, so this package
+// substitutes a deterministic generative model with the same two properties:
+//
+//   - the median penalty follows a power law in item size
+//     (median(size) = Base * (size/64)^Slope seconds), and
+//   - around the median, penalties are log-normally dispersed with
+//     parameter Sigma, clamped to [Min, Max] = [1 ms, 5 s], matching the
+//     paper's 5-second cap on the miss→SET gap.
+//
+// Each key's penalty is a pure function of (key hash, size, Seed), so a key
+// misses with the same penalty every time — exactly what a cache replaying a
+// trace would observe — and experiments are reproducible.
+package penalty
+
+import (
+	"math"
+
+	"pamakv/internal/kv"
+)
+
+// Default values shared with the paper's setup.
+const (
+	// DefaultUnknown is assumed when a miss penalty cannot be estimated
+	// (paper §IV: "we use a default penalty value (100ms), which is
+	// roughly the observed mean penalty").
+	DefaultUnknown = 0.100
+	// Cap is the maximum credible penalty; longer gaps are discarded by
+	// the estimator (paper §IV: 5 seconds).
+	Cap = 5.0
+	// DefaultHitTime is the service time of a GET hit: in-memory lookup
+	// plus network round trip, far below any miss penalty.
+	DefaultHitTime = 0.0005
+)
+
+// Model generates deterministic per-key penalties. The zero Model is not
+// useful; start from Default.
+type Model struct {
+	// Base is the median penalty in seconds of a 64-byte item.
+	Base float64
+	// Slope is the power-law exponent of median growth with size.
+	Slope float64
+	// Sigma is the log-normal dispersion (in natural-log space).
+	Sigma float64
+	// HeavyFrac is the probability that a key belongs to the heavy
+	// component — values produced by expensive back-end computations,
+	// visible in paper Fig. 1 as a cloud of 0.5–5 s penalties at every
+	// size. Heavy keys draw log-uniformly from [HeavyLo, Max].
+	HeavyFrac float64
+	// HeavyLo is the lower edge of the heavy component in seconds.
+	HeavyLo float64
+	// Min and Max clamp the result, in seconds.
+	Min, Max float64
+	// Seed decorrelates penalty draws from other hash uses.
+	Seed uint64
+}
+
+// Default returns the model calibrated to the shape of paper Fig. 1: 64-byte
+// items at a ~5 ms median rising to ~500 ms at 1 MiB, with penalties at any
+// one size dispersed over roughly three decades (95% within a factor of
+// ~e^±3), clamped to [1 ms, 5 s].
+func Default() Model {
+	return Model{
+		Base:      0.005,
+		Slope:     math.Log(100) / math.Log(float64(1<<20)/64), // x100 median over the size range
+		Sigma:     1.5,
+		HeavyFrac: 0.12,
+		HeavyLo:   0.5,
+		Min:       0.001,
+		Max:       Cap,
+		Seed:      0x70616d61, // "pama"
+	}
+}
+
+// Uniform returns a degenerate model where every miss costs p seconds —
+// useful for isolating penalty awareness in tests (under Uniform, PAMA and
+// pre-PAMA must make identical decisions up to subclass bucketing).
+func Uniform(p float64) Model {
+	return Model{Base: p, Slope: 0, Sigma: 0, Min: p, Max: p}
+}
+
+// Of returns the penalty, in seconds, of the item with the given key hash
+// and size.
+func (m Model) Of(keyHash uint64, size int) float64 {
+	if size < 1 {
+		size = 1
+	}
+	h := kv.Mix64(keyHash ^ m.Seed)
+	if m.HeavyFrac > 0 {
+		hsel := kv.Mix64(h ^ 0x68657679) // "hevy"
+		if float64(hsel>>11)/float64(1<<53) < m.HeavyFrac {
+			// Heavy component: log-uniform in [HeavyLo, Max],
+			// independent of size (paper Fig. 1's upper cloud).
+			u := float64(kv.Mix64(hsel)>>11) / float64(1<<53)
+			return m.HeavyLo * math.Exp(u*math.Log(m.Max/m.HeavyLo))
+		}
+	}
+	med := m.Base * math.Pow(float64(size)/64.0, m.Slope)
+	p := med
+	if m.Sigma > 0 {
+		z := normal(h)
+		p = med * math.Exp(m.Sigma*z)
+	}
+	if p < m.Min {
+		p = m.Min
+	}
+	if p > m.Max {
+		p = m.Max
+	}
+	return p
+}
+
+// normal derives a standard normal variate deterministically from a 64-bit
+// hash via Box–Muller over two uniforms split from the hash.
+func normal(h uint64) float64 {
+	u1 := float64(h>>40|1) / float64(1<<24) // (0,1], 24 bits
+	u2 := float64(h&0xffffff) / float64(1<<24)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// SubclassBounds are the paper's five penalty ranges, in seconds:
+// (0,1ms], (1ms,10ms], (10ms,100ms], (100ms,1s], (1s,5s].
+// Bounds[i] is the inclusive upper edge of subclass i.
+var SubclassBounds = []float64{0.001, 0.010, 0.100, 1.0, Cap}
+
+// SubclassFor maps a penalty to its subclass index under bounds; penalties
+// above the last bound land in the last subclass.
+func SubclassFor(p float64, bounds []float64) int {
+	for i, b := range bounds {
+		if p <= b {
+			return i
+		}
+	}
+	return len(bounds) - 1
+}

@@ -1,0 +1,130 @@
+package penalty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pamakv/internal/kv"
+)
+
+func TestOfDeterministic(t *testing.T) {
+	m := Default()
+	f := func(h uint64, size uint16) bool {
+		s := int(size) + 1
+		return m.Of(h, s) == m.Of(h, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfClamped(t *testing.T) {
+	m := Default()
+	f := func(h uint64, size uint32) bool {
+		p := m.Of(h, int(size%(2<<20)))
+		return p >= m.Min && p <= m.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianGrowsWithSize(t *testing.T) {
+	m := Default()
+	med := func(size int) float64 {
+		var ps []float64
+		for i := uint64(0); i < 2001; i++ {
+			ps = append(ps, m.Of(kv.Mix64(i), size))
+		}
+		// Median by nth element via simple selection.
+		lo, hi := m.Min, m.Max
+		for iter := 0; iter < 60; iter++ {
+			mid := (lo + hi) / 2
+			n := 0
+			for _, p := range ps {
+				if p <= mid {
+					n++
+				}
+			}
+			if n < len(ps)/2 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	small, large := med(64), med(1<<20)
+	if large < 20*small {
+		t.Fatalf("median at 1MiB (%.4fs) should dwarf median at 64B (%.4fs)", large, small)
+	}
+}
+
+func TestSpreadAtFixedSize(t *testing.T) {
+	m := Default()
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i := uint64(0); i < 5000; i++ {
+		p := m.Of(kv.Mix64(i*2654435761), 1024)
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	if mx/mn < 10 {
+		t.Fatalf("penalty spread at fixed size only %.1fx; paper shows orders of magnitude", mx/mn)
+	}
+}
+
+func TestUniformModel(t *testing.T) {
+	m := Uniform(0.25)
+	for i := uint64(0); i < 100; i++ {
+		if p := m.Of(i, int(i%4096)+1); p != 0.25 {
+			t.Fatalf("Uniform model returned %v", p)
+		}
+	}
+}
+
+func TestSubclassFor(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0.0001, 0}, {0.001, 0}, {0.0011, 1}, {0.01, 1}, {0.05, 2},
+		{0.1, 2}, {0.5, 3}, {1.0, 3}, {2.0, 4}, {5.0, 4}, {99.0, 4},
+	}
+	for _, c := range cases {
+		if got := SubclassFor(c.p, SubclassBounds); got != c.want {
+			t.Errorf("SubclassFor(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSubclassCoversModelRange(t *testing.T) {
+	m := Default()
+	seen := map[int]bool{}
+	for i := uint64(0); i < 200000; i++ {
+		size := 64 << (i % 15)
+		p := m.Of(kv.Mix64(i*0x9e3779b97f4a7c15), size)
+		seen[SubclassFor(p, SubclassBounds)] = true
+	}
+	// The model must exercise every penalty subclass, otherwise PAMA's
+	// subclass machinery would be untested by the workloads.
+	for s := 0; s < len(SubclassBounds); s++ {
+		if !seen[s] {
+			t.Fatalf("model never produces subclass %d penalties", s)
+		}
+	}
+}
+
+func TestZeroAndNegativeSize(t *testing.T) {
+	m := Default()
+	if p := m.Of(1, 0); p < m.Min || p > m.Max {
+		t.Fatalf("size 0 penalty out of range: %v", p)
+	}
+	if p := m.Of(1, -5); p < m.Min || p > m.Max {
+		t.Fatalf("negative size penalty out of range: %v", p)
+	}
+}

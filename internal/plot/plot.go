@@ -1,0 +1,204 @@
+// Package plot renders metric series as ASCII charts, so the repository's
+// figures can be eyeballed in a terminal without external plotting tools:
+// line charts for the paper's time series (hit ratio, service time) and
+// log-log scatters for the penalty model (Fig. 1).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"pamakv/internal/metrics"
+)
+
+// markers distinguish up to eight series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Chart is a fixed-size character canvas with axes.
+type Chart struct {
+	w, h                   int
+	cells                  [][]byte
+	xmin, xmax, ymin, ymax float64
+	logX, logY             bool
+}
+
+// NewChart creates a w×h plotting area (excluding axes). Minimums are
+// clamped to 16×4.
+func NewChart(w, h int) *Chart {
+	if w < 16 {
+		w = 16
+	}
+	if h < 4 {
+		h = 4
+	}
+	c := &Chart{w: w, h: h}
+	c.cells = make([][]byte, h)
+	for i := range c.cells {
+		c.cells[i] = []byte(strings.Repeat(" ", w))
+	}
+	c.xmin, c.xmax = math.Inf(1), math.Inf(-1)
+	c.ymin, c.ymax = math.Inf(1), math.Inf(-1)
+	return c
+}
+
+// LogX switches the x axis to log10 scale (values must be positive).
+func (c *Chart) LogX() *Chart { c.logX = true; return c }
+
+// LogY switches the y axis to log10 scale (values must be positive).
+func (c *Chart) LogY() *Chart { c.logY = true; return c }
+
+// Bounds grows the data window to include the given point.
+func (c *Chart) Bounds(x, y float64) {
+	if x < c.xmin {
+		c.xmin = x
+	}
+	if x > c.xmax {
+		c.xmax = x
+	}
+	if y < c.ymin {
+		c.ymin = y
+	}
+	if y > c.ymax {
+		c.ymax = y
+	}
+}
+
+func (c *Chart) tx(v, lo, hi float64, log bool, n int) int {
+	if log {
+		if v <= 0 || lo <= 0 {
+			return -1
+		}
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	if hi <= lo {
+		return 0
+	}
+	p := int(math.Round((v - lo) / (hi - lo) * float64(n-1)))
+	if p < 0 || p >= n {
+		return -1
+	}
+	return p
+}
+
+// Point plots one data point with the given marker.
+func (c *Chart) Point(x, y float64, marker byte) {
+	px := c.tx(x, c.xmin, c.xmax, c.logX, c.w)
+	py := c.tx(y, c.ymin, c.ymax, c.logY, c.h)
+	if px < 0 || py < 0 {
+		return
+	}
+	row := c.h - 1 - py
+	if cur := c.cells[row][px]; cur != ' ' && cur != marker {
+		c.cells[row][px] = '&' // overlap
+		return
+	}
+	c.cells[row][px] = marker
+}
+
+// Render writes the canvas with a y-axis gutter and x-axis line.
+func (c *Chart) Render(w io.Writer, title string) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	fmtTick := func(v float64) string {
+		av := math.Abs(v)
+		switch {
+		case v == 0:
+			return "0"
+		case av >= 1e6 || av < 1e-3:
+			return fmt.Sprintf("%.1e", v)
+		case av >= 100:
+			return fmt.Sprintf("%.0f", v)
+		default:
+			return fmt.Sprintf("%.3f", v)
+		}
+	}
+	for i, row := range c.cells {
+		label := strings.Repeat(" ", 9)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9s", fmtTick(c.ymax))
+		case c.h - 1:
+			label = fmt.Sprintf("%9s", fmtTick(c.ymin))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", c.w)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%9s  %-*s%s\n", "", c.w-len(fmtTick(c.xmax)), fmtTick(c.xmin), fmtTick(c.xmax))
+	return err
+}
+
+// Series renders several metric series as a line chart of the chosen column.
+type Column int
+
+// Columns selectable for Series.
+const (
+	// ColHitRatio plots Point.HitRatio.
+	ColHitRatio Column = iota
+	// ColAvgService plots Point.AvgService.
+	ColAvgService
+)
+
+// Series renders the series' chosen column against GetsServed, one marker
+// per series, followed by a legend.
+func Series(w io.Writer, title string, col Column, series []*metrics.Series) error {
+	ch := NewChart(72, 16)
+	val := func(p metrics.Point) float64 {
+		if col == ColAvgService {
+			return p.AvgService
+		}
+		return p.HitRatio
+	}
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			ch.Bounds(float64(p.GetsServed), val(p))
+			any = true
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	for i, s := range series {
+		m := markers[i%len(markers)]
+		for _, p := range s.Points {
+			ch.Point(float64(p.GetsServed), val(p), m)
+		}
+	}
+	if err := ch.Render(w, title); err != nil {
+		return err
+	}
+	var legend []string
+	for i, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[i%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%11s%s\n\n", "", strings.Join(legend, "  "))
+	return err
+}
+
+// Scatter renders (x, y) pairs on log-log axes — Fig. 1's penalty-vs-size
+// cloud.
+func Scatter(w io.Writer, title string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: %d xs vs %d ys", len(xs), len(ys))
+	}
+	ch := NewChart(72, 20).LogX().LogY()
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			ch.Bounds(xs[i], ys[i])
+		}
+	}
+	for i := range xs {
+		ch.Point(xs[i], ys[i], '.')
+	}
+	return ch.Render(w, title)
+}

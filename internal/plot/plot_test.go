@@ -1,0 +1,127 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"pamakv/internal/metrics"
+)
+
+func TestChartClampsSize(t *testing.T) {
+	c := NewChart(1, 1)
+	if c.w < 16 || c.h < 4 {
+		t.Fatalf("chart not clamped: %dx%d", c.w, c.h)
+	}
+}
+
+func TestChartPlotsCorners(t *testing.T) {
+	c := NewChart(20, 5)
+	c.Bounds(0, 0)
+	c.Bounds(10, 100)
+	c.Point(0, 0, 'a')
+	c.Point(10, 100, 'b')
+	var sb strings.Builder
+	if err := c.Render(&sb, "corners"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// 'b' on the top row, 'a' on the bottom data row.
+	if !strings.Contains(lines[1], "b") {
+		t.Fatalf("top corner missing:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "a") {
+		t.Fatalf("bottom corner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "corners") || !strings.Contains(out, "100") {
+		t.Fatalf("title or tick missing:\n%s", out)
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	c := NewChart(16, 4)
+	c.Bounds(0, 0)
+	c.Bounds(1, 1)
+	c.Point(0, 0, 'a')
+	c.Point(0, 0, 'b')
+	var sb strings.Builder
+	c.Render(&sb, "")
+	if !strings.Contains(sb.String(), "&") {
+		t.Fatal("overlapping markers should render '&'")
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	c := NewChart(16, 4).LogX().LogY()
+	c.Bounds(1, 0.001)
+	c.Bounds(1e6, 5)
+	c.Point(1000, 0.07, 'm') // the log-midpoint-ish
+	c.Point(-5, 0.07, 'x')   // non-positive on log axis: dropped
+	var sb strings.Builder
+	c.Render(&sb, "")
+	if !strings.Contains(sb.String(), "m") {
+		t.Fatal("log point missing")
+	}
+	if strings.Contains(sb.String(), "x") {
+		t.Fatal("invalid log point plotted")
+	}
+}
+
+func mkSeries(name string, vals ...float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, v := range vals {
+		s.Append(metrics.Point{GetsServed: uint64((i + 1) * 100), HitRatio: v, AvgService: v / 10})
+	}
+	return s
+}
+
+func TestSeriesRendersLegend(t *testing.T) {
+	a := mkSeries("pama", 0.5, 0.7, 0.9)
+	b := mkSeries("psa", 0.4, 0.5, 0.6)
+	var sb strings.Builder
+	if err := Series(&sb, "hit ratio", ColHitRatio, []*metrics.Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"hit ratio", "*=pama", "+=psa", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesServiceColumn(t *testing.T) {
+	a := mkSeries("x", 1.0, 2.0)
+	var sb strings.Builder
+	if err := Series(&sb, "svc", ColAvgService, []*metrics.Series{a}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.200") {
+		t.Fatalf("service max tick missing:\n%s", sb.String())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Series(&sb, "t", ColHitRatio, []*metrics.Series{{Name: "e"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty series should say so")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	ys := []float64{0.001, 0.01, 0.1, 1}
+	var sb strings.Builder
+	if err := Scatter(&sb, "fig1", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), ".") < 4 {
+		t.Fatalf("scatter points missing:\n%s", sb.String())
+	}
+	if err := Scatter(&sb, "bad", xs, ys[:2]); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,250 @@
+// Package policy implements the baseline slab-allocation schemes the paper
+// compares PAMA against (§II, §IV):
+//
+//   - Static: the original Memcached — slabs are granted while free memory
+//     lasts and never reassigned afterwards; replacement is per-class LRU.
+//   - PSA: periodic slab allocation (Carra & Michiardi) — every M misses,
+//     move a slab from the class with the lowest request density
+//     (requests per slab per window) to the class with the most misses in
+//     the window.
+//   - Twemcache: Twitter's aggressive random policy — on a miss without
+//     free space, a random other class surrenders one slab.
+//   - FacebookAge: Facebook's rebalancer (Nishtala et al.) — approximate a
+//     global LRU by equalizing per-class LRU-tail ages; when a class's tail
+//     is at least 20% younger than the average of the others, move a slab
+//     from the class with the oldest tail to the class with the youngest.
+//
+// All four run a single LRU stack per class (no penalty subclasses, no
+// segment tracking, no ghost regions) — exactly the machinery their original
+// systems had.
+package policy
+
+import (
+	"math"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+)
+
+// base provides the no-frills defaults the baselines share.
+type base struct{ c *cache.Cache }
+
+func (b *base) SubclassBounds() []float64      { return nil }
+func (b *base) Segments() int                  { return 0 }
+func (b *base) GhostSegments() int             { return 0 }
+func (b *base) Attach(c *cache.Cache)          { b.c = c }
+func (b *base) OnHit(*kv.Item, int)            {}
+func (b *base) OnMiss(int, int, *kv.Item, int) {}
+func (b *base) OnInsert(*kv.Item)              {}
+func (b *base) OnEvict(*kv.Item)               {}
+func (b *base) OnWindow()                      {}
+
+// Static is original Memcached: no reallocation, per-class LRU replacement.
+type Static struct{ base }
+
+// NewStatic returns the static policy.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements cache.Policy.
+func (*Static) Name() string { return "memcached" }
+
+// MakeRoom implements cache.Policy: replace within the class; if the class
+// owns nothing, the SET fails — the original Memcached returns an
+// out-of-memory error in that situation.
+func (s *Static) MakeRoom(class, _ int) {
+	s.c.EvictOneInClass(class)
+}
+
+// PSA is periodic slab allocation.
+type PSA struct {
+	base
+	// M is the miss period between relocations (paper §II describes "for
+	// every M misses, where M is a predefined constant").
+	M uint64
+
+	misses   uint64
+	prevReqs []uint64
+	// Relocations counts slab moves performed (tests).
+	Relocations uint64
+}
+
+// NewPSA returns PSA with the given relocation period.
+func NewPSA(m uint64) *PSA {
+	if m == 0 {
+		m = 1000
+	}
+	return &PSA{M: m}
+}
+
+// Name implements cache.Policy.
+func (*PSA) Name() string { return "psa" }
+
+// Attach implements cache.Policy.
+func (p *PSA) Attach(c *cache.Cache) {
+	p.base.Attach(c)
+	p.prevReqs = make([]uint64, c.NumClasses())
+}
+
+// OnWindow implements cache.Policy: remember the finished window's request
+// counts so density is never computed from a nearly empty window.
+func (p *PSA) OnWindow() {
+	for cl := 0; cl < p.c.NumClasses(); cl++ {
+		p.prevReqs[cl] = p.c.WindowReqs(cl)
+	}
+}
+
+// OnMiss implements cache.Policy: count misses and relocate every M of
+// them, from the lowest-density class to the class with the most misses in
+// the current window.
+func (p *PSA) OnMiss(class, _ int, _ *kv.Item, _ int) {
+	p.misses++
+	if p.misses < p.M {
+		return
+	}
+	p.misses = 0
+	c := p.c
+	if c.FreeSlabs() > 0 {
+		return // growth phase: nothing to rebalance yet
+	}
+	// Destination: most window misses (fall back to the missing class).
+	dest, destMisses := class, uint64(0)
+	for cl := 0; cl < c.NumClasses(); cl++ {
+		if m := c.WindowMisses(cl); m > destMisses {
+			dest, destMisses = cl, m
+		}
+	}
+	if dest < 0 {
+		return
+	}
+	// Donor: lowest request density among slab owners, excluding dest.
+	// Donors keep one slab so no class is starved into unservability.
+	donor, donorDensity := -1, math.Inf(1)
+	for cl := 0; cl < c.NumClasses(); cl++ {
+		if cl == dest || c.Slabs(cl) < 2 {
+			continue
+		}
+		d := float64(p.prevReqs[cl]+c.WindowReqs(cl)) / float64(c.Slabs(cl))
+		if d < donorDensity {
+			donor, donorDensity = cl, d
+		}
+	}
+	if donor < 0 {
+		return
+	}
+	if err := c.MigrateSlab(donor, 0, dest); err == nil {
+		p.Relocations++
+	}
+}
+
+// MakeRoom implements cache.Policy: relocation is periodic, so the
+// in-between misses replace within the class.
+func (p *PSA) MakeRoom(class, _ int) {
+	p.c.EvictOneInClass(class)
+}
+
+// Twemcache is Twitter's random-donor policy.
+type Twemcache struct {
+	base
+	state uint64
+	// Reassignments counts slab moves (tests).
+	Reassignments uint64
+}
+
+// NewTwemcache returns the policy with a deterministic seed.
+func NewTwemcache(seed uint64) *Twemcache {
+	return &Twemcache{state: seed ^ 0x7477656d}
+}
+
+// Name implements cache.Policy.
+func (*Twemcache) Name() string { return "twemcache" }
+
+// MakeRoom implements cache.Policy: take a slab from a random other class.
+func (t *Twemcache) MakeRoom(class, _ int) {
+	c := t.c
+	// Collect eligible donors; donors keep one slab so no class is
+	// starved into unservability.
+	var donors []int
+	for cl := 0; cl < c.NumClasses(); cl++ {
+		if cl != class && c.Slabs(cl) >= 2 {
+			donors = append(donors, cl)
+		}
+	}
+	if len(donors) == 0 {
+		c.EvictOneInClass(class)
+		return
+	}
+	t.state = kv.Mix64(t.state + 0x9e3779b97f4a7c15)
+	donor := donors[t.state%uint64(len(donors))]
+	if err := c.MigrateSlab(donor, 0, class); err == nil {
+		t.Reassignments++
+	} else {
+		c.EvictOneInClass(class)
+	}
+}
+
+// FacebookAge is Facebook's LRU-age balancer.
+type FacebookAge struct {
+	base
+	// Moves counts rebalance migrations (tests).
+	Moves uint64
+}
+
+// NewFacebookAge returns the policy.
+func NewFacebookAge() *FacebookAge { return &FacebookAge{} }
+
+// Name implements cache.Policy.
+func (*FacebookAge) Name() string { return "facebook-age" }
+
+// MakeRoom implements cache.Policy: rebalancing is a background activity;
+// the miss itself replaces within its class.
+func (f *FacebookAge) MakeRoom(class, _ int) {
+	f.c.EvictOneInClass(class)
+}
+
+// OnWindow implements cache.Policy: equalize LRU tail ages.
+func (f *FacebookAge) OnWindow() {
+	c := f.c
+	if c.FreeSlabs() > 0 {
+		return
+	}
+	now := c.Clock()
+	youngest, oldest := -1, -1
+	var youngAge, oldAge uint64
+	var sum uint64
+	n := 0
+	ages := make([]uint64, c.NumClasses())
+	for cl := 0; cl < c.NumClasses(); cl++ {
+		tail := c.SubTail(cl, 0)
+		if tail == nil || c.Slabs(cl) == 0 {
+			ages[cl] = 0
+			continue
+		}
+		age := now - tail.LastAccess
+		ages[cl] = age
+		sum += age
+		n++
+		if youngest < 0 || age < youngAge {
+			youngest, youngAge = cl, age
+		}
+		if oldest < 0 || age > oldAge {
+			oldest, oldAge = cl, age
+		}
+	}
+	if n < 2 || youngest == oldest {
+		return
+	}
+	avgOthers := float64(sum-youngAge) / float64(n-1)
+	if float64(youngAge) < 0.8*avgOthers && c.Slabs(oldest) >= 2 {
+		if err := c.MigrateSlab(oldest, 0, youngest); err == nil {
+			f.Moves++
+		}
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ cache.Policy = (*Static)(nil)
+	_ cache.Policy = (*PSA)(nil)
+	_ cache.Policy = (*Twemcache)(nil)
+	_ cache.Policy = (*FacebookAge)(nil)
+)

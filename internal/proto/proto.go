@@ -1,0 +1,239 @@
+// Package proto implements the subset of the Memcached ASCII protocol the
+// pama-server speaks: get/gets, set, delete, stats, flush_all, version, and
+// quit. It contains only framing — command parsing and response rendering —
+// so both the server and test clients share one codec.
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Limits mirror Memcached's.
+const (
+	// MaxKeyLen is the longest accepted key.
+	MaxKeyLen = 250
+	// MaxDataLen bounds a single value (1 MiB, one slab).
+	MaxDataLen = 1 << 20
+)
+
+// Command is one parsed client request.
+type Command struct {
+	// Name is the lower-case verb: get, gets, set, delete, stats,
+	// flush_all, version, quit.
+	Name string
+	// Keys are the operand keys (get may carry several).
+	Keys []string
+	// Flags, Exptime, and Bytes carry set's storage parameters.
+	Flags   uint32
+	Exptime int64
+	Bytes   int
+	// CasID carries cas's token operand.
+	CasID uint64
+	// Delta carries incr/decr's operand.
+	Delta uint64
+	// NoReply suppresses the response (set/delete).
+	NoReply bool
+	// Data is set's value block.
+	Data []byte
+}
+
+// ClientError is a malformed-request error; the server reports it with
+// CLIENT_ERROR and keeps the connection open.
+type ClientError struct{ Msg string }
+
+// Error implements error.
+func (e *ClientError) Error() string { return "proto: " + e.Msg }
+
+func clientErrf(format string, args ...any) error {
+	return &ClientError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ReadCommand parses the next command from r, including set's data block.
+// io.EOF is returned verbatim on a cleanly closed connection.
+func ReadCommand(r *bufio.Reader) (*Command, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) == 0 {
+		return nil, clientErrf("empty command")
+	}
+	cmd := &Command{Name: strings.ToLower(fields[0])}
+	args := fields[1:]
+	switch cmd.Name {
+	case "get", "gets":
+		if len(args) == 0 {
+			return nil, clientErrf("get requires at least one key")
+		}
+		for _, k := range args {
+			if err := checkKey(k); err != nil {
+				return nil, err
+			}
+		}
+		cmd.Keys = args
+	case "set", "add", "replace", "cas":
+		// Storage commands share the grammar; cas carries one extra
+		// token operand before the optional noreply.
+		want := 4
+		if cmd.Name == "cas" {
+			want = 5
+		}
+		if len(args) != want && !(len(args) == want+1 && args[want] == "noreply") {
+			return nil, clientErrf("%s requires <key> <flags> <exptime> <bytes>%s [noreply]",
+				cmd.Name, map[bool]string{true: " <cas>", false: ""}[cmd.Name == "cas"])
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = args[:1]
+		flags, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			return nil, clientErrf("bad flags %q", args[1])
+		}
+		cmd.Flags = uint32(flags)
+		exp, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return nil, clientErrf("bad exptime %q", args[2])
+		}
+		cmd.Exptime = exp
+		n, err := strconv.Atoi(args[3])
+		if err != nil || n < 0 || n > MaxDataLen {
+			return nil, clientErrf("bad bytes %q", args[3])
+		}
+		cmd.Bytes = n
+		if cmd.Name == "cas" {
+			id, err := strconv.ParseUint(args[4], 10, 64)
+			if err != nil {
+				return nil, clientErrf("bad cas token %q", args[4])
+			}
+			cmd.CasID = id
+		}
+		cmd.NoReply = len(args) == want+1
+		data := make([]byte, n+2)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, clientErrf("short data block: %v", err)
+		}
+		if !bytes.HasSuffix(data, []byte("\r\n")) {
+			return nil, clientErrf("data block not terminated by CRLF")
+		}
+		cmd.Data = data[:n]
+	case "delete":
+		if len(args) != 1 && !(len(args) == 2 && args[1] == "noreply") {
+			return nil, clientErrf("delete requires <key> [noreply]")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = args[:1]
+		cmd.NoReply = len(args) == 2
+	case "incr", "decr":
+		if len(args) != 2 && !(len(args) == 3 && args[2] == "noreply") {
+			return nil, clientErrf("%s requires <key> <delta> [noreply]", cmd.Name)
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = args[:1]
+		d, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return nil, clientErrf("bad delta %q", args[1])
+		}
+		cmd.Delta = d
+		cmd.NoReply = len(args) == 3
+	case "touch":
+		if len(args) != 2 && !(len(args) == 3 && args[2] == "noreply") {
+			return nil, clientErrf("touch requires <key> <exptime> [noreply]")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		cmd.Keys = args[:1]
+		exp, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return nil, clientErrf("bad exptime %q", args[1])
+		}
+		cmd.Exptime = exp
+		cmd.NoReply = len(args) == 3
+	case "stats", "flush_all", "version", "quit":
+		// No operands used.
+	default:
+		return nil, clientErrf("unknown command %q", cmd.Name)
+	}
+	return cmd, nil
+}
+
+func checkKey(k string) error {
+	if len(k) == 0 || len(k) > MaxKeyLen {
+		return clientErrf("key length %d outside (0,%d]", len(k), MaxKeyLen)
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] <= ' ' || k[i] == 0x7f {
+			return clientErrf("key contains control or space byte")
+		}
+	}
+	return nil
+}
+
+// readLine reads one CRLF- (or LF-) terminated line without the terminator.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// Response rendering helpers. All append to dst and return it.
+
+// AppendValue renders one VALUE block of a get response.
+func AppendValue(dst []byte, key string, flags uint32, data []byte) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(data)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, data...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendValueCAS renders one VALUE block of a gets response, with the CAS
+// token.
+func AppendValueCAS(dst []byte, key string, flags uint32, data []byte, cas uint64) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(data)), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, cas, 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, data...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendEnd terminates a get or stats response.
+func AppendEnd(dst []byte) []byte { return append(dst, "END\r\n"...) }
+
+// AppendLine appends s + CRLF.
+func AppendLine(dst []byte, s string) []byte {
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendStat renders one STAT line.
+func AppendStat(dst []byte, name string, value any) []byte {
+	return AppendLine(dst, fmt.Sprintf("STAT %s %v", name, value))
+}

@@ -1,0 +1,253 @@
+package proto
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, in string) (*Command, error) {
+	t.Helper()
+	return ReadCommand(bufio.NewReader(strings.NewReader(in)))
+}
+
+func TestParseGet(t *testing.T) {
+	cmd, err := parse(t, "get foo bar\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "get" || len(cmd.Keys) != 2 || cmd.Keys[0] != "foo" || cmd.Keys[1] != "bar" {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseGetLFOnly(t *testing.T) {
+	if _, err := parse(t, "get foo\n"); err != nil {
+		t.Fatalf("bare-LF line rejected: %v", err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	cmd, err := parse(t, "set k 42 0 5\r\nhello\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "set" || cmd.Keys[0] != "k" || cmd.Flags != 42 || cmd.Bytes != 5 {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	if string(cmd.Data) != "hello" || cmd.NoReply {
+		t.Fatalf("data = %q noreply=%v", cmd.Data, cmd.NoReply)
+	}
+}
+
+func TestParseSetNoReply(t *testing.T) {
+	cmd, err := parse(t, "set k 0 0 2 noreply\r\nhi\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.NoReply {
+		t.Fatal("noreply not parsed")
+	}
+}
+
+func TestParseSetBinaryData(t *testing.T) {
+	// Data containing CR/LF bytes must be read by length, not by line.
+	data := "a\r\nb"
+	cmd, err := parse(t, "set k 0 0 4\r\n"+data+"\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cmd.Data) != data {
+		t.Fatalf("data = %q", cmd.Data)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	cmd, err := parse(t, "delete k noreply\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "delete" || cmd.Keys[0] != "k" || !cmd.NoReply {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseBareCommands(t *testing.T) {
+	for _, name := range []string{"stats", "flush_all", "version", "quit"} {
+		cmd, err := parse(t, name+"\r\n")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cmd.Name != name {
+			t.Fatalf("parsed %q, want %q", cmd.Name, name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"\r\n",
+		"get\r\n",
+		"frobnicate k\r\n",
+		"set k 0 0\r\n",
+		"set k x 0 5\r\nhello\r\n",
+		"set k 0 x 5\r\nhello\r\n",
+		"set k 0 0 x\r\nhello\r\n",
+		"set k 0 0 -1\r\n\r\n",
+		"set k 0 0 5\r\nhel\r\n", // short data
+		"set k 0 0 5\r\nhelloXX", // missing CRLF
+		"delete\r\n",
+		"delete k extra junk\r\n",
+		"get " + strings.Repeat("x", 251) + "\r\n", // key too long
+		"get bad\x01key\r\n",
+	}
+	for _, in := range cases {
+		if _, err := parse(t, in); err == nil {
+			t.Errorf("accepted %q", in)
+		} else {
+			var ce *ClientError
+			if !errors.As(err, &ce) {
+				t.Errorf("%q: error %v is not a ClientError", in, err)
+			}
+		}
+	}
+}
+
+func TestParseEOF(t *testing.T) {
+	if _, err := parse(t, ""); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestParseSequence(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("set a 0 0 1\r\nx\r\nget a\r\nquit\r\n"))
+	names := []string{"set", "get", "quit"}
+	for _, want := range names {
+		cmd, err := ReadCommand(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmd.Name != want {
+			t.Fatalf("got %q, want %q", cmd.Name, want)
+		}
+	}
+	if _, err := ReadCommand(r); !errors.Is(err, io.EOF) {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestParseCAS(t *testing.T) {
+	cmd, err := parse(t, "cas k 7 0 3 12345\r\nabc\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "cas" || cmd.CasID != 12345 || string(cmd.Data) != "abc" || cmd.Flags != 7 {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	cmd, err = parse(t, "cas k 0 0 1 5 noreply\r\nx\r\n")
+	if err != nil || !cmd.NoReply {
+		t.Fatalf("cas noreply: %+v %v", cmd, err)
+	}
+	if _, err := parse(t, "cas k 0 0 1\r\nx\r\n"); err == nil {
+		t.Fatal("cas without token accepted")
+	}
+	if _, err := parse(t, "cas k 0 0 1 nottoken\r\nx\r\n"); err == nil {
+		t.Fatal("bad cas token accepted")
+	}
+}
+
+func TestParseIncrDecr(t *testing.T) {
+	cmd, err := parse(t, "incr counter 5\r\n")
+	if err != nil || cmd.Name != "incr" || cmd.Delta != 5 || cmd.Keys[0] != "counter" {
+		t.Fatalf("incr: %+v %v", cmd, err)
+	}
+	cmd, err = parse(t, "decr counter 3 noreply\r\n")
+	if err != nil || cmd.Name != "decr" || !cmd.NoReply {
+		t.Fatalf("decr: %+v %v", cmd, err)
+	}
+	if _, err := parse(t, "incr counter\r\n"); err == nil {
+		t.Fatal("incr without delta accepted")
+	}
+	if _, err := parse(t, "incr counter -5\r\n"); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}
+
+func TestParseTouch(t *testing.T) {
+	cmd, err := parse(t, "touch k 300\r\n")
+	if err != nil || cmd.Name != "touch" || cmd.Exptime != 300 {
+		t.Fatalf("touch: %+v %v", cmd, err)
+	}
+	if _, err := parse(t, "touch k\r\n"); err == nil {
+		t.Fatal("touch without exptime accepted")
+	}
+	if _, err := parse(t, "touch k soon\r\n"); err == nil {
+		t.Fatal("bad exptime accepted")
+	}
+}
+
+// TestParserRobustCorpus throws random byte soup at the parser: it must
+// never panic and must either parse or return a ClientError/IO error.
+func TestParserRobustCorpus(t *testing.T) {
+	corpus := []string{
+		"\x00\x01\x02\r\n",
+		"set\r\n",
+		"set k\r\n",
+		"get \r\n",
+		strings.Repeat("a", 100000) + "\r\n",
+		"set k 4294967296 0 1\r\nx\r\n", // flags overflow uint32
+		"set k 0 99999999999999999999 1\r\nx\r\n",
+		"set k 0 0 1048577\r\n",           // beyond MaxDataLen
+		"incr k 18446744073709551616\r\n", // overflow uint64
+		"cas k 0 0 1 18446744073709551616\r\nx\r\n",
+		"get k1 k2 k3 k4 k5 k6 k7 k8 k9 k10\r\n",
+		"\r\n\r\n\r\n",
+		"touch\r\n",
+		"delete  \r\n",
+		"GET K\r\n", // upper case verb is accepted, keys case-sensitive
+	}
+	for _, in := range corpus {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", in, r)
+				}
+			}()
+			r := bufio.NewReader(strings.NewReader(in))
+			for {
+				_, err := ReadCommand(r)
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func TestAppendValueCAS(t *testing.T) {
+	out := AppendValueCAS(nil, "k", 7, []byte("ab"), 42)
+	if string(out) != "VALUE k 7 2 42\r\nab\r\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestAppendValue(t *testing.T) {
+	out := AppendValue(nil, "k", 7, []byte("abc"))
+	out = AppendEnd(out)
+	want := "VALUE k 7 3\r\nabc\r\nEND\r\n"
+	if string(out) != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestAppendStatAndLine(t *testing.T) {
+	out := AppendStat(nil, "hits", 42)
+	if string(out) != "STAT hits 42\r\n" {
+		t.Fatalf("got %q", out)
+	}
+	if string(AppendLine(nil, "STORED")) != "STORED\r\n" {
+		t.Fatal("AppendLine broken")
+	}
+}

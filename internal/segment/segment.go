@@ -1,0 +1,176 @@
+// Package segment tracks which slab-sized segment of an LRU stack's bottom
+// region an access lands in — the measurement PAMA's slab valuation is built
+// on (paper §III).
+//
+// The bottom of each subclass stack is divided into nseg segments of segSize
+// items each: segment 0 is the candidate slab (the virtual slab that would
+// be evicted if the subclass donates memory), segments 1..nseg-1 are the
+// reference segments above it. Touch reports the segment an accessed item
+// occupied, or -1 when the item is above the tracked region.
+//
+// Two implementations share the Tracker interface:
+//
+//   - Exact maintains an order-statistics ring (package rank) and computes
+//     the item's true stack position on every access — O(log n), zero error.
+//   - Bloom implements the paper's scheme: one Bloom filter per segment plus
+//     a removal filter, rebuilt from a stack scan at every window rollover —
+//     O(1) per access with bounded staleness and false-positive error.
+//
+// The engine can run either; BenchmarkAblationTracker compares them.
+package segment
+
+import (
+	"pamakv/internal/bloom"
+	"pamakv/internal/kv"
+	"pamakv/internal/lru"
+	"pamakv/internal/rank"
+)
+
+// Tracker attributes accesses on one LRU stack to bottom segments. The
+// tracker owns the stack's LRU motion: Insert is called after the item has
+// been pushed onto the list's MRU end, Remove before/after the item leaves
+// the list, and Touch moves the item to the MRU end itself, so the tracker's
+// internal order can never drift from the list order.
+type Tracker interface {
+	// Insert registers a brand-new item that the caller has just pushed
+	// onto the list's MRU end.
+	Insert(it *kv.Item)
+	// Remove unregisters an item leaving the stack (eviction, delete,
+	// migration), from any position.
+	Remove(it *kv.Item)
+	// Touch handles an access: it reports the segment the item occupied
+	// (0 = candidate, 1..nseg-1 = reference, -1 = above the region) and
+	// moves the item to the list's MRU end.
+	Touch(it *kv.Item) int
+	// Rollover marks a value-window boundary (Bloom rebuilds snapshots).
+	Rollover()
+	// Segments returns the number of tracked segments.
+	Segments() int
+}
+
+// Exact is the ground-truth tracker.
+type Exact struct {
+	list    *lru.List
+	ring    *rank.Ring
+	segSize int
+	nseg    int
+}
+
+// NewExact tracks nseg segments of segSize items at the bottom of list.
+func NewExact(list *lru.List, segSize, nseg int) *Exact {
+	return &Exact{list: list, ring: rank.New(256), segSize: segSize, nseg: nseg}
+}
+
+// Insert implements Tracker. The item must already be on the list's MRU
+// end: when the sequence window is exhausted the tracker rebuilds itself
+// from the list, which must therefore include the item.
+func (e *Exact) Insert(it *kv.Item) {
+	if e.ring.Full() {
+		e.compact() // picks it up from the list's front
+		return
+	}
+	e.ring.Insert(it)
+}
+
+// Remove implements Tracker.
+func (e *Exact) Remove(it *kv.Item) { e.ring.Remove(it) }
+
+// Touch implements Tracker.
+func (e *Exact) Touch(it *kv.Item) int {
+	pos := e.ring.Rank(it)
+	e.ring.Remove(it)
+	e.list.MoveToFront(it)
+	if e.ring.Full() {
+		e.compact() // re-registers it from its new front position
+	} else {
+		e.ring.Insert(it)
+	}
+	seg := pos / e.segSize
+	if seg >= e.nseg {
+		return -1
+	}
+	return seg
+}
+
+// Rollover implements Tracker (no-op: Exact is always current).
+func (e *Exact) Rollover() {}
+
+// Segments implements Tracker.
+func (e *Exact) Segments() int { return e.nseg }
+
+func (e *Exact) compact() {
+	e.ring.Reset()
+	e.list.AscendFromBack(func(x *kv.Item) bool {
+		e.ring.Insert(x)
+		return true
+	})
+}
+
+// Bloom is the paper's approximate tracker.
+type Bloom struct {
+	list    *lru.List
+	set     *bloom.SegmentSet
+	segSize int
+	nseg    int
+}
+
+// NewBloom tracks nseg segments of segSize items using per-segment Bloom
+// filters; the snapshot is rebuilt on Rollover.
+func NewBloom(list *lru.List, segSize, nseg int) *Bloom {
+	b := &Bloom{
+		list:    list,
+		set:     bloom.NewSegmentSet(nseg, segSize),
+		segSize: segSize,
+		nseg:    nseg,
+	}
+	return b
+}
+
+// Insert implements Tracker. A new item enters at the MRU end, far above
+// the bottom region, so the filters are untouched.
+func (b *Bloom) Insert(*kv.Item) {}
+
+// Remove implements Tracker: an eviction from the bottom region must not
+// keep matching, so it is recorded in the removal filter.
+func (b *Bloom) Remove(it *kv.Item) {
+	if b.set.Lookup(it.Hash) >= 0 {
+		b.set.MarkRemoved(it.Hash)
+	}
+}
+
+// Touch implements Tracker: look the key up in the segment filters; on a
+// match, record the key's departure from the region, then move the item to
+// the MRU end.
+func (b *Bloom) Touch(it *kv.Item) int {
+	seg := b.set.Lookup(it.Hash)
+	if seg >= 0 {
+		b.set.MarkRemoved(it.Hash)
+	}
+	b.list.MoveToFront(it)
+	return seg
+}
+
+// Rollover implements Tracker: rebuild the per-segment snapshots from the
+// current stack bottom.
+func (b *Bloom) Rollover() {
+	b.set.Reset()
+	i := 0
+	b.list.AscendFromBack(func(it *kv.Item) bool {
+		seg := i / b.segSize
+		if seg >= b.nseg {
+			return false
+		}
+		b.set.AddToSegment(seg, it.Hash)
+		i++
+		return true
+	})
+}
+
+// Segments implements Tracker.
+func (b *Bloom) Segments() int { return b.nseg }
+
+// Interface conformance checks.
+var (
+	_ Tracker = (*Exact)(nil)
+	_ Tracker = (*Bloom)(nil)
+)

@@ -1,0 +1,395 @@
+// Package server exposes the cache engine over the Memcached ASCII protocol
+// (package proto) on a TCP listener, one goroutine per connection.
+//
+// The server can optionally run in read-through mode with a simulated
+// back-end store: a GET miss fetches the value from the backend (paying its
+// scaled miss penalty in real time), refills the cache with the penalty
+// attached, and serves the value — the GET-miss → SET pattern the paper's
+// penalty estimation is built on, live on a socket.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"pamakv/internal/backend"
+	"pamakv/internal/cache"
+	"pamakv/internal/penalty"
+	"pamakv/internal/proto"
+)
+
+// itemOverhead approximates per-item metadata charged to the slab slot, as
+// Memcached charges its item header.
+const itemOverhead = 56
+
+// Store is the cache surface the server drives: satisfied by both
+// *cache.Cache (one engine) and *shard.Group (hash-sharded engines).
+type Store interface {
+	Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool)
+	GetWithCAS(key string, buf []byte) ([]byte, uint32, uint64, bool)
+	Set(key string, size int, pen float64, flags uint32, value []byte) error
+	SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error
+	Delete(key string) bool
+	Touch(key string, expireAt int64) bool
+	Delta(key string, delta uint64, decr bool) (uint64, error)
+	Flush()
+	Stats() cache.Stats
+	Items() int
+	SnapshotSlabs() []int
+	PolicyName() string
+}
+
+// Options configure a Server.
+type Options struct {
+	// Backend enables read-through on GET misses.
+	Backend *backend.Store
+	// Logger receives connection-level errors; nil disables logging.
+	Logger *log.Logger
+	// ReapInterval runs a background expiry crawler this often (the
+	// engine's expiry is otherwise lazy); 0 disables it.
+	ReapInterval time.Duration
+}
+
+// Server serves the cache over TCP. Construct with New.
+type Server struct {
+	c    Store
+	opts Options
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	reapC  chan struct{}
+}
+
+// reaper is implemented by stores that support proactive expiry
+// (*cache.Cache does; a shard group reaps per shard through Flush-like
+// fan-out when it adopts the method).
+type reaper interface{ ReapExpired(max int) int }
+
+// New returns a Server for the given store (a single engine or a shard
+// group), which should have been built with StoreValues: true; without it
+// GETs return empty bodies.
+func New(c Store, opts Options) *Server {
+	return &Server{c: c, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	if s.opts.ReapInterval > 0 && s.reapC == nil {
+		if r, ok := s.c.(reaper); ok {
+			s.reapC = make(chan struct{})
+			s.wg.Add(1)
+			go s.reapLoop(r)
+		}
+	}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting, closes every connection, and waits for handlers
+// to drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.reapC != nil {
+		close(s.reapC)
+		s.reapC = nil
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// reapLoop periodically sweeps expired items until Shutdown.
+func (s *Server) reapLoop(r reaper) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.ReapInterval)
+	defer t.Stop()
+	s.mu.Lock()
+	done := s.reapC
+	s.mu.Unlock()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			if n := r.ReapExpired(4096); n > 0 {
+				s.logf("server: reaped %d expired items", n)
+			}
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	var out []byte
+	for {
+		cmd, err := proto.ReadCommand(r)
+		if err != nil {
+			var ce *proto.ClientError
+			switch {
+			case errors.Is(err, io.EOF):
+				return
+			case errors.As(err, &ce):
+				out = proto.AppendLine(out[:0], "CLIENT_ERROR "+ce.Msg)
+				if _, werr := w.Write(out); werr != nil || w.Flush() != nil {
+					return
+				}
+				continue
+			default:
+				s.logf("server: read from %v: %v", conn.RemoteAddr(), err)
+				return
+			}
+		}
+		out = s.dispatch(out[:0], cmd)
+		if cmd.Name == "quit" {
+			w.Write(out)
+			w.Flush()
+			return
+		}
+		if len(out) > 0 {
+			if _, err := w.Write(out); err != nil {
+				return
+			}
+		}
+		// Flush when no further command is already buffered (simple
+		// pipelining support).
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
+	switch cmd.Name {
+	case "get", "gets":
+		return s.doGet(out, cmd)
+	case "set", "add", "replace", "cas":
+		return s.doSet(out, cmd)
+	case "incr", "decr":
+		return s.doDelta(out, cmd)
+	case "touch":
+		ok := s.c.Touch(cmd.Keys[0], expireAt(cmd.Exptime))
+		if cmd.NoReply {
+			return out
+		}
+		if ok {
+			return proto.AppendLine(out, "TOUCHED")
+		}
+		return proto.AppendLine(out, "NOT_FOUND")
+	case "delete":
+		ok := s.c.Delete(cmd.Keys[0])
+		if cmd.NoReply {
+			return out
+		}
+		if ok {
+			return proto.AppendLine(out, "DELETED")
+		}
+		return proto.AppendLine(out, "NOT_FOUND")
+	case "stats":
+		return s.doStats(out)
+	case "flush_all":
+		s.c.Flush()
+		return proto.AppendLine(out, "OK")
+	case "version":
+		return proto.AppendLine(out, "VERSION pamakv/1.0")
+	case "quit":
+		return out
+	default:
+		return proto.AppendLine(out, "ERROR")
+	}
+}
+
+func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
+	withCAS := cmd.Name == "gets"
+	for _, key := range cmd.Keys {
+		var val []byte
+		var flags uint32
+		var cas uint64
+		var hit bool
+		if withCAS {
+			val, flags, cas, hit = s.c.GetWithCAS(key, nil)
+		} else {
+			val, flags, hit = s.c.Get(key, 0, 0, nil)
+		}
+		if !hit && s.opts.Backend != nil {
+			size, pen, body := s.opts.Backend.Fetch(key, true)
+			if err := s.c.Set(key, size+len(key)+itemOverhead, pen, 0, body); err == nil {
+				val, flags, hit = body, 0, true
+				if withCAS {
+					_, _, cas, _ = s.c.GetWithCAS(key, nil)
+				}
+			}
+		}
+		if hit {
+			if withCAS {
+				out = proto.AppendValueCAS(out, key, flags, val, cas)
+			} else {
+				out = proto.AppendValue(out, key, flags, val)
+			}
+		}
+	}
+	return proto.AppendEnd(out)
+}
+
+func (s *Server) doDelta(out []byte, cmd *proto.Command) []byte {
+	next, err := s.c.Delta(cmd.Keys[0], cmd.Delta, cmd.Name == "decr")
+	if cmd.NoReply {
+		return out
+	}
+	switch {
+	case errors.Is(err, cache.ErrNotStored):
+		return proto.AppendLine(out, "NOT_FOUND")
+	case errors.Is(err, cache.ErrNotNumeric):
+		return proto.AppendLine(out, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+	case err != nil:
+		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
+	}
+	return proto.AppendLine(out, fmt.Sprintf("%d", next))
+}
+
+func (s *Server) doSet(out []byte, cmd *proto.Command) []byte {
+	key := cmd.Keys[0]
+	pen := penalty.DefaultUnknown
+	if s.opts.Backend != nil {
+		pen = s.opts.Backend.Penalty(key, len(cmd.Data))
+	}
+	size := len(key) + len(cmd.Data) + itemOverhead
+	mode := cache.ModeSet
+	switch cmd.Name {
+	case "add":
+		mode = cache.ModeAdd
+	case "replace":
+		mode = cache.ModeReplace
+	case "cas":
+		mode = cache.ModeCAS
+	}
+	err := s.c.SetMode(key, mode, cmd.CasID, size, pen, cmd.Flags, expireAt(cmd.Exptime), cmd.Data)
+	if cmd.NoReply {
+		return out
+	}
+	switch {
+	case err == nil:
+		return proto.AppendLine(out, "STORED")
+	case errors.Is(err, cache.ErrCASMismatch):
+		return proto.AppendLine(out, "EXISTS")
+	case errors.Is(err, cache.ErrNotStored) && cmd.Name == "cas":
+		return proto.AppendLine(out, "NOT_FOUND")
+	case errors.Is(err, cache.ErrNotStored):
+		return proto.AppendLine(out, "NOT_STORED")
+	default:
+		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
+	}
+}
+
+// expireAt converts Memcached exptime semantics to a unix deadline: 0 means
+// never; values up to 30 days are relative seconds; larger values are
+// absolute unix times; negative means already expired.
+func expireAt(exptime int64) int64 {
+	const thirtyDays = 60 * 60 * 24 * 30
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return 1 // epoch+1: expired on arrival
+	case exptime <= thirtyDays:
+		return time.Now().Unix() + exptime
+	default:
+		return exptime
+	}
+}
+
+func (s *Server) doStats(out []byte) []byte {
+	st := s.c.Stats()
+	out = proto.AppendStat(out, "cmd_get", st.Gets)
+	out = proto.AppendStat(out, "get_hits", st.Hits)
+	out = proto.AppendStat(out, "get_misses", st.Misses)
+	out = proto.AppendStat(out, "cmd_set", st.Sets)
+	out = proto.AppendStat(out, "cmd_delete", st.Deletes)
+	out = proto.AppendStat(out, "evictions", st.Evictions)
+	out = proto.AppendStat(out, "ghost_hits", st.GhostHits)
+	out = proto.AppendStat(out, "curr_items", s.c.Items())
+	out = proto.AppendStat(out, "policy", s.c.PolicyName())
+	for cl, n := range s.c.SnapshotSlabs() {
+		if n > 0 {
+			out = proto.AppendStat(out, fmt.Sprintf("slabs_class_%d", cl), n)
+		}
+	}
+	return proto.AppendEnd(out)
+}

@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pamakv/internal/backend"
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/shard"
+)
+
+// Both cache implementations satisfy the server's Store surface.
+var (
+	_ Store = (*cache.Cache)(nil)
+	_ Store = (*shard.Group)(nil)
+)
+
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 22,
+		StoreValues: true,
+		WindowLen:   10_000,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) send(t *testing.T, s string) {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *client) line(t *testing.T) string {
+	t.Helper()
+	l, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(l, "\r\n")
+}
+
+func TestSetGetDelete(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set greet 9 0 5\r\nhello\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("set -> %q", got)
+	}
+	cl.send(t, "get greet\r\n")
+	if got := cl.line(t); got != "VALUE greet 9 5" {
+		t.Fatalf("get header -> %q", got)
+	}
+	if got := cl.line(t); got != "hello" {
+		t.Fatalf("get body -> %q", got)
+	}
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("get end -> %q", got)
+	}
+	cl.send(t, "delete greet\r\n")
+	if got := cl.line(t); got != "DELETED" {
+		t.Fatalf("delete -> %q", got)
+	}
+	cl.send(t, "get greet\r\n")
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("get after delete -> %q", got)
+	}
+	cl.send(t, "delete greet\r\n")
+	if got := cl.line(t); got != "NOT_FOUND" {
+		t.Fatalf("second delete -> %q", got)
+	}
+}
+
+func TestMultiKeyGet(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n")
+	cl.line(t)
+	cl.line(t)
+	cl.send(t, "get a missing b\r\n")
+	var lines []string
+	for {
+		l := cl.line(t)
+		lines = append(lines, l)
+		if l == "END" {
+			break
+		}
+	}
+	joined := strings.Join(lines, "|")
+	if !strings.Contains(joined, "VALUE a 0 1|x") || !strings.Contains(joined, "VALUE b 0 1|y") {
+		t.Fatalf("multi-get response: %v", lines)
+	}
+	if strings.Contains(joined, "missing") {
+		t.Fatal("missing key should be silently omitted")
+	}
+}
+
+func TestNoReply(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 1 noreply\r\nz\r\nget k\r\n")
+	if got := cl.line(t); got != "VALUE k 0 1" {
+		t.Fatalf("noreply set leaked a response: %q", got)
+	}
+}
+
+func TestClientErrorKeepsConnection(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "bogus\r\n")
+	if got := cl.line(t); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("bad command -> %q", got)
+	}
+	cl.send(t, "version\r\n")
+	if got := cl.line(t); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("connection unusable after client error: %q", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 1\r\nx\r\n")
+	cl.line(t)
+	cl.send(t, "get k\r\nget nope\r\nstats\r\n")
+	stats := map[string]string{}
+	for {
+		l := cl.line(t)
+		if l == "END" {
+			if len(stats) > 0 {
+				break
+			}
+			continue // END of the get responses
+		}
+		if strings.HasPrefix(l, "STAT ") {
+			parts := strings.SplitN(l[5:], " ", 2)
+			stats[parts[0]] = parts[1]
+		}
+	}
+	if stats["get_hits"] != "1" || stats["get_misses"] != "1" || stats["cmd_set"] != "1" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats["policy"] != "pama" {
+		t.Fatalf("policy stat = %q", stats["policy"])
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 1\r\nx\r\n")
+	cl.line(t)
+	cl.send(t, "flush_all\r\n")
+	if got := cl.line(t); got != "OK" {
+		t.Fatalf("flush_all -> %q", got)
+	}
+	cl.send(t, "get k\r\n")
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("get after flush -> %q", got)
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	// Largest class slot is 8 KiB (64<<7); a 32 KiB value cannot be stored.
+	big := strings.Repeat("v", 32<<10)
+	cl.send(t, fmt.Sprintf("set big 0 0 %d\r\n%s\r\n", len(big), big))
+	if got := cl.line(t); !strings.HasPrefix(got, "SERVER_ERROR") {
+		t.Fatalf("oversized set -> %q", got)
+	}
+}
+
+func TestReadThroughBackend(t *testing.T) {
+	store := backend.New(penalty.Uniform(0.001), func(uint64) int { return 10 })
+	_, addr := startServer(t, Options{Backend: store})
+	cl := dial(t, addr)
+	cl.send(t, "get warmme\r\n")
+	if got := cl.line(t); !strings.HasPrefix(got, "VALUE warmme 0 10") {
+		t.Fatalf("read-through get -> %q", got)
+	}
+	cl.line(t) // body
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("end -> %q", got)
+	}
+	if store.Fetches() != 1 {
+		t.Fatalf("fetches = %d, want 1", store.Fetches())
+	}
+	// Second get: served from cache, no new fetch.
+	cl.send(t, "get warmme\r\n")
+	cl.line(t)
+	cl.line(t)
+	cl.line(t)
+	if store.Fetches() != 1 {
+		t.Fatalf("fetches after cached get = %d, want 1", store.Fetches())
+	}
+}
+
+func TestExptimeSemantics(t *testing.T) {
+	now := time.Now().Unix()
+	cases := []struct {
+		exptime int64
+		want    func(int64) bool
+	}{
+		{0, func(v int64) bool { return v == 0 }},
+		{-5, func(v int64) bool { return v == 1 }},
+		{60, func(v int64) bool { return v >= now+59 && v <= now+62 }},
+		{now + 1e6, func(v int64) bool { return v == now+1e6 }},
+	}
+	for _, c := range cases {
+		if got := expireAt(c.exptime); !c.want(got) {
+			t.Errorf("expireAt(%d) = %d", c.exptime, got)
+		}
+	}
+}
+
+func TestSetWithExpiry(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	// Flags must be unsigned: the command line is rejected before the
+	// data block is consumed, so the stray "x" line then parses as an
+	// unknown command — the same recovery real Memcached applies to
+	// garbage input.
+	cl.send(t, "set gone -1 -1 1\r\nx\r\n")
+	if got := cl.line(t); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("negative flags accepted: %q", got)
+	}
+	if got := cl.line(t); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("stray data line not rejected: %q", got)
+	}
+	// Negative exptime: stored but expired on arrival.
+	cl.send(t, "set gone 0 -1 1\r\nx\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("set -> %q", got)
+	}
+	cl.send(t, "get gone\r\n")
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("expired-on-arrival item served: %q", got)
+	}
+}
+
+func TestCASProtocol(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 2\r\nv1\r\n")
+	cl.line(t)
+	cl.send(t, "gets k\r\n")
+	header := cl.line(t)
+	parts := strings.Fields(header)
+	if len(parts) != 5 || parts[0] != "VALUE" {
+		t.Fatalf("gets header: %q", header)
+	}
+	cas := parts[4]
+	cl.line(t) // body
+	cl.line(t) // END
+	// Wrong token -> EXISTS.
+	cl.send(t, "cas k 0 0 2 99999999\r\nxx\r\n")
+	if got := cl.line(t); got != "EXISTS" {
+		t.Fatalf("stale cas -> %q", got)
+	}
+	// Right token -> STORED.
+	cl.send(t, "cas k 0 0 2 "+cas+"\r\nv2\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("cas -> %q", got)
+	}
+	// Absent key -> NOT_FOUND.
+	cl.send(t, "cas nope 0 0 1 1\r\nx\r\n")
+	if got := cl.line(t); got != "NOT_FOUND" {
+		t.Fatalf("cas absent -> %q", got)
+	}
+}
+
+func TestAddReplaceProtocol(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "replace k 0 0 1\r\nx\r\n")
+	if got := cl.line(t); got != "NOT_STORED" {
+		t.Fatalf("replace absent -> %q", got)
+	}
+	cl.send(t, "add k 0 0 1\r\na\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("add -> %q", got)
+	}
+	cl.send(t, "add k 0 0 1\r\nb\r\n")
+	if got := cl.line(t); got != "NOT_STORED" {
+		t.Fatalf("second add -> %q", got)
+	}
+	cl.send(t, "replace k 0 0 1\r\nc\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("replace -> %q", got)
+	}
+}
+
+func TestIncrDecrProtocol(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set n 0 0 2\r\n10\r\n")
+	cl.line(t)
+	cl.send(t, "incr n 7\r\n")
+	if got := cl.line(t); got != "17" {
+		t.Fatalf("incr -> %q", got)
+	}
+	cl.send(t, "decr n 20\r\n")
+	if got := cl.line(t); got != "0" {
+		t.Fatalf("decr -> %q", got)
+	}
+	cl.send(t, "incr missing 1\r\n")
+	if got := cl.line(t); got != "NOT_FOUND" {
+		t.Fatalf("incr missing -> %q", got)
+	}
+	cl.send(t, "set s 0 0 3\r\nabc\r\nincr s 1\r\n")
+	cl.line(t)
+	if got := cl.line(t); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("incr text -> %q", got)
+	}
+	cl.send(t, "incr n notanumber\r\n")
+	if got := cl.line(t); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("bad delta -> %q", got)
+	}
+}
+
+func TestTouchProtocol(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 1\r\nx\r\n")
+	cl.line(t)
+	cl.send(t, "touch k 100\r\n")
+	if got := cl.line(t); got != "TOUCHED" {
+		t.Fatalf("touch -> %q", got)
+	}
+	cl.send(t, "touch missing 100\r\n")
+	if got := cl.line(t); got != "NOT_FOUND" {
+		t.Fatalf("touch missing -> %q", got)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "quit\r\n")
+	if _, err := cl.r.ReadString('\n'); err == nil {
+		t.Fatal("connection should close after quit")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d-%d", g, i)
+				fmt.Fprintf(conn, "set %s 0 0 3\r\nabc\r\nget %s\r\n", key, key)
+				if l, _ := r.ReadString('\n'); !strings.HasPrefix(l, "STORED") {
+					t.Errorf("set -> %q", l)
+					return
+				}
+				r.ReadString('\n') // VALUE
+				r.ReadString('\n') // body
+				r.ReadString('\n') // END
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerOverShardGroup(t *testing.T) {
+	g, err := shard.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 22,
+		StoreValues: true,
+		WindowLen:   10_000,
+	}, 4, func() cache.Policy { return core.New(core.DefaultConfig()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(g, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	cl := dial(t, ln.Addr().String())
+	for i := 0; i < 40; i++ {
+		cl.send(t, fmt.Sprintf("set sk%d 0 0 1\r\nx\r\n", i))
+		if got := cl.line(t); got != "STORED" {
+			t.Fatalf("sharded set -> %q", got)
+		}
+	}
+	cl.send(t, "get sk7\r\n")
+	if got := cl.line(t); got != "VALUE sk7 0 1" {
+		t.Fatalf("sharded get -> %q", got)
+	}
+	cl.line(t)
+	cl.line(t)
+	cl.send(t, "stats\r\n")
+	found := false
+	for {
+		l := cl.line(t)
+		if l == "END" {
+			break
+		}
+		if l == "STAT cmd_set 40" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aggregated shard stats missing")
+	}
+}
+
+func TestAddrAndDoubleServe(t *testing.T) {
+	srv, addr := startServer(t, Options{})
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond) // Serve runs in a goroutine; wait for it to bind
+	}
+	if got := srv.Addr(); got != addr {
+		t.Fatalf("Addr = %q, want %q", got, addr)
+	}
+	srv.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := srv.Serve(ln); err == nil {
+		t.Fatal("Serve after Shutdown accepted")
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	c, err := cache.New(cache.Config{CacheBytes: 2 << 20}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c, Options{})
+	if err := srv.ListenAndServe("999.999.999.999:1"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestBackgroundReaper(t *testing.T) {
+	now := time.Now().Unix()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 21,
+		StoreValues: true,
+		WindowLen:   1 << 50,
+		Now:         func() int64 { return now + 10_000 }, // everything with a TTL is stale
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c, Options{ReapInterval: 5 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	// Insert items whose deadline is already past the engine clock.
+	for i := 0; i < 10; i++ {
+		if err := c.SetTTL(fmt.Sprintf("k%d", i), 64, 0.01, 0, now+60, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for c.Items() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper never swept: %d items left", c.Items())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Stats().Expired != 10 {
+		t.Fatalf("Expired = %d, want 10", c.Stats().Expired)
+	}
+}
+
+func TestShutdownUnblocksServe(t *testing.T) {
+	srv, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	cl.send(t, "version\r\n")
+	cl.line(t)
+	srv.Shutdown()
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}

@@ -1,0 +1,185 @@
+// Package shard partitions a cache across N independent engines by key
+// hash, the standard recipe for scaling a mutex-guarded cache across cores
+// (and the moral equivalent of running N Memcached instances behind a
+// consistent router). Each shard gets an equal slice of the memory budget
+// and its own policy instance, so allocation decisions stay local to the
+// keys a shard owns — the same isolation a multi-instance deployment has.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+)
+
+// PolicyFactory builds one policy instance per shard (policies are stateful
+// and cannot be shared between engines).
+type PolicyFactory func() cache.Policy
+
+// Group is a hash-sharded set of caches.
+type Group struct {
+	shards []*cache.Cache
+	mask   uint64
+}
+
+// New builds a group of n shards (rounded up to a power of two, min 1),
+// splitting cfg.CacheBytes evenly. Each shard must still hold at least one
+// slab.
+func New(cfg cache.Config, n int, factory PolicyFactory) (*Group, error) {
+	if factory == nil {
+		return nil, errors.New("shard: nil policy factory")
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	per := cfg.CacheBytes / int64(shards)
+	g := &Group{mask: uint64(shards - 1)}
+	for i := 0; i < shards; i++ {
+		scfg := cfg
+		scfg.CacheBytes = per
+		c, err := cache.New(scfg, factory())
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		g.shards = append(g.shards, c)
+	}
+	return g, nil
+}
+
+// Shards returns the shard count.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// pick routes a key to its shard. The shard selector uses the high hash
+// bits so it stays independent of the bucket selector inside each shard's
+// index (which uses the low bits).
+func (g *Group) pick(key string) *cache.Cache {
+	return g.shards[(kv.HashString(key)>>48)&g.mask]
+}
+
+// Get routes to the owning shard.
+func (g *Group) Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool) {
+	return g.pick(key).Get(key, sizeHint, penHint, buf)
+}
+
+// GetWithCAS routes to the owning shard.
+func (g *Group) GetWithCAS(key string, buf []byte) ([]byte, uint32, uint64, bool) {
+	return g.pick(key).GetWithCAS(key, buf)
+}
+
+// Set routes to the owning shard.
+func (g *Group) Set(key string, size int, pen float64, flags uint32, value []byte) error {
+	return g.pick(key).Set(key, size, pen, flags, value)
+}
+
+// SetTTL routes to the owning shard.
+func (g *Group) SetTTL(key string, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
+	return g.pick(key).SetTTL(key, size, pen, flags, expireAt, value)
+}
+
+// SetMode routes to the owning shard.
+func (g *Group) SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
+	return g.pick(key).SetMode(key, mode, cas, size, pen, flags, expireAt, value)
+}
+
+// Delete routes to the owning shard.
+func (g *Group) Delete(key string) bool { return g.pick(key).Delete(key) }
+
+// Touch routes to the owning shard.
+func (g *Group) Touch(key string, expireAt int64) bool { return g.pick(key).Touch(key, expireAt) }
+
+// Delta routes to the owning shard.
+func (g *Group) Delta(key string, delta uint64, decr bool) (uint64, error) {
+	return g.pick(key).Delta(key, delta, decr)
+}
+
+// Contains routes to the owning shard.
+func (g *Group) Contains(key string) bool { return g.pick(key).Contains(key) }
+
+// ReapExpired sweeps expired items across shards, up to max in total
+// (max <= 0 sweeps everything).
+func (g *Group) ReapExpired(max int) int {
+	n := 0
+	for _, s := range g.shards {
+		budget := 0
+		if max > 0 {
+			budget = max - n
+			if budget <= 0 {
+				break
+			}
+		}
+		n += s.ReapExpired(budget)
+	}
+	return n
+}
+
+// Flush flushes every shard.
+func (g *Group) Flush() {
+	for _, s := range g.shards {
+		s.Flush()
+	}
+}
+
+// Items sums resident items across shards.
+func (g *Group) Items() int {
+	n := 0
+	for _, s := range g.shards {
+		n += s.Items()
+	}
+	return n
+}
+
+// Stats sums counters across shards.
+func (g *Group) Stats() cache.Stats {
+	var t cache.Stats
+	for _, s := range g.shards {
+		st := s.Stats()
+		t.Gets += st.Gets
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Sets += st.Sets
+		t.Deletes += st.Deletes
+		t.Evictions += st.Evictions
+		t.GhostHits += st.GhostHits
+		t.Expired += st.Expired
+		t.TooLarge += st.TooLarge
+		t.NoSpace += st.NoSpace
+		t.FallbackEvicts += st.FallbackEvicts
+		t.WindowRollovers += st.WindowRollovers
+		t.SlabMigrations += st.SlabMigrations
+	}
+	return t
+}
+
+// SnapshotSlabs sums per-class slab counts across shards.
+func (g *Group) SnapshotSlabs() []int {
+	var out []int
+	for _, s := range g.shards {
+		snap := s.SnapshotSlabs()
+		if out == nil {
+			out = make([]int, len(snap))
+		}
+		for i, v := range snap {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// PolicyName returns the shards' policy name (identical across shards).
+func (g *Group) PolicyName() string { return g.shards[0].PolicyName() }
+
+// Interface note: Group implements server.Store (checked in the server
+// package's tests to avoid an import cycle here).
+
+// CheckInvariants validates every shard.
+func (g *Group) CheckInvariants() error {
+	for i, s := range g.shards {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/metrics"
+	"pamakv/internal/workload"
+)
+
+// The paper's experiments, scaled 1:100 by default: its 4–64 GB caches and
+// 0.8–1.8 × 10⁹ request runs become 40–640 MiB and 10⁶–10⁷ requests with
+// identical slab size (1 MiB) and class geometry, preserving slab-count
+// ratios and footprint/cache ratios (DESIGN.md §2). The Scale factor
+// multiplies request counts; cache sizes are fixed per figure.
+const (
+	etcRequests = 8_000_000 // paper: 8x10^8 ETC GETs
+	appRequests = 6_000_000 // paper: ~9x10^8 APP GETs per pass, two passes
+	// Paper cache sizes / 32: ETC 4/8/16 GB, APP 16/32/64 GB.
+	etcCacheSmall = int64(128) << 20
+	etcCacheMid   = int64(256) << 20
+	etcCacheLarge = int64(512) << 20
+	appCacheSmall = int64(512) << 20
+	appCacheMid   = int64(1024) << 20
+	appCacheLarge = int64(2048) << 20
+)
+
+// FigurePolicies are the four schemes of the paper's evaluation, in its
+// plotting order.
+var FigurePolicies = []string{"memcached", "psa", "pre-pama", "pama"}
+
+// etcWorkload returns the scaled ETC model: the keyspace is reduced with
+// the cache so footprint/cache ratios match the paper's regime.
+func etcWorkload() workload.Config {
+	cfg := workload.ETC()
+	cfg.Keys = 256 * 1024
+	return cfg
+}
+
+func appWorkload() workload.Config { return workload.APP() }
+
+func scaled(n uint64, scale float64) uint64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := uint64(float64(n) * scale)
+	if v < 10_000 {
+		v = 10_000
+	}
+	return v
+}
+
+// Figure is a set of runs plus instructions for rendering them.
+type Figure struct {
+	// ID is the paper figure number ("3", "5", ...).
+	ID string
+	// Title describes the figure.
+	Title string
+	// Specs are the runs, executed with RunMatrix.
+	Specs []Spec
+	// GroupSize is how many consecutive results form one sub-plot (one
+	// cache size, one workload); 0 means all results together.
+	GroupSize int
+	// Render writes the figure's data given results aligned with Specs.
+	Render func(w io.Writer, res []*Result) error
+}
+
+// Groups splits results into the figure's sub-plot groups.
+func (f *Figure) Groups(res []*Result) [][]*Result {
+	g := f.GroupSize
+	if g <= 0 {
+		g = len(res)
+	}
+	var out [][]*Result
+	for i := 0; i < len(res); i += g {
+		end := i + g
+		if end > len(res) {
+			end = len(res)
+		}
+		out = append(out, res[i:end])
+	}
+	return out
+}
+
+// FigureByID builds the experiment set for one paper figure at the given
+// request-count scale (1.0 = the 1:100-scaled defaults above).
+func FigureByID(id string, scale float64) (*Figure, error) {
+	switch id {
+	case "3":
+		return figure3(scale), nil
+	case "4":
+		return figure4(scale), nil
+	case "5", "6":
+		return figure56(scale), nil
+	case "7", "8":
+		return figure78(scale), nil
+	case "9":
+		return figure9(scale), nil
+	case "10":
+		return figure10(scale), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown figure %q (have 3,4,5,6,7,8,9,10)", id)
+	}
+}
+
+// AllFigureIDs lists the figures FigureByID accepts, in paper order.
+func AllFigureIDs() []string { return []string{"3", "4", "5", "6", "7", "8", "9", "10"} }
+
+func baseSpec(wl workload.Config, cacheBytes int64, reqs uint64, kind string) Spec {
+	return Spec{
+		Name:           kind,
+		Workload:       wl,
+		CacheBytes:     cacheBytes,
+		Requests:       reqs,
+		MetricsWindow:  reqs / 40,
+		Policy:         PolicySpec{Kind: kind},
+		SampleSubClass: -1,
+	}
+}
+
+func figure3(scale float64) *Figure {
+	reqs := scaled(etcRequests, scale)
+	f := &Figure{
+		ID:    "3",
+		Title: "Space allocation per class over time (ETC, mid cache), 4 schemes",
+	}
+	for _, kind := range FigurePolicies {
+		f.Specs = append(f.Specs, baseSpec(etcWorkload(), etcCacheMid, reqs, kind))
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		nc := kv.DefaultGeometry().NumClasses
+		for _, r := range res {
+			fmt.Fprintf(w, "# Fig 3: slabs per class, scheme=%s\n", r.Spec.Name)
+			if err := metrics.WriteSlabTSV(w, &r.SlabSeries, nc); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	return f
+}
+
+func figure4(scale float64) *Figure {
+	reqs := scaled(etcRequests, scale)
+	f := &Figure{
+		ID:    "4",
+		Title: "Slab-equivalents per subclass inside Class 0 and Class 8 (PAMA, ETC)",
+	}
+	for _, class := range []int{0, 8} {
+		s := baseSpec(etcWorkload(), etcCacheMid, reqs, "pama")
+		s.Name = fmt.Sprintf("pama-class%d", class)
+		s.SampleSubClass = class
+		f.Specs = append(f.Specs, s)
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		for _, r := range res {
+			fmt.Fprintf(w, "# Fig 4: subclass slab-equivalents, %s\n", r.Spec.Name)
+			fmt.Fprintln(w, "gets\tsub0\tsub1\tsub2\tsub3\tsub4")
+			for _, p := range r.Series.Points {
+				row := []string{fmt.Sprintf("%d", p.GetsServed)}
+				for _, v := range p.Extra {
+					row = append(row, fmt.Sprintf("%.2f", v))
+				}
+				fmt.Fprintln(w, strings.Join(row, "\t"))
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	return f
+}
+
+func figure56(scale float64) *Figure {
+	reqs := scaled(etcRequests, scale)
+	f := &Figure{
+		ID:        "5",
+		Title:     "ETC hit ratio (Fig 5) and avg service time (Fig 6) vs time, 3 cache sizes",
+		GroupSize: len(FigurePolicies),
+	}
+	caches := []int64{etcCacheSmall, etcCacheMid, etcCacheLarge}
+	for _, cb := range caches {
+		for _, kind := range FigurePolicies {
+			s := baseSpec(etcWorkload(), cb, reqs, kind)
+			s.Name = fmt.Sprintf("%s/%dMiB", kind, cb>>20)
+			f.Specs = append(f.Specs, s)
+		}
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		return renderGrouped(w, res, len(FigurePolicies))
+	}
+	return f
+}
+
+func figure78(scale float64) *Figure {
+	reqs := scaled(appRequests, scale)
+	f := &Figure{
+		ID:        "7",
+		Title:     "APP hit ratio (Fig 7) and avg service time (Fig 8), trace played twice, 3 cache sizes",
+		GroupSize: len(FigurePolicies),
+	}
+	caches := []int64{appCacheSmall, appCacheMid, appCacheLarge}
+	for _, cb := range caches {
+		for _, kind := range FigurePolicies {
+			s := baseSpec(appWorkload(), cb, reqs, kind)
+			s.Repeats = 2
+			s.Name = fmt.Sprintf("%s/%dMiB", kind, cb>>20)
+			f.Specs = append(f.Specs, s)
+		}
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		return renderGrouped(w, res, len(FigurePolicies))
+	}
+	return f
+}
+
+func figure9(scale float64) *Figure {
+	reqs := scaled(etcRequests, scale)
+	f := &Figure{
+		ID:    "9",
+		Title: "Cold-burst impact on hit ratio and service time (ETC, small cache), PSA vs PAMA",
+	}
+	burst := &BurstSpec{
+		// Paper: burst at 0.35x10^8 of 8x10^8 GETs -> same relative
+		// position; items total 10% of cache across 3 classes.
+		At:          reqs * 35 / 800,
+		FracOfCache: 0.10,
+		Classes:     []int{3, 4, 5},
+	}
+	for _, kind := range []string{"psa", "pama"} {
+		s := baseSpec(etcWorkload(), etcCacheSmall, reqs, kind)
+		s.Name = kind + "/no-impact"
+		f.Specs = append(f.Specs, s)
+		sb := baseSpec(etcWorkload(), etcCacheSmall, reqs, kind)
+		sb.Name = kind + "/impact"
+		sb.Burst = burst
+		f.Specs = append(f.Specs, sb)
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		return renderGrouped(w, res, len(res))
+	}
+	return f
+}
+
+func figure10(scale float64) *Figure {
+	f := &Figure{
+		ID:        "10",
+		Title:     "Sensitivity to reference-segment count m (ETC small cache, APP small cache)",
+		GroupSize: 4,
+	}
+	ms := []int{0, 2, 4, 8}
+	etcReqs := scaled(etcRequests, scale)
+	for _, m := range ms {
+		s := baseSpec(etcWorkload(), etcCacheSmall, etcReqs, "pama")
+		s.Name = fmt.Sprintf("etc/m=%d", m)
+		s.Policy.PAMA.M = m
+		s.Policy.PAMA.PenaltyAware = true
+		f.Specs = append(f.Specs, s)
+	}
+	appReqs := scaled(appRequests, scale)
+	for _, m := range ms {
+		s := baseSpec(appWorkload(), appCacheSmall, appReqs, "pama")
+		s.Name = fmt.Sprintf("app/m=%d", m)
+		s.Policy.PAMA.M = m
+		s.Policy.PAMA.PenaltyAware = true
+		f.Specs = append(f.Specs, s)
+	}
+	f.Render = func(w io.Writer, res []*Result) error {
+		return renderGrouped(w, res, len(ms))
+	}
+	return f
+}
+
+// renderGrouped prints results in groups of groupSize series side by side,
+// followed by a summary block.
+func renderGrouped(w io.Writer, res []*Result, groupSize int) error {
+	for i := 0; i < len(res); i += groupSize {
+		end := i + groupSize
+		if end > len(res) {
+			end = len(res)
+		}
+		group := make([]*metrics.Series, 0, groupSize)
+		for _, r := range res[i:end] {
+			if r != nil {
+				group = append(group, &r.Series)
+			}
+		}
+		if err := metrics.WriteTSV(w, group); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return WriteSummary(w, res)
+}
+
+// WriteSummary prints one line per run: mean/tail hit ratio and service
+// time — the numbers EXPERIMENTS.md tabulates against the paper.
+func WriteSummary(w io.Writer, res []*Result) error {
+	fmt.Fprintln(w, "# summary: name\tmeanHit\tmeanSvc\ttailSvc\tp99Svc\tevictions\tmigrations")
+	for _, r := range res {
+		if r == nil {
+			continue
+		}
+		p99 := 0.0
+		if r.ServiceHist != nil {
+			p99 = r.ServiceHist.Quantile(0.99)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%.4f\t%.5f\t%.5f\t%.4f\t%d\t%d\n",
+			r.Spec.Name, r.Series.MeanHitRatio(), r.Series.MeanAvgService(),
+			r.Series.TailMeanAvgService(0.25), p99, r.Stats.Evictions, r.Stats.SlabMigrations); err != nil {
+			return err
+		}
+	}
+	return nil
+}

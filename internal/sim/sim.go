@@ -1,0 +1,365 @@
+// Package sim drives request streams through the cache engine and collects
+// the paper's evaluation metrics: per-window hit ratio and average GET
+// service time (windows counted in served GETs, paper x-axis), per-class
+// slab allocation series, and service-time histograms.
+//
+// A Spec fully describes one experiment run (workload, cache size, policy,
+// optional cold burst, repeats); Run executes it; RunMatrix executes a set
+// of Specs on a bounded worker pool — experiment matrices are embarrassingly
+// parallel, and this is where the repository spends its cores.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/gds"
+	"pamakv/internal/kv"
+	"pamakv/internal/metrics"
+	"pamakv/internal/penalty"
+	"pamakv/internal/policy"
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+// PolicySpec names and parameterizes an allocation policy.
+type PolicySpec struct {
+	// Kind is one of "memcached", "psa", "pama", "pre-pama",
+	// "twemcache", "facebook-age", "mrc-hit", "mrc-time", "lama-hit",
+	// "lama-time" — or "gdsf", which selects the item-granularity
+	// GreedyDual-Size-Frequency engine instead of a slab policy.
+	Kind string
+	// PAMA configures pama/pre-pama. The zero value selects paper
+	// defaults; to run PAMA with a custom M (including M=0, Fig. 10),
+	// set PenaltyAware explicitly: core.Config{M: 0, PenaltyAware: true}.
+	PAMA core.Config
+	// PSAPeriod is PSA's miss period (0 = default 1000).
+	PSAPeriod uint64
+	// Seed feeds randomized policies (twemcache).
+	Seed uint64
+}
+
+// Build constructs the policy.
+func (p PolicySpec) Build() (cache.Policy, error) {
+	switch p.Kind {
+	case "memcached", "static", "":
+		return policy.NewStatic(), nil
+	case "psa":
+		return policy.NewPSA(p.PSAPeriod), nil
+	case "pama":
+		cfg := p.PAMA
+		if cfg.M == 0 && !cfg.PenaltyAware {
+			cfg = core.DefaultConfig()
+		} else {
+			cfg.PenaltyAware = true
+		}
+		return core.New(cfg), nil
+	case "pre-pama":
+		cfg := p.PAMA
+		cfg.PenaltyAware = false
+		cfg.Bounds = nil
+		if cfg.M == 0 {
+			cfg.M = 2
+		}
+		return core.New(cfg), nil
+	case "twemcache":
+		return policy.NewTwemcache(p.Seed), nil
+	case "facebook-age":
+		return policy.NewFacebookAge(), nil
+	case "mrc-hit":
+		return policy.NewMRC(policy.ObjectiveMissRatio), nil
+	case "mrc-time":
+		return policy.NewMRC(policy.ObjectiveAvgTime), nil
+	case "lama-hit":
+		return policy.NewLAMA(policy.ObjectiveMissRatio), nil
+	case "lama-time":
+		return policy.NewLAMA(policy.ObjectiveAvgTime), nil
+	case "gdsf":
+		// GDSF is a whole engine, not a slab policy; Run special-cases
+		// it. Returning a sentinel keeps Build usable for validation.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy kind %q", p.Kind)
+	}
+}
+
+// engine is the cache surface the runner drives; *cache.Cache implements it
+// natively and gdsfEngine adapts gds.Cache.
+type engine interface {
+	Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool)
+	Set(key string, size int, pen float64, flags uint32, value []byte) error
+	Delete(key string) bool
+	Stats() cache.Stats
+	SnapshotSlabs() []int
+	SnapshotSubSlabs(class int) []float64
+	CheckInvariants() error
+}
+
+// gdsfEngine adapts the GDSF cache to the runner's surface.
+type gdsfEngine struct{ g *gds.Cache }
+
+func (e gdsfEngine) Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool) {
+	return e.g.Get(key, sizeHint, penHint, buf)
+}
+func (e gdsfEngine) Set(key string, size int, pen float64, flags uint32, value []byte) error {
+	return e.g.Set(key, size, pen, flags, value)
+}
+func (e gdsfEngine) Delete(key string) bool { return e.g.Delete(key) }
+func (e gdsfEngine) Stats() cache.Stats {
+	st := e.g.Stats()
+	return cache.Stats{
+		Gets: st.Gets, Hits: st.Hits, Misses: st.Misses,
+		Sets: st.Sets, Deletes: st.Deletes,
+		Evictions: st.Evictions, TooLarge: st.TooLarge,
+	}
+}
+func (e gdsfEngine) SnapshotSlabs() []int           { return nil }
+func (e gdsfEngine) SnapshotSubSlabs(int) []float64 { return nil }
+func (e gdsfEngine) CheckInvariants() error         { return e.g.CheckInvariants() }
+
+// BurstSpec injects the paper §IV-C cold flood.
+type BurstSpec struct {
+	// At is the GET-request position where the burst starts.
+	At uint64
+	// FracOfCache sizes the burst relative to the cache (paper: 0.10).
+	FracOfCache float64
+	// Classes are the impacted size bands (paper: three).
+	Classes []int
+}
+
+// Spec describes one experiment run.
+type Spec struct {
+	// Name labels the run's series.
+	Name string
+	// Workload generates the request stream.
+	Workload workload.Config
+	// CacheBytes is the cache size.
+	CacheBytes int64
+	// Geometry overrides kv.DefaultGeometry when non-zero.
+	Geometry kv.Geometry
+	// Requests is the stream length per repeat.
+	Requests uint64
+	// Repeats replays the identical stream this many times (Fig. 7/8
+	// repeat the APP trace to strip cold misses); 0 means 1.
+	Repeats int
+	// MetricsWindow is GETs per reported point (paper: 1M, scaled).
+	MetricsWindow uint64
+	// EngineWindow is the engine's value window in accesses.
+	EngineWindow uint64
+	// HitTime is the GET-hit service time in seconds.
+	HitTime float64
+	// Policy selects the allocation scheme.
+	Policy PolicySpec
+	// Tracker selects segment tracking (PAMA only).
+	Tracker cache.TrackerKind
+	// Burst optionally injects the cold flood.
+	Burst *BurstSpec
+	// SampleSubClass records per-subclass slab shares of this class in
+	// Point.Extra (-1 disables). Fig. 4 uses classes 0 and 8.
+	SampleSubClass int
+}
+
+// withDefaults fills unset fields.
+func (s Spec) withDefaults() Spec {
+	if s.Geometry == (kv.Geometry{}) {
+		s.Geometry = kv.DefaultGeometry()
+	}
+	if s.Requests == 0 {
+		s.Requests = 1_000_000
+	}
+	if s.Repeats <= 0 {
+		s.Repeats = 1
+	}
+	if s.MetricsWindow == 0 {
+		s.MetricsWindow = s.Requests / 40
+		if s.MetricsWindow == 0 {
+			s.MetricsWindow = 1
+		}
+	}
+	if s.EngineWindow == 0 {
+		s.EngineWindow = s.MetricsWindow / 2
+		if s.EngineWindow == 0 {
+			s.EngineWindow = 1
+		}
+	}
+	if s.HitTime == 0 {
+		s.HitTime = penalty.DefaultHitTime
+	}
+	if s.Name == "" {
+		s.Name = s.Policy.Kind
+	}
+	return s
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	Spec   Spec
+	Series metrics.Series
+	// SlabSeries shadows Series with per-class slab snapshots.
+	SlabSeries metrics.Series
+	Stats      cache.Stats
+	// Decisions is non-nil for pama/pre-pama runs.
+	Decisions *core.Decisions
+	// ServiceHist is the log-histogram of GET service times.
+	ServiceHist *metrics.Histogram
+	Elapsed     time.Duration
+}
+
+// Run executes one experiment.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	pol, err := spec.Policy.Build()
+	if err != nil {
+		return nil, err
+	}
+	var c engine
+	if spec.Policy.Kind == "gdsf" {
+		g, err := gds.New(spec.CacheBytes, false)
+		if err != nil {
+			return nil, err
+		}
+		c = gdsfEngine{g}
+	} else {
+		eng, err := cache.New(cache.Config{
+			Geometry:   spec.Geometry,
+			CacheBytes: spec.CacheBytes,
+			WindowLen:  spec.EngineWindow,
+			Tracker:    spec.Tracker,
+		}, pol)
+		if err != nil {
+			return nil, err
+		}
+		c = eng
+	}
+
+	res := &Result{Spec: spec}
+	res.Series.Name = spec.Name
+	res.SlabSeries.Name = spec.Name
+	res.ServiceHist = metrics.NewHistogram(0.0001, 6)
+	start := time.Now()
+
+	model := spec.Workload.Penalty
+	var win metrics.Window
+	var gets uint64
+	snapshot := func() {
+		p := metrics.Point{
+			GetsServed: gets,
+			HitRatio:   win.HitRatio(),
+			AvgService: win.AvgService(),
+		}
+		if spec.SampleSubClass >= 0 {
+			p.Extra = c.SnapshotSubSlabs(spec.SampleSubClass)
+		}
+		res.Series.Append(p)
+		sp := p
+		sp.Slabs = c.SnapshotSlabs()
+		res.SlabSeries.Append(sp)
+		win.Reset()
+	}
+
+	for rep := 0; rep < spec.Repeats; rep++ {
+		gen, err := workload.New(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		var stream trace.Stream = &trace.Limit{S: gen, N: spec.Requests}
+		if spec.Burst != nil && rep == 0 {
+			b := workload.MakeBurst(workload.BurstConfig{
+				TotalBytes: int64(spec.Burst.FracOfCache * float64(spec.CacheBytes)),
+				Classes:    spec.Burst.Classes,
+				BaseSize:   spec.Workload.BaseSize,
+				Seed:       spec.Workload.Seed,
+			})
+			stream = &trace.Burst{S: stream, At: spec.Burst.At, Inject: &trace.SliceStream{Reqs: b}}
+		}
+		for {
+			r, err := stream.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			key := kv.KeyString(r.Key)
+			size := int(r.Size)
+			switch r.Op {
+			case kv.Get:
+				pen := model.Of(kv.HashString(key), size)
+				_, _, hit := c.Get(key, size, pen, nil)
+				svc := spec.HitTime
+				if !hit {
+					svc = pen
+					// GET-miss → backend fetch → SET refill,
+					// the pattern penalties are estimated from.
+					if err := c.Set(key, size, pen, 0, nil); err != nil &&
+						!errors.Is(err, cache.ErrNoSpace) && !errors.Is(err, cache.ErrTooLarge) {
+						return nil, err
+					}
+				}
+				win.Add(hit, svc)
+				res.ServiceHist.Add(svc)
+				gets++
+				if gets%spec.MetricsWindow == 0 {
+					snapshot()
+				}
+			case kv.Set:
+				pen := model.Of(kv.HashString(key), size)
+				if err := c.Set(key, size, pen, 0, nil); err != nil &&
+					!errors.Is(err, cache.ErrNoSpace) && !errors.Is(err, cache.ErrTooLarge) {
+					return nil, err
+				}
+			case kv.Delete:
+				c.Delete(key)
+			}
+		}
+	}
+	if win.Gets > 0 {
+		snapshot()
+	}
+	res.Stats = c.Stats()
+	if p, ok := pol.(*core.PAMA); ok {
+		d := p.Decisions()
+		res.Decisions = &d
+	}
+	res.Elapsed = time.Since(start)
+	if err := c.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: post-run invariant violation: %w", err)
+	}
+	return res, nil
+}
+
+// RunMatrix executes specs concurrently on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns results in spec order.
+// Individual failures surface as nil results plus a joined error.
+func RunMatrix(specs []Spec, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	var err error
+	for i, e := range errs {
+		if e != nil {
+			err = errors.Join(err, fmt.Errorf("spec %d (%s): %w", i, specs[i].Name, e))
+		}
+	}
+	return results, err
+}

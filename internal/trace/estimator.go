@@ -1,0 +1,70 @@
+package trace
+
+import "pamakv/internal/penalty"
+
+// PenaltyEstimator reproduces the paper's §IV estimation procedure for
+// traces that carry timestamps but no penalties: "we estimate it with the
+// time gap between the miss of a GET request and the SET of the same key
+// immediately following"; gaps above 5 seconds are discarded (the client
+// may not have refilled promptly), and keys without an estimate fall back
+// to the 100 ms default.
+//
+// Usage during replay: call ObserveGetMiss when a GET misses, then
+// ObserveSet when a SET arrives; Estimate returns the current belief for a
+// key.
+type PenaltyEstimator struct {
+	// Default is used for keys without an observation (paper: 100 ms).
+	Default float64
+	// MaxGap discards implausibly long gaps (paper: 5 s).
+	MaxGap float64
+
+	pendingMiss map[uint64]uint64  // key -> timestamp (µs) of unresolved GET miss
+	estimate    map[uint64]float64 // key -> penalty seconds
+}
+
+// NewPenaltyEstimator returns an estimator with the paper's constants.
+func NewPenaltyEstimator() *PenaltyEstimator {
+	return &PenaltyEstimator{
+		Default:     penalty.DefaultUnknown,
+		MaxGap:      penalty.Cap,
+		pendingMiss: make(map[uint64]uint64),
+		estimate:    make(map[uint64]float64),
+	}
+}
+
+// ObserveGetMiss records that key missed at time tUS (microseconds).
+func (e *PenaltyEstimator) ObserveGetMiss(key uint64, tUS uint64) {
+	e.pendingMiss[key] = tUS
+}
+
+// ObserveSet resolves a pending miss: if a GET miss for key is outstanding
+// and the gap is credible, the gap becomes the key's penalty estimate.
+func (e *PenaltyEstimator) ObserveSet(key uint64, tUS uint64) {
+	miss, ok := e.pendingMiss[key]
+	if !ok {
+		return
+	}
+	delete(e.pendingMiss, key)
+	if tUS < miss {
+		return // clock went backwards; ignore
+	}
+	gap := float64(tUS-miss) / 1e6
+	if gap > e.MaxGap {
+		return // paper: discard excessively large gaps
+	}
+	e.estimate[key] = gap
+}
+
+// Estimate returns the penalty belief for key, falling back to Default.
+func (e *PenaltyEstimator) Estimate(key uint64) float64 {
+	if p, ok := e.estimate[key]; ok {
+		return p
+	}
+	return e.Default
+}
+
+// Known reports whether the key has a measured (non-default) estimate.
+func (e *PenaltyEstimator) Known(key uint64) bool {
+	_, ok := e.estimate[key]
+	return ok
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenFile opens a trace file for reading, transparently handling the
+// formats the tools write: binary (default), CSV (".csv"), and gzip
+// compression (".gz" suffix on either). The returned closer must be closed
+// by the caller; it closes every layer.
+func OpenFile(path string) (Stream, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	closers := multiCloser{f}
+	var r io.Reader = f
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			closers.Close()
+			return nil, nil, fmt.Errorf("trace: opening gzip %s: %w", path, err)
+		}
+		closers = append(closers, gz)
+		r = gz
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	if strings.HasSuffix(name, ".csv") {
+		return NewCSVReader(r), closers, nil
+	}
+	tr, err := NewReader(r)
+	if err != nil {
+		closers.Close()
+		return nil, nil, err
+	}
+	return tr, closers, nil
+}
+
+// CreateFile creates a trace sink at path with the same convention as
+// OpenFile: ".csv" selects CSV, ".gz" adds gzip. The returned function
+// writes one record; call the closer to flush and close everything.
+func CreateFile(path string) (write func(Request) error, closer io.Closer, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	closers := multiCloser{f}
+	var w io.Writer = f
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		gz := gzip.NewWriter(w)
+		closers = append([]io.Closer{gz}, closers...) // close gzip before file
+		w = gz
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	if strings.HasSuffix(name, ".csv") {
+		// CSV wants a Stream; adapt with a small push buffer.
+		pw := &pushCSV{w: w}
+		closers = append([]io.Closer{pw}, closers...)
+		return pw.write, closers, nil
+	}
+	tw, err := NewWriter(w)
+	if err != nil {
+		closers.Close()
+		return nil, nil, err
+	}
+	closers = append([]io.Closer{flushCloser{tw}}, closers...)
+	return tw.Write, closers, nil
+}
+
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type flushCloser struct{ w *Writer }
+
+func (f flushCloser) Close() error { return f.w.Flush() }
+
+// pushCSV renders records to CSV incrementally.
+type pushCSV struct {
+	w      io.Writer
+	header bool
+}
+
+func (p *pushCSV) write(r Request) error {
+	if !p.header {
+		p.header = true
+		if _, err := fmt.Fprintln(p.w, "op,key,size,time_us"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(p.w, "%s,%d,%d,%d\n", r.Op, r.Key, r.Size, r.Time)
+	return err
+}
+
+func (p *pushCSV) Close() error { return nil }

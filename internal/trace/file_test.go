@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func roundTripFile(t *testing.T, path string) {
+	t.Helper()
+	reqs := randomRequests(11, 200)
+	write, closer, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stream, rc, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := Collect(stream, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("%s: got %d records, want %d", path, len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i] != reqs[i] {
+			t.Fatalf("%s: record %d differs", path, i)
+		}
+	}
+}
+
+func TestFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"t.trace", "t.trace.gz", "t.csv", "t.csv.gz"} {
+		t.Run(name, func(t *testing.T) {
+			roundTripFile(t, filepath.Join(dir, name))
+		})
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile("/nonexistent/path.trace"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gz")
+	if err := writeBytes(bad, []byte("not gzip")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(bad); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+	raw := filepath.Join(dir, "bad.trace")
+	if err := writeBytes(raw, []byte("JUNKJUNKJUNK")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(raw); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

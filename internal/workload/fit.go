@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/trace"
+)
+
+// FitConfig estimates generator parameters from a finite trace: operation
+// mix, hot-keyspace size, cold (single-access) fraction, per-class request
+// weights, and the Zipf exponent (least-squares fit of log count against
+// log rank over the popular head). Fields the trace cannot reveal —
+// penalty model, rotation cadence, seed — are taken from base.
+//
+// Together with pama-stats this closes the loop for users with real traces:
+// analyze, fit, then drive the simulator's experiment matrix with a
+// synthetic generator shaped like production.
+func FitConfig(s trace.Stream, base Config) (Config, error) {
+	geom := kv.Geometry{SlabSize: 1 << 20, Base: base.BaseSize, NumClasses: 15}
+	if base.BaseSize <= 0 {
+		base.BaseSize = 64
+		geom.Base = 64
+	}
+	counts := map[uint64]uint64{}
+	classReqs := make([]float64, geom.NumClasses)
+	var total, gets, sets, dels uint64
+	for {
+		r, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Config{}, err
+		}
+		total++
+		switch r.Op {
+		case kv.Get:
+			gets++
+		case kv.Set:
+			sets++
+		case kv.Delete:
+			dels++
+		}
+		counts[r.Key]++
+		if c := geom.ClassFor(int(r.Size)); c >= 0 {
+			classReqs[c]++
+		}
+	}
+	if total < 100 {
+		return Config{}, fmt.Errorf("workload: %d requests are too few to fit", total)
+	}
+
+	cfg := base
+	cfg.Name = base.Name + "-fitted"
+	cfg.SetFrac = float64(sets) / float64(total)
+	cfg.DelFrac = float64(dels) / float64(total)
+
+	// Hot keys recur; single-access keys form the cold stream.
+	hot := make([]uint64, 0, len(counts))
+	var singles uint64
+	for _, n := range counts {
+		if n == 1 {
+			singles++
+		} else {
+			hot = append(hot, n)
+		}
+	}
+	cfg.ColdFrac = float64(singles) / float64(total)
+	if cfg.ColdFrac+cfg.SetFrac+cfg.DelFrac >= 1 {
+		// Degenerate trace (e.g. all unique keys); cap so the config
+		// stays valid.
+		cfg.ColdFrac = 0.99 - cfg.SetFrac - cfg.DelFrac
+	}
+	cfg.Keys = uint64(len(hot))
+	if cfg.Keys == 0 {
+		cfg.Keys = 1
+	}
+
+	// Class weights from observed request shares.
+	weights := make([]float64, geom.NumClasses)
+	var sum float64
+	for c, n := range classReqs {
+		weights[c] = n
+		sum += n
+	}
+	if sum > 0 {
+		for c := range weights {
+			weights[c] /= sum
+		}
+		// Trim trailing zero classes for a tidy config.
+		end := len(weights)
+		for end > 1 && weights[end-1] == 0 {
+			end--
+		}
+		cfg.ClassWeights = weights[:end]
+	}
+
+	// Zipf exponent: regress log(count) on log(rank) over the head.
+	sort.Slice(hot, func(i, j int) bool { return hot[i] > hot[j] })
+	head := len(hot)
+	if head > 10_000 {
+		head = 10_000
+	}
+	if head >= 10 {
+		var sx, sy, sxx, sxy float64
+		n := 0
+		for r := 0; r < head; r++ {
+			x := math.Log(float64(r + 1))
+			y := math.Log(float64(hot[r]))
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			n++
+		}
+		den := float64(n)*sxx - sx*sx
+		if den > 0 {
+			slope := (float64(n)*sxy - sx*sy) / den
+			s := -slope
+			if s < 0 {
+				s = 0
+			}
+			if s > 1.5 {
+				s = 1.5
+			}
+			cfg.ZipfS = s
+		}
+	}
+	return cfg, cfg.Validate()
+}

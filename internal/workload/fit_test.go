@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pamakv/internal/trace"
+)
+
+func TestFitConfigRecoversETCShape(t *testing.T) {
+	src := ETC()
+	src.Keys = 32 * 1024
+	gen, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FitConfig(&trace.Limit{S: gen, N: 400_000}, ETC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operation mix.
+	if math.Abs(fitted.SetFrac-src.SetFrac) > 0.01 {
+		t.Fatalf("SetFrac fitted %.4f, source %.4f", fitted.SetFrac, src.SetFrac)
+	}
+	if math.Abs(fitted.DelFrac-src.DelFrac) > 0.005 {
+		t.Fatalf("DelFrac fitted %.4f, source %.4f", fitted.DelFrac, src.DelFrac)
+	}
+	// Class 0 dominance.
+	if fitted.ClassWeights[0] < 0.6 || fitted.ClassWeights[0] > 0.85 {
+		t.Fatalf("class-0 weight fitted %.3f, source %.3f", fitted.ClassWeights[0], src.ClassWeights[0])
+	}
+	// Zipf exponent within a plausible band of the source 0.99. The
+	// sampler's head flattens slightly under drift, so accept a wide but
+	// informative window.
+	if fitted.ZipfS < 0.6 || fitted.ZipfS > 1.3 {
+		t.Fatalf("ZipfS fitted %.3f, source %.3f", fitted.ZipfS, src.ZipfS)
+	}
+	// Hot keyspace within 3x of the touched hot set.
+	if fitted.Keys == 0 || fitted.Keys > src.Keys*3 {
+		t.Fatalf("Keys fitted %d, source %d", fitted.Keys, src.Keys)
+	}
+	if fitted.Name != "ETC-fitted" {
+		t.Fatalf("Name = %q", fitted.Name)
+	}
+	// The fitted config must itself drive a generator.
+	if _, err := New(fitted); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitConfigTooFewRequests(t *testing.T) {
+	gen, _ := New(ETC())
+	if _, err := FitConfig(&trace.Limit{S: gen, N: 10}, ETC()); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+func TestFitConfigAllUniqueKeys(t *testing.T) {
+	// Every key unique: the cold fraction must be capped so the config
+	// stays valid.
+	reqs := make([]trace.Request, 1000)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: 0, Key: uint64(i), Size: 100}
+	}
+	cfg, err := FitConfig(&trace.SliceStream{Reqs: reqs}, ETC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("fitted config invalid: %v", err)
+	}
+	if cfg.Keys != 1 {
+		t.Fatalf("Keys = %d for hot-less trace", cfg.Keys)
+	}
+}

@@ -1,0 +1,377 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/trace"
+)
+
+// Config parameterizes a synthetic workload. The zero value is invalid; use
+// ETC, APP, or fill every field.
+type Config struct {
+	// Name labels the workload in reports.
+	Name string
+	// Keys is the hot keyspace size.
+	Keys uint64
+	// ZipfS is the popularity skew exponent (web caches: 0.9–1.0).
+	ZipfS float64
+	// BaseSize is the smallest size band's upper edge (class 0 slot, 64).
+	BaseSize int
+	// ClassWeights[i] is the probability that a key's size falls in band
+	// i = (BaseSize<<(i-1), BaseSize<<i] (band 0 is [1, BaseSize]). The
+	// weights need not sum to 1; they are normalized.
+	ClassWeights []float64
+	// ColdFrac is the probability a request targets a fresh,
+	// never-to-be-reused key (cold misses; APP has many).
+	ColdFrac float64
+	// SetFrac and DelFrac are the probabilities of explicit SET and
+	// DELETE operations on hot keys; the remainder are GETs.
+	SetFrac, DelFrac float64
+	// RotateEvery advances the popularity phase by one key every this
+	// many requests, modeling diurnal drift of the hot set; 0 disables.
+	RotateEvery uint64
+	// Seed makes the stream reproducible.
+	Seed uint64
+	// Penalty is the miss-penalty model for this workload's keys.
+	Penalty penalty.Model
+}
+
+// ETC models the paper's primary trace: "the most representative of
+// large-scale, general-purpose KV stores" — heavily skewed popularity,
+// predominantly tiny items (Class 0 receives over 70% of requests, paper
+// §IV-A), small footprint relative to APP.
+func ETC() Config {
+	return Config{
+		Name:     "ETC",
+		Keys:     1 << 20,
+		ZipfS:    0.99,
+		BaseSize: 64,
+		ClassWeights: []float64{
+			0.72, 0.07, 0.05, 0.04, 0.03, 0.025, 0.02, 0.015,
+			0.012, 0.006, 0.004, 0.003, 0.002, 0.001, 0.001,
+		},
+		ColdFrac:    0.010,
+		SetFrac:     0.030,
+		DelFrac:     0.002,
+		RotateEvery: 2048,
+		Seed:        1,
+		Penalty:     penalty.Default(),
+	}
+}
+
+// APP models the paper's second trace: a large data set of bigger items
+// (the workload of Fig. 1), where "significant misses (around 40% of all
+// misses) are cold misses".
+func APP() Config {
+	return Config{
+		Name:     "APP",
+		Keys:     400_000,
+		ZipfS:    0.90,
+		BaseSize: 64,
+		ClassWeights: []float64{
+			0.02, 0.03, 0.05, 0.08, 0.12, 0.15, 0.16, 0.14,
+			0.11, 0.07, 0.04, 0.02, 0.007, 0.002, 0.001,
+		},
+		ColdFrac:    0.060,
+		SetFrac:     0.020,
+		DelFrac:     0.001,
+		RotateEvery: 4096,
+		Seed:        2,
+		Penalty:     penalty.Default(),
+	}
+}
+
+// USR models the trace the paper describes (and excludes) in §IV: "USR has
+// two key size values (16B and 21B) and almost only one value size (2B)" —
+// effectively a single-class workload where slab reallocation has nothing
+// to do; useful as a degenerate-case regression workload.
+func USR() Config {
+	return Config{
+		Name:         "USR",
+		Keys:         2 << 20,
+		ZipfS:        1.01,
+		BaseSize:     64,
+		ClassWeights: []float64{1}, // 16/21B keys + 2B values: everything in class 0
+		ColdFrac:     0.002,
+		SetFrac:      0.002,
+		RotateEvery:  8192,
+		Seed:         3,
+		Penalty:      penalty.Default(),
+	}
+}
+
+// SYS models §IV's SYS: "very small data set, and a 1G memory can produce
+// almost a 100% hit ratio" — a working set far below any tested cache.
+func SYS() Config {
+	return Config{
+		Name:     "SYS",
+		Keys:     20_000,
+		ZipfS:    0.9,
+		BaseSize: 64,
+		ClassWeights: []float64{
+			0.3, 0.2, 0.15, 0.1, 0.08, 0.07, 0.05, 0.05,
+		},
+		ColdFrac:    0.0005,
+		SetFrac:     0.01,
+		RotateEvery: 0,
+		Seed:        4,
+		Penalty:     penalty.Default(),
+	}
+}
+
+// VAR models §IV's VAR: "dominated by update requests, such as SET and
+// REPLACE" — GET performance is a side show, which is why the paper leaves
+// it out of the evaluation.
+func VAR() Config {
+	return Config{
+		Name:     "VAR",
+		Keys:     200_000,
+		ZipfS:    0.95,
+		BaseSize: 64,
+		ClassWeights: []float64{
+			0.4, 0.2, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02,
+		},
+		ColdFrac:    0.005,
+		SetFrac:     0.70,
+		DelFrac:     0.01,
+		RotateEvery: 4096,
+		Seed:        5,
+		Penalty:     penalty.Default(),
+	}
+}
+
+// ByName resolves a workload model by its lower-case name.
+func ByName(name string) (Config, error) {
+	switch name {
+	case "etc":
+		return ETC(), nil
+	case "app":
+		return APP(), nil
+	case "usr":
+		return USR(), nil
+	case "sys":
+		return SYS(), nil
+	case "var":
+		return VAR(), nil
+	default:
+		return Config{}, fmt.Errorf("workload: unknown model %q (etc, app, usr, sys, var)", name)
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Keys == 0:
+		return fmt.Errorf("workload: Keys must be positive")
+	case c.ZipfS < 0:
+		return fmt.Errorf("workload: ZipfS must be >= 0")
+	case c.BaseSize <= 0:
+		return fmt.Errorf("workload: BaseSize must be positive")
+	case len(c.ClassWeights) == 0:
+		return fmt.Errorf("workload: ClassWeights must be non-empty")
+	case c.ColdFrac < 0 || c.SetFrac < 0 || c.DelFrac < 0 ||
+		c.ColdFrac+c.SetFrac+c.DelFrac >= 1:
+		return fmt.Errorf("workload: op fractions must be non-negative and sum below 1")
+	}
+	for _, w := range c.ClassWeights {
+		if w < 0 {
+			return fmt.Errorf("workload: negative class weight")
+		}
+	}
+	return nil
+}
+
+// SizeOf returns the deterministic item size for a key hash: band chosen by
+// normalized ClassWeights, size uniform within the band. Both the generator
+// and the simulated backend derive sizes through this, so a key always has
+// one size.
+func (c Config) SizeOf(keyHash uint64) int {
+	total := 0.0
+	for _, w := range c.ClassWeights {
+		total += w
+	}
+	h := kv.Mix64(keyHash ^ 0x73697a65) // "size"
+	u := float64(h>>11) / float64(1<<53) * total
+	band := len(c.ClassWeights) - 1
+	cum := 0.0
+	for i, w := range c.ClassWeights {
+		cum += w
+		if u < cum {
+			band = i
+			break
+		}
+	}
+	lo, hi := 1, c.BaseSize
+	if band > 0 {
+		lo = (c.BaseSize << uint(band-1)) + 1
+		hi = c.BaseSize << uint(band)
+	}
+	span := hi - lo + 1
+	return lo + int(kv.Mix64(h)%uint64(span))
+}
+
+// MeanSize returns the expected item size under the configuration —
+// footprint estimation for experiment sizing.
+func (c Config) MeanSize() float64 {
+	total := 0.0
+	for _, w := range c.ClassWeights {
+		total += w
+	}
+	mean := 0.0
+	for i, w := range c.ClassWeights {
+		lo, hi := 1.0, float64(c.BaseSize)
+		if i > 0 {
+			lo = float64(c.BaseSize<<uint(i-1)) + 1
+			hi = float64(c.BaseSize << uint(i))
+		}
+		mean += w / total * (lo + hi) / 2
+	}
+	return mean
+}
+
+// Footprint estimates the total bytes of the hot keyspace.
+func (c Config) Footprint() int64 { return int64(c.MeanSize() * float64(c.Keys)) }
+
+// coldBase is the id space for never-reused keys, far above any hot key.
+const coldBase = uint64(1) << 40
+
+// Generator produces the request stream; it implements trace.Stream and
+// never returns io.EOF on its own (wrap in trace.Limit for a finite run).
+type Generator struct {
+	cfg   Config
+	zipf  *Zipf
+	rng   *rng
+	clock uint64
+	cold  uint64
+}
+
+// New validates cfg and returns a Generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:  cfg,
+		zipf: NewZipf(cfg.Keys, cfg.ZipfS),
+		rng:  newRNG(cfg.Seed),
+	}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next implements trace.Stream.
+func (g *Generator) Next() (trace.Request, error) {
+	g.clock++
+	t := g.clock * 50 // synthetic microseconds, ~20k req/s
+
+	u := g.rng.float()
+	cfg := &g.cfg
+	var op kv.Op
+	var id uint64
+	switch {
+	case u < cfg.ColdFrac:
+		op = kv.Get
+		id = coldBase + g.cold
+		g.cold++
+	case u < cfg.ColdFrac+cfg.SetFrac:
+		op = kv.Set
+		id = g.hotKey()
+	case u < cfg.ColdFrac+cfg.SetFrac+cfg.DelFrac:
+		op = kv.Delete
+		id = g.hotKey()
+	default:
+		op = kv.Get
+		id = g.hotKey()
+	}
+	size := cfg.SizeOf(kv.HashString(kv.KeyString(id)))
+	return trace.Request{Op: op, Key: id, Size: uint32(size), Time: t}, nil
+}
+
+// hotKey samples a hot key id under the current popularity phase.
+func (g *Generator) hotKey() uint64 {
+	rank := g.zipf.Rank(g.rng.float())
+	phase := uint64(0)
+	if g.cfg.RotateEvery > 0 {
+		phase = g.clock / g.cfg.RotateEvery
+	}
+	return (rank + phase) % g.cfg.Keys
+}
+
+// BurstConfig describes the paper's §IV-C cold-item flood: a contiguous run
+// of SETs for fresh keys whose total size is a fraction of the cache, with
+// sizes restricted to a few "impacted classes".
+type BurstConfig struct {
+	// TotalBytes is the aggregate size of injected items (paper: 10% of
+	// the cache size).
+	TotalBytes int64
+	// Classes are the impacted size bands (paper: three classes).
+	Classes []int
+	// BaseSize matches the workload geometry.
+	BaseSize int
+	// Seed makes the burst reproducible.
+	Seed uint64
+}
+
+// MakeBurst materializes the burst as a request slice; the ids come from a
+// dedicated cold space so they never collide with workload keys. The burst
+// is a stream of GETs for never-seen keys — each one misses and is then
+// added to the cache by the client's refill SET (paper §IV-C: "a bursty
+// stream of requests accessing and adding new KV items"), which is what
+// makes miss-driven policies like PSA chase the impacted classes.
+func MakeBurst(bc BurstConfig) []trace.Request {
+	if bc.TotalBytes <= 0 || len(bc.Classes) == 0 || bc.BaseSize <= 0 {
+		return nil
+	}
+	r := newRNG(bc.Seed ^ 0xb00b1e5)
+	var out []trace.Request
+	var bytes int64
+	burstBase := coldBase * 2
+	for i := uint64(0); bytes < bc.TotalBytes; i++ {
+		band := bc.Classes[r.intn(len(bc.Classes))]
+		lo, hi := 1, bc.BaseSize
+		if band > 0 {
+			lo = (bc.BaseSize << uint(band-1)) + 1
+			hi = bc.BaseSize << uint(band)
+		}
+		size := lo + r.intn(hi-lo+1)
+		out = append(out, trace.Request{Op: kv.Get, Key: burstBase + i, Size: uint32(size)})
+		bytes += int64(size)
+	}
+	return out
+}
+
+// Describe prints a human-readable summary of the workload (tools use it).
+func (c Config) Describe(w io.Writer) {
+	fmt.Fprintf(w, "workload %s: %d keys, zipf s=%.2f, mean item %.0f B, footprint %.1f MiB\n",
+		c.Name, c.Keys, c.ZipfS, c.MeanSize(), float64(c.Footprint())/(1<<20))
+	fmt.Fprintf(w, "  ops: get=%.3f set=%.3f del=%.3f cold=%.3f; rotate every %d\n",
+		1-c.ColdFrac-c.SetFrac-c.DelFrac, c.SetFrac, c.DelFrac, c.ColdFrac, c.RotateEvery)
+}
+
+// ExpectedClassShare returns the normalized request share per size band —
+// used by tests to confirm the generator honors its mixture.
+func (c Config) ExpectedClassShare() []float64 {
+	total := 0.0
+	for _, w := range c.ClassWeights {
+		total += w
+	}
+	out := make([]float64, len(c.ClassWeights))
+	for i, w := range c.ClassWeights {
+		out[i] = w / total
+	}
+	return out
+}
+
+// quantileRank returns the rank below which fraction q of the probability
+// mass lies; exported for tests via QuantileRank.
+func (z *Zipf) quantileRank(q float64) uint64 { return z.Rank(math.Min(q, 1-1e-12)) }
+
+// QuantileRank exposes the popularity concentration of the sampler: the
+// smallest rank r such that P(rank <= r) >= q under the continuous
+// approximation.
+func (z *Zipf) QuantileRank(q float64) uint64 { return z.quantileRank(q) }

@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pamakv/internal/kv"
+	"pamakv/internal/trace"
+)
+
+func TestZipfRankBounds(t *testing.T) {
+	f := func(u float64, skew uint8) bool {
+		u = math.Abs(u)
+		u -= math.Floor(u) // [0,1)
+		s := float64(skew%20) / 10.0
+		z := NewZipf(1000, s)
+		r := z.Rank(u)
+		return r < 1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfMonotone(t *testing.T) {
+	z := NewZipf(1<<20, 0.99)
+	prev := uint64(0)
+	for u := 0.0; u < 1.0; u += 0.01 {
+		r := z.Rank(u)
+		if r < prev {
+			t.Fatalf("Rank not monotone in u: Rank(%v)=%d after %d", u, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	// Higher skew must concentrate more mass in low ranks.
+	flat := NewZipf(1<<20, 0.0)
+	skewed := NewZipf(1<<20, 0.99)
+	if skewed.QuantileRank(0.5) >= flat.QuantileRank(0.5) {
+		t.Fatalf("skewed median rank %d should be below uniform median rank %d",
+			skewed.QuantileRank(0.5), flat.QuantileRank(0.5))
+	}
+	// At s=0.99 over 1M keys, half the mass sits in a small head.
+	if h := skewed.QuantileRank(0.5); h > 1<<16 {
+		t.Fatalf("s=0.99 median rank %d suspiciously deep", h)
+	}
+}
+
+func TestZipfEmpiricalOrdering(t *testing.T) {
+	z := NewZipf(1024, 0.99)
+	r := newRNG(7)
+	counts := make([]int, 1024)
+	for i := 0; i < 200000; i++ {
+		counts[z.Rank(r.float())]++
+	}
+	// Rank 0 must dominate deep ranks decisively.
+	if counts[0] < 10*counts[512] {
+		t.Fatalf("rank 0 count %d vs rank 512 count %d: insufficient skew", counts[0], counts[512])
+	}
+	if counts[0] < counts[1] {
+		t.Fatalf("rank 0 (%d) should outdraw rank 1 (%d)", counts[0], counts[1])
+	}
+}
+
+func TestRNGDeterministicAndUniform(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	r := newRNG(1)
+	mean := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		mean += r.float()
+	}
+	mean /= n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("rng mean %v, want ~0.5", mean)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := ETC()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("ETC invalid: %v", err)
+	}
+	if err := APP().Validate(); err != nil {
+		t.Fatalf("APP invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Keys: 10, ZipfS: -1, BaseSize: 64, ClassWeights: []float64{1}},
+		{Keys: 10, BaseSize: 0, ClassWeights: []float64{1}},
+		{Keys: 10, BaseSize: 64},
+		{Keys: 10, BaseSize: 64, ClassWeights: []float64{1}, ColdFrac: 0.6, SetFrac: 0.5},
+		{Keys: 10, BaseSize: 64, ClassWeights: []float64{-1, 2}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestByNameAndVariants(t *testing.T) {
+	for _, name := range []string{"etc", "app", "usr", "sys", "var"} {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Next(); err != nil {
+			t.Fatalf("%s generator: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestUSRIsSingleClass(t *testing.T) {
+	cfg := USR()
+	g, _ := New(cfg)
+	for i := 0; i < 5000; i++ {
+		r, _ := g.Next()
+		if r.Size > uint32(cfg.BaseSize) {
+			t.Fatalf("USR item of %d bytes escapes class 0", r.Size)
+		}
+	}
+}
+
+func TestSYSFitsSmallCache(t *testing.T) {
+	cfg := SYS()
+	if cfg.Footprint() > 64<<20 {
+		t.Fatalf("SYS footprint %d should be tiny", cfg.Footprint())
+	}
+}
+
+func TestVARIsUpdateDominated(t *testing.T) {
+	g, _ := New(VAR())
+	sets := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if r.Op == kv.Set {
+			sets++
+		}
+	}
+	if float64(sets)/n < 0.6 {
+		t.Fatalf("VAR set fraction %.2f, want >= 0.6", float64(sets)/n)
+	}
+}
+
+func TestSizeOfDeterministicAndBanded(t *testing.T) {
+	cfg := ETC()
+	f := func(h uint64) bool {
+		s1, s2 := cfg.SizeOf(h), cfg.SizeOf(h)
+		if s1 != s2 || s1 < 1 {
+			return false
+		}
+		return s1 <= cfg.BaseSize<<uint(len(cfg.ClassWeights)-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeMixtureMatchesWeights(t *testing.T) {
+	cfg := ETC()
+	g := kv.Geometry{SlabSize: 1 << 20, Base: cfg.BaseSize, NumClasses: len(cfg.ClassWeights)}
+	counts := make([]int, g.NumClasses)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		size := cfg.SizeOf(kv.Mix64(uint64(i) * 0x9e3779b97f4a7c15))
+		counts[g.ClassFor(size)]++
+	}
+	want := cfg.ExpectedClassShare()
+	for c := 0; c < 3; c++ { // check the heavy bands tightly
+		got := float64(counts[c]) / n
+		if math.Abs(got-want[c]) > 0.02 {
+			t.Fatalf("class %d share %.3f, want %.3f±0.02", c, got, want[c])
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := New(ETC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(ETC())
+	for i := 0; i < 1000; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a != b {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorOpMix(t *testing.T) {
+	cfg := ETC()
+	cfg.Keys = 1 << 14
+	g, _ := New(cfg)
+	var gets, sets, dels, colds int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		switch r.Op {
+		case kv.Get:
+			gets++
+			if r.Key >= coldBase {
+				colds++
+			}
+		case kv.Set:
+			sets++
+		case kv.Delete:
+			dels++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		if math.Abs(float64(got)/n-want) > 0.01 {
+			t.Errorf("%s fraction %.4f, want %.4f", name, float64(got)/n, want)
+		}
+	}
+	check("set", sets, cfg.SetFrac)
+	check("delete", dels, cfg.DelFrac)
+	check("cold", colds, cfg.ColdFrac)
+	check("get", gets, 1-cfg.SetFrac-cfg.DelFrac)
+}
+
+func TestGeneratorColdKeysUnique(t *testing.T) {
+	cfg := ETC()
+	cfg.ColdFrac = 0.5
+	g, _ := New(cfg)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		r, _ := g.Next()
+		if r.Key >= coldBase {
+			if seen[r.Key] {
+				t.Fatalf("cold key %d repeated", r.Key)
+			}
+			seen[r.Key] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no cold keys generated")
+	}
+}
+
+func TestGeneratorDrift(t *testing.T) {
+	cfg := ETC()
+	cfg.RotateEvery = 100
+	cfg.ColdFrac, cfg.SetFrac, cfg.DelFrac = 0, 0, 0
+	g, _ := New(cfg)
+	early := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		r, _ := g.Next()
+		early[r.Key]++
+	}
+	for i := 0; i < 2_000_000; i++ {
+		g.Next()
+	}
+	late := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		r, _ := g.Next()
+		late[r.Key]++
+	}
+	// After 2M requests at RotateEvery=100, the phase advanced 20000 keys:
+	// the most popular key identities must have moved.
+	topOf := func(m map[uint64]int) uint64 {
+		var best uint64
+		bestN := -1
+		for k, n := range m {
+			if n > bestN {
+				best, bestN = k, n
+			}
+		}
+		return best
+	}
+	if topOf(early) == topOf(late) {
+		t.Fatal("hot set did not drift")
+	}
+}
+
+func TestGeneratorNoDriftWhenDisabled(t *testing.T) {
+	cfg := ETC()
+	cfg.RotateEvery = 0
+	cfg.ColdFrac, cfg.SetFrac, cfg.DelFrac = 0, 0, 0
+	g, _ := New(cfg)
+	for i := 0; i < 1000; i++ {
+		r, _ := g.Next()
+		if r.Key >= cfg.Keys {
+			t.Fatalf("key %d outside hot space with drift disabled", r.Key)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMeanSizeAndFootprint(t *testing.T) {
+	cfg := ETC()
+	if app := APP(); app.MeanSize() <= cfg.MeanSize() {
+		t.Fatalf("APP mean size (%.0f) should exceed ETC (%.0f)", app.MeanSize(), cfg.MeanSize())
+	}
+	if cfg.Footprint() <= 0 {
+		t.Fatal("footprint must be positive")
+	}
+	// Empirical mean within 15% of analytic mean.
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(cfg.SizeOf(kv.Mix64(uint64(i) * 31)))
+	}
+	emp := sum / n
+	if an := cfg.MeanSize(); math.Abs(emp-an)/an > 0.15 {
+		t.Fatalf("empirical mean %.1f vs analytic %.1f", emp, an)
+	}
+}
+
+func TestMakeBurst(t *testing.T) {
+	bc := BurstConfig{TotalBytes: 1 << 20, Classes: []int{3, 4, 5}, BaseSize: 64, Seed: 1}
+	reqs := MakeBurst(bc)
+	if len(reqs) == 0 {
+		t.Fatal("empty burst")
+	}
+	var total int64
+	for _, r := range reqs {
+		if r.Op != kv.Get {
+			t.Fatal("burst must be GETs for fresh keys (miss + client refill)")
+		}
+		if r.Key < coldBase*2 {
+			t.Fatal("burst keys must come from the burst space")
+		}
+		size := int(r.Size)
+		if size <= 64<<2 || size > 64<<5 {
+			t.Fatalf("burst size %d outside classes 3-5", size)
+		}
+		total += int64(size)
+	}
+	if total < bc.TotalBytes {
+		t.Fatalf("burst bytes %d below target %d", total, bc.TotalBytes)
+	}
+	if MakeBurst(BurstConfig{}) != nil {
+		t.Fatal("zero burst config should yield nil")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var sb strings.Builder
+	ETC().Describe(&sb)
+	if !strings.Contains(sb.String(), "ETC") {
+		t.Fatalf("Describe output: %q", sb.String())
+	}
+}
+
+func TestGeneratorStreamInterface(t *testing.T) {
+	g, _ := New(ETC())
+	var s trace.Stream = g
+	limited := &trace.Limit{S: s, N: 10}
+	got, err := trace.Collect(limited, -1)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("collect via Stream: %d, %v", len(got), err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package workload synthesizes request streams with the statistical shape of
+// the Facebook Memcached traces the paper evaluates on (ETC and APP from
+// Atikoglu et al., SIGMETRICS 2012), which are proprietary. See DESIGN.md §2
+// for the substitution argument. The knobs — key popularity skew, item-size
+// mixture, cold-miss fraction, popularity drift — are all explicit, so the
+// generators double as a general workload toolkit.
+package workload
+
+import (
+	"math"
+
+	"pamakv/internal/kv"
+)
+
+// Zipf samples ranks in [0, N) with P(rank k) ∝ 1/(k+1)^S for any skew
+// S ≥ 0, including the S ≤ 1 regime typical of web caches, which the
+// standard library's rand.Zipf (S > 1 only) cannot produce.
+//
+// Sampling inverts the continuous approximation of the cumulative mass,
+// H(x) = ∫ x^-s dx, which is exact in the limit and rank-faithful for cache
+// studies: the approximation error shifts individual probabilities by
+// O(1/N) without disturbing the popularity ordering.
+type Zipf struct {
+	n    float64
+	s    float64
+	hN   float64 // generalized harmonic integral at N
+	oneS float64 // 1-s, cached
+}
+
+// NewZipf returns a sampler over [0,n) with exponent s. n must be >=1;
+// s must be >= 0.
+func NewZipf(n uint64, s float64) *Zipf {
+	z := &Zipf{n: float64(n), s: s, oneS: 1 - s}
+	z.hN = z.hInt(z.n)
+	return z
+}
+
+// hInt is the continuous generalized harmonic: ∫_0.5^x (t)^-s dt shifted so
+// rank 0 carries the largest mass.
+func (z *Zipf) hInt(x float64) float64 {
+	if math.Abs(z.oneS) < 1e-12 {
+		return math.Log(x + 0.5)
+	}
+	return (math.Pow(x+0.5, z.oneS) - math.Pow(0.5, z.oneS)) / z.oneS
+}
+
+// invH inverts hInt.
+func (z *Zipf) invH(y float64) float64 {
+	if math.Abs(z.oneS) < 1e-12 {
+		return math.Exp(y) - 0.5
+	}
+	return math.Pow(y*z.oneS+math.Pow(0.5, z.oneS), 1/z.oneS) - 0.5
+}
+
+// Rank maps a uniform variate u in [0,1) to a rank in [0, N), rank 0 being
+// the most popular.
+func (z *Zipf) Rank(u float64) uint64 {
+	x := z.invH(u * z.hN)
+	if x < 0 {
+		x = 0
+	}
+	r := uint64(x)
+	if r >= uint64(z.n) {
+		r = uint64(z.n) - 1
+	}
+	return r
+}
+
+// rng is a splitmix64 PRNG: tiny state, excellent mixing, fully
+// deterministic across platforms, and cheaper than rand.Source for the tight
+// generation loop.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return kv.Mix64(r.state)
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// intn returns a uniform int in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

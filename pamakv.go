@@ -1,0 +1,228 @@
+// Package pamakv is a slab-class key-value cache library with pluggable
+// memory-allocation policies, built around a from-scratch implementation of
+// PAMA — the Penalty Aware Memory Allocation scheme for key-value caches
+// (Ou, Patton, Moore, Xu, Jiang; ICPP 2015).
+//
+// A PAMA cache simultaneously weighs the three factors that determine a KV
+// cache's request service time — access locality, item size, and miss
+// penalty — by pricing every slab-sized chunk of every LRU stack in
+// penalty-seconds per window and reallocating slabs toward the classes
+// where a slab saves users the most time. The library also ships the
+// baseline policies the paper compares against (original Memcached's static
+// allocation, PSA, Twemcache's random reassignment, Facebook's LRU-age
+// balancer, and pre-PAMA), synthetic workload generators shaped after the
+// Facebook Memcached traces, a trace format with a GET-miss→SET penalty
+// estimator, a simulation harness that regenerates every figure in the
+// paper, and a Memcached-text-protocol server.
+//
+// Quick start:
+//
+//	c, err := pamakv.New(pamakv.Config{CacheBytes: 64 << 20}, pamakv.NewPAMA(pamakv.DefaultPAMAConfig()))
+//	if err != nil { ... }
+//	c.Set("user:42", len(blob), 0.250 /* observed miss penalty, seconds */, 0, blob)
+//	val, _, hit := c.Get("user:42", 0, 0, nil)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package pamakv
+
+import (
+	"pamakv/internal/backend"
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/gds"
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/policy"
+	"pamakv/internal/server"
+	"pamakv/internal/shard"
+	"pamakv/internal/sim"
+	"pamakv/internal/trace"
+	"pamakv/internal/workload"
+)
+
+// Core cache types.
+type (
+	// Cache is the slab-class cache engine. Construct with New.
+	Cache = cache.Cache
+	// Config parameterizes the engine (geometry, size, value storage,
+	// window length, segment tracker).
+	Config = cache.Config
+	// Stats are the engine's monotonic counters.
+	Stats = cache.Stats
+	// Policy is a slab-allocation scheme plugged into the engine.
+	Policy = cache.Policy
+	// Geometry is the slab/class size layout.
+	Geometry = kv.Geometry
+	// TrackerKind selects exact or Bloom-filter segment tracking.
+	TrackerKind = cache.TrackerKind
+	// PAMAConfig parameterizes the PAMA policy.
+	PAMAConfig = core.Config
+	// PAMADecisions reports PAMA's reallocation decision counters.
+	PAMADecisions = core.Decisions
+	// PenaltyModel generates deterministic per-key miss penalties.
+	PenaltyModel = penalty.Model
+	// WorkloadConfig parameterizes a synthetic workload generator.
+	WorkloadConfig = workload.Config
+	// WorkloadGenerator produces a request stream.
+	WorkloadGenerator = workload.Generator
+	// Request is one trace record.
+	Request = trace.Request
+	// TraceStream produces requests until io.EOF.
+	TraceStream = trace.Stream
+	// SimSpec describes one simulation experiment.
+	SimSpec = sim.Spec
+	// SimPolicySpec names a policy inside a SimSpec.
+	SimPolicySpec = sim.PolicySpec
+	// SimBurstSpec injects the paper §IV-C cold flood into a SimSpec.
+	SimBurstSpec = sim.BurstSpec
+	// SimResult carries a run's series and counters.
+	SimResult = sim.Result
+)
+
+// Tracker kinds.
+const (
+	// TrackerExact computes segment attribution exactly (order-statistics
+	// ring).
+	TrackerExact = cache.TrackerExact
+	// TrackerBloom uses the paper's per-segment Bloom filters.
+	TrackerBloom = cache.TrackerBloom
+)
+
+// Engine errors.
+var (
+	// ErrTooLarge reports an item exceeding the largest class slot.
+	ErrTooLarge = cache.ErrTooLarge
+	// ErrNoSpace reports that no slot could be produced for the class.
+	ErrNoSpace = cache.ErrNoSpace
+)
+
+// New builds a cache engine bound to a policy.
+func New(cfg Config, pol Policy) (*Cache, error) { return cache.New(cfg, pol) }
+
+// DefaultGeometry mirrors Memcached: 1 MiB slabs, 64 B base class, doubling
+// slots, 15 classes.
+func DefaultGeometry() Geometry { return kv.DefaultGeometry() }
+
+// DefaultPAMAConfig returns the paper's configuration: m=2 reference
+// segments, penalty aware, five penalty subclasses.
+func DefaultPAMAConfig() PAMAConfig { return core.DefaultConfig() }
+
+// NewPAMA returns the PAMA policy.
+func NewPAMA(cfg PAMAConfig) *core.PAMA { return core.New(cfg) }
+
+// NewPrePAMA returns the paper's pre-PAMA reference scheme (PAMA machinery,
+// penalty-blind values).
+func NewPrePAMA() *core.PAMA { return core.New(core.PrePAMAConfig()) }
+
+// NewStatic returns original Memcached's static allocation.
+func NewStatic() *policy.Static { return policy.NewStatic() }
+
+// NewPSA returns periodic slab allocation with the given miss period
+// (0 = 1000).
+func NewPSA(m uint64) *policy.PSA { return policy.NewPSA(m) }
+
+// NewTwemcache returns Twitter's random-reassignment policy.
+func NewTwemcache(seed uint64) *policy.Twemcache { return policy.NewTwemcache(seed) }
+
+// NewFacebookAge returns Facebook's LRU-age balancing policy.
+func NewFacebookAge() *policy.FacebookAge { return policy.NewFacebookAge() }
+
+// MRCObjective selects what the MRC/LAMA allocators optimize.
+type MRCObjective = policy.MRCObjective
+
+// MRC/LAMA objectives.
+const (
+	// ObjectiveMissRatio targets hit ratio.
+	ObjectiveMissRatio = policy.ObjectiveMissRatio
+	// ObjectiveAvgTime weights classes by average miss time.
+	ObjectiveAvgTime = policy.ObjectiveAvgTime
+)
+
+// NewMRC returns the endpoint hill-climbing miss-ratio-curve allocator.
+func NewMRC(obj MRCObjective) *policy.MRC { return policy.NewMRC(obj) }
+
+// NewLAMA returns the full miss-ratio-curve allocator (LAMA-style shadow
+// stacks + waterfilling; related work §II).
+func NewLAMA(obj MRCObjective) *policy.LAMA { return policy.NewLAMA(obj) }
+
+// DefaultPenaltyModel returns the Fig.-1-shaped miss-penalty model.
+func DefaultPenaltyModel() PenaltyModel { return penalty.Default() }
+
+// UniformPenaltyModel returns a model where every miss costs p seconds.
+func UniformPenaltyModel(p float64) PenaltyModel { return penalty.Uniform(p) }
+
+// ETCWorkload returns the generator configuration modeling the paper's ETC
+// trace (general-purpose, small items, heavy skew).
+func ETCWorkload() WorkloadConfig { return workload.ETC() }
+
+// APPWorkload returns the generator configuration modeling the paper's APP
+// trace (large items, many cold misses).
+func APPWorkload() WorkloadConfig { return workload.APP() }
+
+// NewWorkload builds a request generator.
+func NewWorkload(cfg WorkloadConfig) (*WorkloadGenerator, error) { return workload.New(cfg) }
+
+// RunSim executes one simulation experiment.
+func RunSim(spec SimSpec) (*SimResult, error) { return sim.Run(spec) }
+
+// RunSimMatrix executes experiments concurrently (workers <= 0 selects
+// GOMAXPROCS), returning results in spec order.
+func RunSimMatrix(specs []SimSpec, workers int) ([]*SimResult, error) {
+	return sim.RunMatrix(specs, workers)
+}
+
+// Network service and back-end simulation.
+type (
+	// Server serves a cache over the Memcached ASCII protocol.
+	Server = server.Server
+	// ServerOptions configure a Server.
+	ServerOptions = server.Options
+	// ServerStore is the cache surface a Server drives (a *Cache or a
+	// *ShardGroup).
+	ServerStore = server.Store
+	// Backend simulates the database tier a cache shields.
+	Backend = backend.Store
+	// ShardGroup is a hash-sharded set of caches.
+	ShardGroup = shard.Group
+	// GDSFCache is the item-granularity GreedyDual-Size-Frequency cache
+	// (an alternative engine, no slabs).
+	GDSFCache = gds.Cache
+)
+
+// NewSharded splits cfg.CacheBytes across n hash shards (rounded up to a
+// power of two), each with its own policy from factory.
+func NewSharded(cfg Config, n int, factory func() Policy) (*ShardGroup, error) {
+	return shard.New(cfg, n, shard.PolicyFactory(factory))
+}
+
+// NewGDSF returns a GreedyDual-Size-Frequency cache bounded by capBytes.
+func NewGDSF(capBytes int64, storeValues bool) (*GDSFCache, error) {
+	return gds.New(capBytes, storeValues)
+}
+
+// NewServer wraps a cache or shard group (built with StoreValues: true) in
+// a protocol server.
+func NewServer(c ServerStore, opts ServerOptions) *Server { return server.New(c, opts) }
+
+// NewBackend returns an accounting-mode simulated back end: Fetch reports
+// each key's size, miss penalty, and synthesized value.
+func NewBackend(model PenaltyModel, sizer func(keyHash uint64) int) *Backend {
+	return backend.New(model, sizer)
+}
+
+// NewRealTimeBackend returns a back end whose Fetch sleeps
+// penalty*scale wall-clock seconds, making miss penalties felt in demos.
+func NewRealTimeBackend(model PenaltyModel, sizer func(keyHash uint64) int, scale float64) *Backend {
+	return backend.NewRealTime(model, sizer, scale)
+}
+
+// HashKey returns the 64-bit hash the engine uses for key — the argument
+// backend sizers receive.
+func HashKey(key string) uint64 { return kv.HashString(key) }
+
+// KeyString encodes a numeric workload key id as the engine's 8-byte key.
+func KeyString(id uint64) string { return kv.KeyString(id) }
+
+// DefaultUnknownPenalty is the penalty assumed for keys without an
+// observation (paper: 100 ms).
+const DefaultUnknownPenalty = penalty.DefaultUnknown
