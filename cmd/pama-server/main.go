@@ -7,6 +7,7 @@
 //
 //	pama-server -addr :11211 -cache 256 -policy pama
 //	pama-server -addr :11211 -readthrough -penalty-scale 0.05
+//	pama-server -readthrough -fault-err-rate 0.2 -fetch-retries 2 -serve-stale
 //
 // Try it with a plain TCP client:
 //
@@ -19,7 +20,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
@@ -30,40 +33,90 @@ import (
 	"pamakv/internal/workload"
 )
 
+// options gathers every flag so run stays testable.
+type options struct {
+	addr         string
+	cacheMiB     int64
+	policyKind   string
+	readthrough  bool
+	penaltyScale float64
+	shards       int
+	snapshot     string
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	maxConns     int
+	maxPipeline  int
+	drainTimeout time.Duration
+
+	fetchTimeout time.Duration
+	fetchRetries int
+	fetchBackoff time.Duration
+	serveStale   bool
+	staleMiB     int64
+
+	faultErrRate    float64
+	faultSpikeRate  float64
+	faultSpikeSleep time.Duration
+	faultSeed       uint64
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
-	cacheMiB := flag.Int64("cache", 256, "cache size in MiB")
-	policyKind := flag.String("policy", "pama", "policy: memcached, psa, pama, pre-pama, twemcache, facebook-age, mrc-hit, mrc-time, lama-hit, lama-time")
-	readthrough := flag.Bool("readthrough", false, "serve GET misses from a simulated back end")
-	penaltyScale := flag.Float64("penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
-	shards := flag.Int("shards", 1, "hash shards (rounded up to a power of two)")
-	snapshot := flag.String("snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:11211", "listen address")
+	flag.Int64Var(&o.cacheMiB, "cache", 256, "cache size in MiB")
+	flag.StringVar(&o.policyKind, "policy", "pama", "policy: memcached, psa, pama, pre-pama, twemcache, facebook-age, mrc-hit, mrc-time, lama-hit, lama-time")
+	flag.BoolVar(&o.readthrough, "readthrough", false, "serve GET misses from a simulated back end")
+	flag.Float64Var(&o.penaltyScale, "penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
+	flag.IntVar(&o.shards, "shards", 1, "hash shards (rounded up to a power of two)")
+	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
+
+	flag.DurationVar(&o.readTimeout, "read-timeout", 5*time.Minute, "per-connection idle deadline (0 = none)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "per-flush write deadline (0 = none)")
+	flag.IntVar(&o.maxConns, "max-conns", 1024, "max concurrent connections; excess dials wait in the kernel backlog (0 = unlimited)")
+	flag.IntVar(&o.maxPipeline, "max-pipeline", server.DefaultMaxPipeline, "max pipelined requests served per response flush")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", server.DefaultDrainTimeout, "graceful-shutdown drain window before force-closing connections")
+
+	flag.DurationVar(&o.fetchTimeout, "fetch-timeout", 0, "per-attempt backend fetch deadline in read-through mode (0 = none)")
+	flag.IntVar(&o.fetchRetries, "fetch-retries", 0, "extra attempts for a failed backend fetch")
+	flag.DurationVar(&o.fetchBackoff, "fetch-backoff", 2*time.Millisecond, "sleep before the first fetch retry; doubles per retry")
+	flag.BoolVar(&o.serveStale, "serve-stale", false, "serve recently evicted/expired values when the backend fails (read-through mode)")
+	flag.Int64Var(&o.staleMiB, "stale-buffer", 1, "serve-stale buffer budget in MiB")
+
+	flag.Float64Var(&o.faultErrRate, "fault-err-rate", 0, "inject backend fetch failures at this rate [0,1] (read-through mode)")
+	flag.Float64Var(&o.faultSpikeRate, "fault-spike-rate", 0, "inject backend latency spikes at this rate [0,1]")
+	flag.DurationVar(&o.faultSpikeSleep, "fault-spike-sleep", 50*time.Millisecond, "extra latency per injected spike")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 1, "deterministic seed for fault injection draws")
 	flag.Parse()
 
-	if err := run(*addr, *cacheMiB, *policyKind, *readthrough, *penaltyScale, *shards, *snapshot); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pama-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheMiB int64, policyKind string, readthrough bool, penaltyScale float64, shards int, snapshot string) error {
-	if pol, err := (sim.PolicySpec{Kind: policyKind}).Build(); err != nil {
+func run(o options) error {
+	if pol, err := (sim.PolicySpec{Kind: o.policyKind}).Build(); err != nil {
 		return err // validate the kind before building per-shard copies
 	} else if pol == nil {
-		return fmt.Errorf("policy %q is a simulator-only engine, not a slab policy", policyKind)
+		return fmt.Errorf("policy %q is a simulator-only engine, not a slab policy", o.policyKind)
 	}
 	cfg := cache.Config{
-		CacheBytes:  cacheMiB << 20,
+		CacheBytes:  o.cacheMiB << 20,
 		StoreValues: true,
 		WindowLen:   100_000,
 	}
-	if snapshot != "" && shards > 1 {
+	if o.serveStale {
+		cfg.StaleValues = true
+		cfg.StaleBytes = o.staleMiB << 20
+	}
+	if o.snapshot != "" && o.shards > 1 {
 		return fmt.Errorf("-snapshot requires a single shard")
 	}
 	var c server.Store
-	if shards > 1 {
-		g, err := shard.New(cfg, shards, func() cache.Policy {
-			p, _ := (sim.PolicySpec{Kind: policyKind}).Build()
+	if o.shards > 1 {
+		g, err := shard.New(cfg, o.shards, func() cache.Policy {
+			p, _ := (sim.PolicySpec{Kind: o.policyKind}).Build()
 			return p
 		})
 		if err != nil {
@@ -71,52 +124,89 @@ func run(addr string, cacheMiB int64, policyKind string, readthrough bool, penal
 		}
 		c = g
 	} else {
-		pol, _ := (sim.PolicySpec{Kind: policyKind}).Build()
+		pol, _ := (sim.PolicySpec{Kind: o.policyKind}).Build()
 		eng, err := cache.New(cfg, pol)
 		if err != nil {
 			return err
 		}
 		c = eng
 	}
-	if snapshot != "" {
+	if o.snapshot != "" {
 		if eng, ok := c.(*cache.Cache); ok {
-			if f, err := os.Open(snapshot); err == nil {
+			if f, err := os.Open(o.snapshot); err == nil {
 				if err := eng.LoadSnapshot(f); err != nil {
 					f.Close()
 					return fmt.Errorf("loading snapshot: %w", err)
 				}
 				f.Close()
-				log.Printf("pama-server: restored %d items from %s", eng.Items(), snapshot)
+				log.Printf("pama-server: restored %d items from %s", eng.Items(), o.snapshot)
 			}
 		}
 	}
-	opts := server.Options{Logger: log.New(os.Stderr, "pama-server: ", log.LstdFlags)}
-	if readthrough {
-		cfg := workload.ETC()
-		opts.Backend = backend.NewRealTime(penalty.Default(), cfg.SizeOf, penaltyScale)
+	opts := server.Options{
+		Logger:       log.New(os.Stderr, "pama-server: ", log.LstdFlags),
+		ReadTimeout:  o.readTimeout,
+		WriteTimeout: o.writeTimeout,
+		MaxConns:     o.maxConns,
+		MaxPipeline:  o.maxPipeline,
+		DrainTimeout: o.drainTimeout,
+		FetchTimeout: o.fetchTimeout,
+		FetchRetries: o.fetchRetries,
+		FetchBackoff: o.fetchBackoff,
+		ServeStale:   o.serveStale,
+	}
+	if o.readthrough {
+		wcfg := workload.ETC()
+		store := backend.NewRealTime(penalty.Default(), wcfg.SizeOf, o.penaltyScale)
+		if o.faultErrRate > 0 || o.faultSpikeRate > 0 {
+			store.SetFaults(&backend.Faults{
+				ErrRate:    o.faultErrRate,
+				SpikeRate:  o.faultSpikeRate,
+				SpikeSleep: o.faultSpikeSleep,
+				Seed:       o.faultSeed,
+			})
+			log.Printf("pama-server: fault injection on (err %.2f, spike %.2f @ %v, seed %d)",
+				o.faultErrRate, o.faultSpikeRate, o.faultSpikeSleep, o.faultSeed)
+		}
+		opts.Backend = store
+	} else if o.serveStale || o.fetchRetries > 0 || o.fetchTimeout > 0 {
+		log.Printf("pama-server: -serve-stale/-fetch-* only apply with -readthrough")
 	}
 	srv := server.New(c, opts)
 
+	// Serve returns as soon as shutdown begins; the drain (and snapshot
+	// save) happen in the signal goroutine, so the exit path below must
+	// wait for it or the process would quit mid-drain.
+	var draining atomic.Bool
+	shutdownDone := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
+		defer close(shutdownDone)
 		<-sigc
-		log.Println("pama-server: shutting down")
+		draining.Store(true)
+		log.Println("pama-server: draining connections")
 		srv.Shutdown()
-		if snapshot != "" {
+		st := srv.Stats()
+		log.Printf("pama-server: drained (%d conns served, %d forced closes)", st.Conns, st.ForcedCloses)
+		if o.snapshot != "" {
 			if eng, ok := c.(*cache.Cache); ok {
-				if f, err := os.Create(snapshot); err == nil {
+				if f, err := os.Create(o.snapshot); err == nil {
 					if err := eng.SaveSnapshot(f); err != nil {
 						log.Printf("pama-server: snapshot save failed: %v", err)
 					}
 					f.Close()
-					log.Printf("pama-server: snapshot saved to %s", snapshot)
+					log.Printf("pama-server: snapshot saved to %s", o.snapshot)
 				}
 			}
 		}
 	}()
 
-	log.Printf("pama-server: %s policy, %d MiB, %d shard(s), listening on %s (readthrough=%v)",
-		policyKind, cacheMiB, shards, addr, readthrough)
-	return srv.ListenAndServe(addr)
+	log.Printf("pama-server: %s policy, %d MiB, %d shard(s), listening on %s (readthrough=%v, max-conns=%d)",
+		o.policyKind, o.cacheMiB, o.shards, o.addr, o.readthrough, o.maxConns)
+	err := srv.ListenAndServe(o.addr)
+	if draining.Load() {
+		<-shutdownDone
+	}
+	return err
 }

@@ -8,14 +8,24 @@ import (
 	"time"
 )
 
+// testOpts returns the flag defaults scaled down for tests.
+func testOpts(addr, policy string, shards int) options {
+	return options{
+		addr:       addr,
+		cacheMiB:   16,
+		policyKind: policy,
+		shards:     shards,
+	}
+}
+
 func TestRunRejectsUnknownPolicy(t *testing.T) {
-	if err := run("127.0.0.1:0", 16, "bogus", false, 0, 1, ""); err == nil {
+	if err := run(testOpts("127.0.0.1:0", "bogus", 1)); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
 
 func TestRunRejectsBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 16, "pama", false, 0, 1, ""); err == nil {
+	if err := run(testOpts("256.256.256.256:99999", "pama", 1)); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
@@ -32,7 +42,7 @@ func TestRunServesTraffic(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close() // free the port for run; a tiny race window is acceptable in tests
 	errc := make(chan error, 1)
-	go func() { errc <- run(addr, 16, "pama", false, 0, 2, "") }()
+	go func() { errc <- run(testOpts(addr, "pama", 2)) }()
 
 	var conn net.Conn
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,6 +1,8 @@
 // Netserver: run the Memcached-protocol server on a loopback port with a
 // read-through simulated database, then exercise it with a small client —
-// all in one process, so the demo needs no external tooling.
+// all in one process, so the demo needs no external tooling. The second act
+// turns on backend fault injection and shows the server degrading to
+// serve-stale instead of missing.
 //
 //	go run ./examples/netserver
 package main
@@ -20,6 +22,8 @@ func main() {
 	c, err := pamakv.New(pamakv.Config{
 		CacheBytes:  32 << 20,
 		StoreValues: true,
+		StaleValues: true,      // retain evicted/expired bytes ...
+		StaleBytes:  256 << 10, // ... in a 256 KiB serve-stale buffer
 	}, pamakv.NewPAMA(pamakv.DefaultPAMAConfig()))
 	if err != nil {
 		log.Fatal(err)
@@ -28,7 +32,15 @@ func main() {
 	// Penalties are slept at 2% of their simulated value, so an expensive
 	// key visibly stalls its first GET.
 	db := pamakv.NewRealTimeBackend(wl.Penalty, wl.SizeOf, 0.02)
-	srv := pamakv.NewServer(c, pamakv.ServerOptions{Backend: db})
+	srv := pamakv.NewServer(c, pamakv.ServerOptions{
+		Backend:      db,
+		MaxConns:     64,
+		ReadTimeout:  time.Minute,
+		FetchTimeout: 2 * time.Second,
+		FetchRetries: 2,
+		FetchBackoff: 5 * time.Millisecond,
+		ServeStale:   true,
+	})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -88,9 +100,25 @@ func main() {
 	fmt.Printf("get cold key (read-through): %8s  <- paid the back-end penalty\n", first.Round(time.Microsecond))
 	fmt.Printf("get cold key (now cached):   %8s\n\n", second.Round(time.Microsecond))
 
+	// Act two: the database "goes down" (every fetch now fails). A key
+	// whose value expired is still answered — from the stale buffer —
+	// while a never-seen key is a plain miss.
+	db.SetFaults(&pamakv.BackendFaults{ErrRate: 1.0, Seed: 7})
+	send("set session:9 0 -1 7\r\nold-val") // expires on arrival
+	recvUntilEnd()
+	send("get session:9")
+	staleLines := recvUntilEnd()
+	fmt.Println("backend down, expired key served stale:")
+	for _, l := range staleLines {
+		fmt.Println("  " + l)
+	}
+	db.SetFaults(nil) // heal the backend
+	fmt.Println()
+
 	send("stats")
 	for _, l := range recvUntilEnd() {
-		if strings.HasPrefix(l, "STAT get_") || strings.HasPrefix(l, "STAT policy") {
+		if strings.HasPrefix(l, "STAT get_") || strings.HasPrefix(l, "STAT policy") ||
+			strings.HasPrefix(l, "STAT stale_") || strings.HasPrefix(l, "STAT backend_") {
 			fmt.Println(l)
 		}
 	}

@@ -11,12 +11,41 @@
 package backend
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
 	"pamakv/internal/kv"
 	"pamakv/internal/penalty"
 )
+
+// ErrUnavailable reports an injected back-end failure (see Faults). Callers
+// treat it like a transient database outage: retry, degrade, or surface a
+// miss.
+var ErrUnavailable = errors.New("backend: unavailable")
+
+// Faults configures failure injection on FetchErr, for resilience testing of
+// the read-through path. The decision stream is derived deterministically
+// from Seed and the fetch sequence number, so a run is reproducible and safe
+// for concurrent use without locks.
+type Faults struct {
+	// ErrRate is the probability in [0,1] that a fetch fails with
+	// ErrUnavailable (after any injected latency).
+	ErrRate float64
+	// SpikeRate is the probability in [0,1] that a fetch sleeps an extra
+	// SpikeSleep before completing — a latency spike.
+	SpikeRate float64
+	// SpikeSleep is the extra wall-clock latency of one spike.
+	SpikeSleep time.Duration
+	// Seed derives the fault decision stream; two stores with equal Seed
+	// and traffic inject identical faults.
+	Seed uint64
+}
+
+// enabled reports whether any fault class is active.
+func (f *Faults) enabled() bool {
+	return f != nil && (f.ErrRate > 0 || (f.SpikeRate > 0 && f.SpikeSleep > 0))
+}
 
 // Sizer reports the canonical value size in bytes for a key hash; workloads
 // provide it so the backend regenerates the same value a trace would have
@@ -34,6 +63,13 @@ type Store struct {
 	// penaltyNanos accumulates total simulated penalty, in nanoseconds,
 	// for diagnostics.
 	penaltyNanos atomic.Uint64
+
+	// faults, when set, injects failures into FetchErr (never into Fetch,
+	// which simulators rely on to always succeed).
+	faults   atomic.Pointer[Faults]
+	errs     atomic.Uint64
+	spikes   atomic.Uint64
+	faultSeq atomic.Uint64
 }
 
 // New returns an accounting-mode store.
@@ -67,6 +103,56 @@ func (s *Store) Fetch(key string, fill bool) (size int, pen float64, value []byt
 	}
 	return size, pen, value
 }
+
+// SetFaults installs (or, with nil, clears) a fault-injection plan. It may
+// be called while traffic is running; the change applies to subsequent
+// FetchErr calls.
+func (s *Store) SetFaults(f *Faults) {
+	if f != nil {
+		cp := *f
+		s.faults.Store(&cp)
+		return
+	}
+	s.faults.Store(nil)
+}
+
+// FetchErr is Fetch under the installed fault plan: a fetch may pay an
+// injected latency spike and may fail with ErrUnavailable. Without a plan it
+// behaves exactly like Fetch. Failed fetches still count toward Fetches()
+// (the back end was hit; it just misbehaved) but do not accumulate penalty.
+func (s *Store) FetchErr(key string, fill bool) (size int, pen float64, value []byte, err error) {
+	f := s.faults.Load()
+	if !f.enabled() {
+		size, pen, value = s.Fetch(key, fill)
+		return size, pen, value, nil
+	}
+	// Derive two independent uniform draws from the fetch sequence number,
+	// so the fault stream is deterministic per Seed and lock-free.
+	seq := s.faultSeq.Add(1)
+	spikeDraw := uniform(kv.Mix64(f.Seed ^ seq))
+	errDraw := uniform(kv.Mix64(f.Seed ^ seq ^ 0x9e3779b97f4a7c15))
+	if f.SpikeRate > 0 && f.SpikeSleep > 0 && spikeDraw < f.SpikeRate {
+		s.spikes.Add(1)
+		time.Sleep(f.SpikeSleep)
+	}
+	if f.ErrRate > 0 && errDraw < f.ErrRate {
+		s.fetches.Add(1)
+		s.errs.Add(1)
+		return 0, 0, nil, ErrUnavailable
+	}
+	size, pen, value = s.Fetch(key, fill)
+	return size, pen, value, nil
+}
+
+// uniform maps a mixed 64-bit value to [0,1).
+func uniform(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// InjectedErrors returns the number of fetches failed by fault injection.
+func (s *Store) InjectedErrors() uint64 { return s.errs.Load() }
+
+// InjectedSpikes returns the number of fetches delayed by an injected
+// latency spike.
+func (s *Store) InjectedSpikes() uint64 { return s.spikes.Load() }
 
 // Penalty returns the penalty for a key without fetching (used by replayers
 // that know an item's size already).

@@ -103,3 +103,84 @@ func TestFetchConcurrent(t *testing.T) {
 		t.Fatalf("Fetches = %d, want 8000", s.Fetches())
 	}
 }
+
+func TestFetchErrNoFaultsMatchesFetch(t *testing.T) {
+	s := New(penalty.Default(), func(uint64) int { return 64 })
+	sz, pen, val, err := s.FetchErr("k", true)
+	if err != nil {
+		t.Fatalf("FetchErr without faults errored: %v", err)
+	}
+	sz2, pen2, val2 := s.Fetch("k", true)
+	if sz != sz2 || pen != pen2 || !bytes.Equal(val, val2) {
+		t.Fatal("FetchErr without faults disagrees with Fetch")
+	}
+}
+
+func TestFaultInjectionAlwaysFails(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	s.SetFaults(&Faults{ErrRate: 1})
+	for i := 0; i < 20; i++ {
+		if _, _, _, err := s.FetchErr("k", false); err != ErrUnavailable {
+			t.Fatalf("fetch %d: err = %v, want ErrUnavailable", i, err)
+		}
+	}
+	if s.InjectedErrors() != 20 {
+		t.Fatalf("InjectedErrors = %d, want 20", s.InjectedErrors())
+	}
+	if s.Fetches() != 20 {
+		t.Fatalf("Fetches = %d, want 20 (failed fetches still hit the backend)", s.Fetches())
+	}
+	s.SetFaults(nil)
+	if _, _, _, err := s.FetchErr("k", false); err != nil {
+		t.Fatalf("after clearing faults: %v", err)
+	}
+}
+
+func TestFaultInjectionRateApproximate(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	s.SetFaults(&Faults{ErrRate: 0.2, Seed: 42})
+	const n = 5000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if _, _, _, err := s.FetchErr("k", false); err != nil {
+			fails++
+		}
+	}
+	if got := float64(fails) / n; got < 0.15 || got > 0.25 {
+		t.Fatalf("observed error rate %.3f, want ~0.20", got)
+	}
+}
+
+func TestFaultInjectionDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		s := New(penalty.Default(), nil)
+		s.SetFaults(&Faults{ErrRate: 0.5, Seed: seed})
+		out := make([]bool, 100)
+		for i := range out {
+			_, _, _, err := s.FetchErr("k", false)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fault stream not reproducible for equal seeds")
+		}
+	}
+}
+
+func TestFaultInjectionSpikes(t *testing.T) {
+	s := New(penalty.Default(), nil)
+	s.SetFaults(&Faults{SpikeRate: 1, SpikeSleep: 2 * time.Millisecond})
+	start := time.Now()
+	if _, _, _, err := s.FetchErr("k", false); err != nil {
+		t.Fatalf("spike-only faults should not error: %v", err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("spike did not delay the fetch (took %s)", d)
+	}
+	if s.InjectedSpikes() != 1 {
+		t.Fatalf("InjectedSpikes = %d, want 1", s.InjectedSpikes())
+	}
+}

@@ -65,6 +65,14 @@ type Config struct {
 	// Now supplies wall-clock unix seconds for TTL expiry; nil uses
 	// time.Now. Only consulted for items stored with a TTL.
 	Now func() int64
+	// StaleValues retains the bytes of recently evicted or expired items
+	// in a bounded side buffer so a read-through server can serve them as
+	// a degraded response when its backend fails (GetStale). Requires
+	// StoreValues.
+	StaleValues bool
+	// StaleBytes bounds the stale buffer (keys + values + overhead);
+	// 0 with StaleValues on defaults to 1 MiB.
+	StaleBytes int64
 }
 
 // Stats are engine-level counters; all monotonically increasing.
@@ -73,9 +81,11 @@ type Stats struct {
 	Sets, Deletes        uint64
 	Evictions, GhostHits uint64
 	Expired              uint64
-	TooLarge, NoSpace    uint64
-	FallbackEvicts       uint64
-	WindowRollovers      uint64
+	// StaleGets counts degraded reads served by GetStale.
+	StaleGets         uint64
+	TooLarge, NoSpace uint64
+	FallbackEvicts    uint64
+	WindowRollovers   uint64
 	// SlabMigrations counts cross-class slab moves, whatever policy
 	// performed them.
 	SlabMigrations uint64
@@ -155,6 +165,11 @@ type Cache struct {
 	pool  []*kv.Item
 	// casCounter issues unique CAS tokens; incremented per store.
 	casCounter uint64
+
+	// Stale buffer (see stale.go); staleIdx nil when disabled.
+	staleIdx  *hashtable.Table
+	staleLst  lru.List
+	staleSize int64
 }
 
 // New builds an engine bound to the given policy.
@@ -167,6 +182,12 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	}
 	if cfg.WindowLen == 0 {
 		cfg.WindowLen = 100_000
+	}
+	if cfg.StaleValues && !cfg.StoreValues {
+		return nil, errors.New("cache: StaleValues requires StoreValues")
+	}
+	if cfg.StaleValues && cfg.StaleBytes == 0 {
+		cfg.StaleBytes = 1 << 20
 	}
 	mgr, err := slab.NewManager(cfg.Geometry, cfg.CacheBytes)
 	if err != nil {
@@ -210,6 +231,9 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	}
 	c.winReqs = make([]uint64, c.geom.NumClasses)
 	c.winMiss = make([]uint64, c.geom.NumClasses)
+	if cfg.StaleValues {
+		c.staleIdx = hashtable.New(1 << 8)
+	}
 	pol.Attach(c)
 	return c, nil
 }
@@ -230,6 +254,7 @@ func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val 
 		// Lazy expiry, as in Memcached: the GET that finds a stale
 		// item reaps it and proceeds as a miss (no ghost entry — the
 		// value is dead, not a victim of space pressure).
+		c.pushStaleLocked(it)
 		c.unlinkResident(it)
 		c.release(it)
 		c.stats.Expired++
@@ -293,10 +318,11 @@ func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 	sub := c.subclassFor(pen)
 	h := kv.HashString(key)
 
-	// A refill supersedes any ghost memory of the key.
+	// A refill supersedes any ghost memory or stale copy of the key.
 	if g := c.gindex.Get(h, key); g != nil {
 		c.dropGhost(g)
 	}
+	c.dropStaleLocked(h, key)
 	// Replace semantics: free the old incarnation first (it may live in a
 	// different class if the size changed).
 	if old := c.index.Get(h, key); old != nil {
@@ -361,6 +387,7 @@ func (c *Cache) Delete(key string) bool {
 	if g := c.gindex.Get(h, key); g != nil {
 		c.dropGhost(g)
 	}
+	c.dropStaleLocked(h, key)
 	it := c.index.Get(h, key)
 	if it == nil {
 		return false
@@ -397,6 +424,7 @@ func (c *Cache) Flush() {
 			}
 		}
 	}
+	c.flushStaleLocked()
 }
 
 // Contains reports residency without touching LRU state or stats (tests and
@@ -560,6 +588,16 @@ func (c *Cache) CheckInvariants() error {
 	if total != c.index.Len() {
 		return fmt.Errorf("cache: lists hold %d items, index holds %d", total, c.index.Len())
 	}
+	if c.staleIdx != nil {
+		if c.staleLst.Len() != c.staleIdx.Len() {
+			return fmt.Errorf("cache: stale list holds %d entries, stale index holds %d",
+				c.staleLst.Len(), c.staleIdx.Len())
+		}
+		if c.staleSize < 0 || (c.staleLst.Len() == 0 && c.staleSize != 0) {
+			return fmt.Errorf("cache: stale byte accounting off (%d bytes, %d entries)",
+				c.staleSize, c.staleLst.Len())
+		}
+	}
 	return nil
 }
 
@@ -621,6 +659,7 @@ func (c *Cache) evictBottomLocked(class, sub int) *kv.Item {
 	if it == nil {
 		return nil
 	}
+	c.pushStaleLocked(it)
 	if s.tr != nil {
 		s.tr.Remove(it)
 	}

@@ -42,6 +42,7 @@ func (c *Cache) GetWithCAS(key string, buf []byte) (val []byte, flags uint32, ca
 	h := kv.HashString(key)
 	it := c.index.Get(h, key)
 	if it != nil && c.expired(it) {
+		c.pushStaleLocked(it)
 		c.unlinkResident(it)
 		c.release(it)
 		c.stats.Expired++
@@ -155,6 +156,7 @@ func (c *Cache) ReapExpired(max int) int {
 		return true
 	})
 	for _, it := range victims {
+		c.pushStaleLocked(it)
 		c.unlinkResident(it)
 		c.release(it)
 		c.stats.Expired++

@@ -1,0 +1,154 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// requestSeeds covers every verb, noreply variants, bad lengths, and
+// truncated frames.
+var requestSeeds = []string{
+	"get k\r\n",
+	"gets a b c\r\n",
+	"get \r\n",
+	"get " + strings.Repeat("k", 300) + "\r\n",
+	"set k 0 0 5\r\nhello\r\n",
+	"set k 0 0 5 noreply\r\nhello\r\n",
+	"set k 4294967295 2592000 0\r\n\r\n",
+	"set k -1 0 5\r\nhello\r\n",
+	"set k 0 0 -1\r\n",
+	"set k 0 0 99999999999\r\n",
+	"set k 0 0 5\r\nhel", // truncated data block
+	"set k 0 0\r\n",      // missing bytes operand
+	"add k 0 0 1\r\nx\r\n",
+	"replace k 0 0 1\r\nx\r\n",
+	"cas k 0 0 2 42\r\nhi\r\n",
+	"cas k 0 0 2 notanumber\r\nhi\r\n",
+	"delete k\r\n",
+	"delete k noreply\r\n",
+	"delete\r\n",
+	"incr k 1\r\n",
+	"incr k 18446744073709551615\r\n",
+	"decr k 2 noreply\r\n",
+	"decr k x\r\n",
+	"touch k 30\r\n",
+	"touch k -1 noreply\r\n",
+	"stats\r\n",
+	"flush_all\r\n",
+	"version\r\n",
+	"quit\r\n",
+	"bogus stuff\r\n",
+	"\r\n",
+	"",
+	"set k 0 0 3\r\nab\r\nget k\r\n", // CRLF landing inside the count
+	"get k\nget j\n",                 // bare-LF lines
+	"\x00\x80\xff\r\n",
+	strings.Repeat("a", MaxLineLen+10) + "\r\n",
+}
+
+func FuzzParseRequest(f *testing.F) {
+	for _, s := range requestSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			cmd, err := ReadCommand(r)
+			if err != nil {
+				var ce *ClientError
+				switch {
+				case errors.As(err, &ce):
+					continue // recoverable: the parser resynchronized
+				case errors.Is(err, io.EOF), errors.Is(err, ErrLineTooLong):
+					return
+				default:
+					t.Fatalf("unexpected error class: %v", err)
+				}
+			}
+			if cmd.Name == "" {
+				t.Fatal("parsed command with empty name")
+			}
+			for _, k := range cmd.Keys {
+				if len(k) == 0 || len(k) > MaxKeyLen {
+					t.Fatalf("accepted key of length %d", len(k))
+				}
+			}
+			if cmd.Bytes < 0 || cmd.Bytes > MaxDataLen {
+				t.Fatalf("accepted data length %d", cmd.Bytes)
+			}
+			if len(cmd.Data) != cmd.Bytes {
+				t.Fatalf("data length %d disagrees with bytes operand %d", len(cmd.Data), cmd.Bytes)
+			}
+		}
+	})
+}
+
+// responseSeeds covers every reply shape, bad lengths, and truncated frames.
+var responseSeeds = []string{
+	"END\r\n",
+	"VALUE k 0 5\r\nhello\r\nEND\r\n",
+	"VALUE k 9 2 77\r\nhi\r\nVALUE j 0 0\r\n\r\nEND\r\n",
+	"VALUE k 0 5\r\nhel", // truncated data
+	"VALUE k 0 -1\r\n",   // bad length
+	"VALUE k 0 2000000\r\n",
+	"VALUE k notaflag 2\r\nhi\r\n",
+	"VALUE\r\n",
+	"STORED\r\n",
+	"NOT_STORED\r\n",
+	"EXISTS\r\n",
+	"NOT_FOUND\r\n",
+	"DELETED\r\n",
+	"TOUCHED\r\n",
+	"OK\r\n",
+	"ERROR\r\n",
+	"CLIENT_ERROR malformed thing\r\n",
+	"SERVER_ERROR backend down\r\n",
+	"VERSION pamakv/1.0\r\n",
+	"STAT cmd_get 12\r\nSTAT policy pama\r\nEND\r\n",
+	"STAT incomplete\r\n",
+	"17\r\n",
+	"18446744073709551615\r\n",
+	"99 trailing\r\n",
+	"\r\n",
+	"",
+	"garbage line\r\n",
+	strings.Repeat("V", MaxLineLen+10) + "\r\n",
+}
+
+func FuzzParseResponse(f *testing.F) {
+	for _, s := range responseSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			resp, err := ReadResponse(r)
+			if err != nil {
+				var ce *ClientError
+				switch {
+				case errors.As(err, &ce):
+					continue
+				case errors.Is(err, io.EOF), errors.Is(err, ErrLineTooLong):
+					return
+				default:
+					t.Fatalf("unexpected error class: %v", err)
+				}
+			}
+			if resp.Status == "" {
+				t.Fatal("parsed response with empty status")
+			}
+			for _, v := range resp.Values {
+				if len(v.Data) > MaxDataLen {
+					t.Fatalf("accepted value of %d bytes", len(v.Data))
+				}
+				if len(v.Key) == 0 || len(v.Key) > MaxKeyLen {
+					t.Fatalf("accepted key of length %d", len(v.Key))
+				}
+			}
+		}
+	})
+}

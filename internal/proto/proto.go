@@ -7,6 +7,7 @@ package proto
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -19,7 +20,17 @@ const (
 	MaxKeyLen = 250
 	// MaxDataLen bounds a single value (1 MiB, one slab).
 	MaxDataLen = 1 << 20
+	// MaxLineLen bounds one command or response line (big enough for a
+	// multi-key get of ~30 max-length keys). Longer lines indicate a
+	// malformed or malicious peer; without the cap a newline-free stream
+	// would grow the line buffer without bound.
+	MaxLineLen = 8192
 )
+
+// ErrLineTooLong reports a line exceeding MaxLineLen. Framing is lost at
+// that point, so servers reply CLIENT_ERROR and close the connection rather
+// than resynchronize.
+var ErrLineTooLong = errors.New("proto: line exceeds maximum length")
 
 // Command is one parsed client request.
 type Command struct {
@@ -43,11 +54,19 @@ type Command struct {
 }
 
 // ClientError is a malformed-request error; the server reports it with
-// CLIENT_ERROR and keeps the connection open.
-type ClientError struct{ Msg string }
+// CLIENT_ERROR and keeps the connection open. Err, when non-nil, preserves
+// the underlying I/O cause (e.g. a read deadline expiring inside a data
+// block) so servers can tell a slow client from a malformed one.
+type ClientError struct {
+	Msg string
+	Err error
+}
 
 // Error implements error.
 func (e *ClientError) Error() string { return "proto: " + e.Msg }
+
+// Unwrap exposes the underlying cause for errors.Is checks.
+func (e *ClientError) Unwrap() error { return e.Err }
 
 func clientErrf(format string, args ...any) error {
 	return &ClientError{Msg: fmt.Sprintf(format, args...)}
@@ -115,14 +134,11 @@ func ReadCommand(r *bufio.Reader) (*Command, error) {
 			cmd.CasID = id
 		}
 		cmd.NoReply = len(args) == want+1
-		data := make([]byte, n+2)
-		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, clientErrf("short data block: %v", err)
+		data, err := readData(r, n)
+		if err != nil {
+			return nil, err
 		}
-		if !bytes.HasSuffix(data, []byte("\r\n")) {
-			return nil, clientErrf("data block not terminated by CRLF")
-		}
-		cmd.Data = data[:n]
+		cmd.Data = data
 	case "delete":
 		if len(args) != 1 && !(len(args) == 2 && args[1] == "noreply") {
 			return nil, clientErrf("delete requires <key> [noreply]")
@@ -168,6 +184,18 @@ func ReadCommand(r *bufio.Reader) (*Command, error) {
 	return cmd, nil
 }
 
+// readData consumes an n-byte data block plus its CRLF terminator.
+func readData(r *bufio.Reader, n int) ([]byte, error) {
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, &ClientError{Msg: fmt.Sprintf("short data block: %v", err), Err: err}
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		return nil, clientErrf("data block not terminated by CRLF")
+	}
+	return data[:n], nil
+}
+
 func checkKey(k string) error {
 	if len(k) == 0 || len(k) > MaxKeyLen {
 		return clientErrf("key length %d outside (0,%d]", len(k), MaxKeyLen)
@@ -180,14 +208,29 @@ func checkKey(k string) error {
 	return nil
 }
 
-// readLine reads one CRLF- (or LF-) terminated line without the terminator.
+// readLine reads one CRLF- (or LF-) terminated line without the terminator,
+// rejecting lines longer than MaxLineLen with ErrLineTooLong.
 func readLine(r *bufio.Reader) ([]byte, error) {
-	line, err := r.ReadBytes('\n')
-	if err != nil {
-		if err == io.EOF && len(line) == 0 {
-			return nil, io.EOF
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(line) > MaxLineLen {
+				return nil, ErrLineTooLong
+			}
+			continue
 		}
-		return nil, err
+		if err != nil {
+			if err == io.EOF && len(line) == 0 {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		break
+	}
+	if len(line) > MaxLineLen+2 { // +2 allows the CRLF terminator itself
+		return nil, ErrLineTooLong
 	}
 	line = bytes.TrimRight(line, "\r\n")
 	return line, nil

@@ -251,3 +251,92 @@ func TestAppendStatAndLine(t *testing.T) {
 		t.Fatal("AppendLine broken")
 	}
 }
+
+func TestReadResponseValues(t *testing.T) {
+	in := "VALUE a 7 5\r\nhello\r\nVALUE b 0 2 42\r\nhi\r\nEND\r\n"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "END" || len(resp.Values) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	a, b := resp.Values[0], resp.Values[1]
+	if a.Key != "a" || a.Flags != 7 || string(a.Data) != "hello" || a.CAS != 0 {
+		t.Fatalf("value a = %+v", a)
+	}
+	if b.Key != "b" || string(b.Data) != "hi" || b.CAS != 42 {
+		t.Fatalf("value b = %+v", b)
+	}
+}
+
+func TestReadResponseStatuses(t *testing.T) {
+	cases := map[string]string{
+		"STORED\r\n":             "STORED",
+		"NOT_STORED\r\n":         "NOT_STORED",
+		"EXISTS\r\n":             "EXISTS",
+		"NOT_FOUND\r\n":          "NOT_FOUND",
+		"DELETED\r\n":            "DELETED",
+		"TOUCHED\r\n":            "TOUCHED",
+		"OK\r\n":                 "OK",
+		"ERROR\r\n":              "ERROR",
+		"END\r\n":                "END",
+		"17\r\n":                 "NUMBER",
+		"SERVER_ERROR oops\r\n":  "SERVER_ERROR",
+		"VERSION pamakv/1.0\r\n": "VERSION",
+	}
+	for in, want := range cases {
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(in)))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if resp.Status != want {
+			t.Fatalf("%q -> status %q, want %q", in, resp.Status, want)
+		}
+	}
+	resp, _ := ReadResponse(bufio.NewReader(strings.NewReader("17\r\n")))
+	if resp.Number != 17 {
+		t.Fatalf("number = %d", resp.Number)
+	}
+}
+
+func TestReadResponseStats(t *testing.T) {
+	in := "STAT cmd_get 3\r\nSTAT policy pama\r\nEND\r\n"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Stats) != 2 || resp.Stats[0] != [2]string{"cmd_get", "3"} ||
+		resp.Stats[1] != [2]string{"policy", "pama"} {
+		t.Fatalf("stats = %v", resp.Stats)
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	for _, in := range []string{
+		"VALUE k 0 -1\r\n",
+		"VALUE k 0 9999999999\r\n",
+		"VALUE k 0 5\r\nhel",
+		"VALUE\r\n",
+		"STAT only\r\n",
+		"gibberish here\r\n",
+		"99 trailing\r\n",
+	} {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Fatalf("%q: accepted", in)
+		}
+	}
+}
+
+func TestLineTooLong(t *testing.T) {
+	long := "get " + strings.Repeat("k ", MaxLineLen) + "\r\n"
+	_, err := ReadCommand(bufio.NewReader(strings.NewReader(long)))
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+	// A line at the limit is still parsed.
+	okLine := "get " + strings.Repeat("k", 250) + "\r\n"
+	if _, err := ReadCommand(bufio.NewReader(strings.NewReader(okLine))); err != nil {
+		t.Fatalf("in-bounds line rejected: %v", err)
+	}
+}

@@ -1,11 +1,29 @@
 // Package server exposes the cache engine over the Memcached ASCII protocol
 // (package proto) on a TCP listener, one goroutine per connection.
 //
+// The serving path is built to stay predictable when clients or the backend
+// misbehave:
+//
+//   - Pipelining: a connection's already-buffered requests are parsed and
+//     dispatched as one batch and answered with a single flush, instead of
+//     strict request-reply lockstep (one write syscall per burst).
+//   - Deadlines: per-connection read (idle) and write (flush) deadlines
+//     bound how long a stalled peer can pin a goroutine.
+//   - Backpressure: MaxConns caps concurrent connections; the accept loop
+//     blocks when the cap is reached, leaving excess dials in the kernel
+//     backlog instead of admitting unbounded goroutines.
+//   - Graceful shutdown: Shutdown stops accepting, wakes idle connections,
+//     lets in-flight batches complete and flush, and only force-closes
+//     connections that outlive the drain window.
+//
 // The server can optionally run in read-through mode with a simulated
 // back-end store: a GET miss fetches the value from the backend (paying its
 // scaled miss penalty in real time), refills the cache with the penalty
 // attached, and serves the value — the GET-miss → SET pattern the paper's
-// penalty estimation is built on, live on a socket.
+// penalty estimation is built on, live on a socket. Backend fetches can be
+// bounded by a per-attempt timeout, retried with exponential backoff, and —
+// when the engine retains stale values (cache.Config.StaleValues) — degraded
+// to serve-stale instead of surfacing a miss when the backend stays down.
 package server
 
 import (
@@ -15,7 +33,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pamakv/internal/backend"
@@ -28,11 +48,24 @@ import (
 // Memcached charges its item header.
 const itemOverhead = 56
 
+// Defaults for the hardening knobs (chosen, not magic: a 64-deep batch
+// bounds response buffering at ~64 MiB worst case; 5 s is the common
+// load-balancer drain budget).
+const (
+	DefaultMaxPipeline  = 64
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// ErrFetchTimeout reports a backend fetch attempt cut off by
+// Options.FetchTimeout.
+var ErrFetchTimeout = errors.New("server: backend fetch timed out")
+
 // Store is the cache surface the server drives: satisfied by both
 // *cache.Cache (one engine) and *shard.Group (hash-sharded engines).
 type Store interface {
 	Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool)
 	GetWithCAS(key string, buf []byte) ([]byte, uint32, uint64, bool)
+	GetStale(key string, buf []byte) ([]byte, uint32, bool)
 	Set(key string, size int, pen float64, flags uint32, value []byte) error
 	SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error
 	Delete(key string) bool
@@ -54,6 +87,85 @@ type Options struct {
 	// ReapInterval runs a background expiry crawler this often (the
 	// engine's expiry is otherwise lazy); 0 disables it.
 	ReapInterval time.Duration
+
+	// ReadTimeout is the idle deadline: the longest the server waits for
+	// the next request (or the rest of a partially sent one) before
+	// closing the connection. 0 waits forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds flushing one response batch to a slow reader.
+	// 0 waits forever.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent connections; at the cap the accept loop
+	// blocks (kernel-backlog backpressure) instead of admitting more.
+	// 0 means unlimited.
+	MaxConns int
+	// MaxPipeline caps how many pipelined requests are served before the
+	// write buffer is flushed; 0 means DefaultMaxPipeline.
+	MaxPipeline int
+	// DrainTimeout bounds graceful shutdown: connections still busy after
+	// this window are force-closed. 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+
+	// FetchTimeout bounds one backend fetch attempt; 0 waits for the
+	// backend however long it takes.
+	FetchTimeout time.Duration
+	// FetchRetries is how many extra attempts a failed backend fetch
+	// gets before the GET degrades.
+	FetchRetries int
+	// FetchBackoff is slept before the first retry and doubles per
+	// retry; 0 retries immediately.
+	FetchBackoff time.Duration
+	// ServeStale degrades a GET whose backend fetch failed to a
+	// recently evicted/expired value (requires the engine to be built
+	// with cache.Config.StaleValues) instead of reporting a miss.
+	ServeStale bool
+}
+
+// Stats are server-level counters — connections and serving-path health, as
+// opposed to the engine-level cache.Stats. All monotonic except CurrConns.
+type Stats struct {
+	// Conns counts connections ever accepted; CurrConns is the number
+	// open now.
+	Conns, CurrConns uint64
+	// ClientErrors counts malformed requests (the client's fault:
+	// protocol errors, oversized lines, bad operands).
+	ClientErrors uint64
+	// ServerErrors counts SERVER_ERROR replies (the server's fault: the
+	// engine rejected an operation it should have handled).
+	ServerErrors uint64
+	// IOErrors counts socket read/write failures other than clean EOF
+	// and idle timeouts.
+	IOErrors uint64
+	// IdleTimeouts counts connections closed by ReadTimeout.
+	IdleTimeouts uint64
+	// ForcedCloses counts connections killed because they outlived the
+	// shutdown drain window.
+	ForcedCloses uint64
+	// Batches counts response flushes; BatchedCmds counts requests
+	// served across them (BatchedCmds/Batches = mean pipeline depth).
+	Batches, BatchedCmds uint64
+	// BackendRetries counts backend fetch re-attempts; BackendTimeouts
+	// counts attempts cut by FetchTimeout; BackendFailures counts fetch
+	// chains that exhausted their retries.
+	BackendRetries, BackendTimeouts, BackendFailures uint64
+	// StaleServes counts GETs answered from the stale buffer after a
+	// backend failure.
+	StaleServes uint64
+}
+
+// nstats is Stats with atomic fields, updated lock-free on the hot path.
+type nstats struct {
+	conns, currConns     atomic.Uint64
+	clientErrors         atomic.Uint64
+	serverErrors         atomic.Uint64
+	ioErrors             atomic.Uint64
+	idleTimeouts         atomic.Uint64
+	forcedCloses         atomic.Uint64
+	batches, batchedCmds atomic.Uint64
+	backendRetries       atomic.Uint64
+	backendTimeouts      atomic.Uint64
+	backendFailures      atomic.Uint64
+	staleServes          atomic.Uint64
 }
 
 // Server serves the cache over TCP. Construct with New.
@@ -67,6 +179,14 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 	reapC  chan struct{}
+
+	// doneC closes when Shutdown begins; handlers treat it as the drain
+	// signal.
+	doneC chan struct{}
+	// sem is the MaxConns semaphore (nil = unlimited).
+	sem chan struct{}
+
+	st nstats
 }
 
 // reaper is implemented by stores that support proactive expiry
@@ -78,7 +198,11 @@ type reaper interface{ ReapExpired(max int) int }
 // group), which should have been built with StoreValues: true; without it
 // GETs return empty bodies.
 func New(c Store, opts Options) *Server {
-	return &Server{c: c, opts: opts, conns: make(map[net.Conn]struct{})}
+	s := &Server{c: c, opts: opts, conns: make(map[net.Conn]struct{}), doneC: make(chan struct{})}
+	if opts.MaxConns > 0 {
+		s.sem = make(chan struct{}, opts.MaxConns)
+	}
+	return s
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -108,8 +232,20 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.mu.Unlock()
 	for {
+		if s.sem != nil {
+			// Accept-loop backpressure: do not even accept past
+			// MaxConns; excess dials queue in the kernel backlog.
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.doneC:
+				return nil
+			}
+		}
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.sem != nil {
+				<-s.sem
+			}
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
@@ -122,10 +258,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
+			if s.sem != nil {
+				<-s.sem
+			}
 			return nil
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.st.conns.Add(1)
+		s.st.currConns.Add(1)
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -141,11 +282,48 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown stops accepting, closes every connection, and waits for handlers
-// to drain.
+// Stats returns a copy of the server-level counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:           s.st.conns.Load(),
+		CurrConns:       s.st.currConns.Load(),
+		ClientErrors:    s.st.clientErrors.Load(),
+		ServerErrors:    s.st.serverErrors.Load(),
+		IOErrors:        s.st.ioErrors.Load(),
+		IdleTimeouts:    s.st.idleTimeouts.Load(),
+		ForcedCloses:    s.st.forcedCloses.Load(),
+		Batches:         s.st.batches.Load(),
+		BatchedCmds:     s.st.batchedCmds.Load(),
+		BackendRetries:  s.st.backendRetries.Load(),
+		BackendTimeouts: s.st.backendTimeouts.Load(),
+		BackendFailures: s.st.backendFailures.Load(),
+		StaleServes:     s.st.staleServes.Load(),
+	}
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.doneC:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown stops accepting and drains: idle connections are woken and
+// closed, in-flight batches complete and flush their responses, and
+// connections still busy after DrainTimeout are force-closed. Safe to call
+// more than once.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
+	close(s.doneC)
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -153,11 +331,43 @@ func (s *Server) Shutdown() {
 		close(s.reapC)
 		s.reapC = nil
 	}
+	conns := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+
+	// Wake handlers blocked waiting for a request: an expired read
+	// deadline unblocks them, they notice the drain and exit after
+	// flushing whatever they owe. Handlers mid-batch are not reading and
+	// finish their batch first.
+	now := time.Now()
+	for _, conn := range conns {
+		conn.SetReadDeadline(now)
+	}
+
+	drain := s.opts.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(drain)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+			s.st.forcedCloses.Add(1)
+		}
+		s.mu.Unlock()
+		<-done
+	}
 }
 
 // reapLoop periodically sweeps expired items until Shutdown.
@@ -193,47 +403,144 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.st.currConns.Add(^uint64(0))
+		if s.sem != nil {
+			<-s.sem
+		}
 	}()
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
+	maxBatch := s.opts.MaxPipeline
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxPipeline
+	}
 	var out []byte
 	for {
+		// Block for the next request under the idle deadline.
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
 		cmd, err := proto.ReadCommand(r)
 		if err != nil {
-			var ce *proto.ClientError
-			switch {
-			case errors.Is(err, io.EOF):
-				return
-			case errors.As(err, &ce):
-				out = proto.AppendLine(out[:0], "CLIENT_ERROR "+ce.Msg)
-				if _, werr := w.Write(out); werr != nil || w.Flush() != nil {
-					return
-				}
-				continue
-			default:
-				s.logf("server: read from %v: %v", conn.RemoteAddr(), err)
+			if fatal := s.readError(conn, w, err); fatal {
 				return
 			}
+			// Recoverable protocol error: reply and keep serving.
+			out = proto.AppendLine(out[:0], "CLIENT_ERROR "+clientMsg(err))
+			if !s.flush(conn, w, out) {
+				return
+			}
+			continue
 		}
 		out = s.dispatch(out[:0], cmd)
-		if cmd.Name == "quit" {
-			w.Write(out)
-			w.Flush()
+		quit := cmd.Name == "quit"
+		batch := 1
+
+		// Pipelining: serve every request the client already sent
+		// before paying for a flush, so an N-deep burst costs one
+		// write syscall. Bounded by maxBatch to cap response
+		// buffering.
+		var batchErr error
+		for !quit && batch < maxBatch && r.Buffered() > 0 {
+			cmd, err = proto.ReadCommand(r)
+			if err != nil {
+				var ce *proto.ClientError
+				if errors.As(err, &ce) && !errors.Is(err, os.ErrDeadlineExceeded) {
+					s.st.clientErrors.Add(1)
+					out = proto.AppendLine(out, "CLIENT_ERROR "+ce.Msg)
+					continue
+				}
+				batchErr = err
+				break
+			}
+			out = s.dispatch(out, cmd)
+			batch++
+			quit = cmd.Name == "quit"
+		}
+		s.st.batches.Add(1)
+		s.st.batchedCmds.Add(uint64(batch))
+		if !s.flush(conn, w, out) {
 			return
 		}
-		if len(out) > 0 {
-			if _, err := w.Write(out); err != nil {
+		if quit {
+			return
+		}
+		if batchErr != nil {
+			if fatal := s.readError(conn, w, batchErr); fatal {
+				return
+			}
+			out = proto.AppendLine(out[:0], "CLIENT_ERROR "+clientMsg(batchErr))
+			if !s.flush(conn, w, out) {
 				return
 			}
 		}
-		// Flush when no further command is already buffered (simple
-		// pipelining support).
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
-				return
-			}
+		if s.draining() && r.Buffered() == 0 {
+			return
 		}
 	}
+}
+
+// flush writes and flushes out under the write deadline, reporting whether
+// the connection is still usable. Empty output flushes whatever the writer
+// buffered earlier (a no-op when none).
+func (s *Server) flush(conn net.Conn, w *bufio.Writer, out []byte) bool {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	if len(out) > 0 {
+		if _, err := w.Write(out); err != nil {
+			s.st.ioErrors.Add(1)
+			return false
+		}
+	}
+	if err := w.Flush(); err != nil {
+		s.st.ioErrors.Add(1)
+		return false
+	}
+	return true
+}
+
+// readError classifies a ReadCommand failure, updates counters, and reports
+// whether the connection must close. A false return means the error was a
+// recoverable client mistake: the caller replies CLIENT_ERROR and continues.
+func (s *Server) readError(conn net.Conn, w *bufio.Writer, err error) (fatal bool) {
+	var ce *proto.ClientError
+	switch {
+	case s.draining():
+		// The drain deadline (or any error racing it) ends the
+		// connection; everything owed was already flushed.
+		return true
+	case errors.Is(err, io.EOF):
+		return true
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		// Idle or stalled past ReadTimeout.
+		s.st.idleTimeouts.Add(1)
+		return true
+	case errors.Is(err, proto.ErrLineTooLong):
+		// Framing is unrecoverable; tell the client whose fault it
+		// was, then close.
+		s.st.clientErrors.Add(1)
+		s.flush(conn, w, []byte("CLIENT_ERROR line too long\r\n"))
+		return true
+	case errors.As(err, &ce):
+		s.st.clientErrors.Add(1)
+		return false
+	case errors.Is(err, net.ErrClosed):
+		return true
+	default:
+		s.st.ioErrors.Add(1)
+		s.logf("server: read from %v: %v", conn.RemoteAddr(), err)
+		return true
+	}
+}
+
+// clientMsg extracts the CLIENT_ERROR text from a recoverable parse error.
+func clientMsg(err error) string {
+	var ce *proto.ClientError
+	if errors.As(err, &ce) {
+		return ce.Msg
+	}
+	return err.Error()
 }
 
 func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
@@ -272,8 +579,62 @@ func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
 	case "quit":
 		return out
 	default:
+		s.st.clientErrors.Add(1)
 		return proto.AppendLine(out, "ERROR")
 	}
+}
+
+// fetchOnce runs one backend fetch attempt under FetchTimeout. On timeout
+// the fetch goroutine is abandoned (it completes and its result is
+// discarded); the backend simulates a database, so there is no external
+// resource to cancel.
+func (s *Server) fetchOnce(key string) (size int, pen float64, body []byte, err error) {
+	b := s.opts.Backend
+	if s.opts.FetchTimeout <= 0 {
+		return b.FetchErr(key, true)
+	}
+	type result struct {
+		size int
+		pen  float64
+		body []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		var r result
+		r.size, r.pen, r.body, r.err = b.FetchErr(key, true)
+		ch <- r
+	}()
+	t := time.NewTimer(s.opts.FetchTimeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.size, r.pen, r.body, r.err
+	case <-t.C:
+		s.st.backendTimeouts.Add(1)
+		return 0, 0, nil, ErrFetchTimeout
+	}
+}
+
+// fetchBackend runs a bounded retry-with-backoff chain of fetch attempts.
+func (s *Server) fetchBackend(key string) (size int, pen float64, body []byte, err error) {
+	backoff := s.opts.FetchBackoff
+	for attempt := 0; ; attempt++ {
+		size, pen, body, err = s.fetchOnce(key)
+		if err == nil {
+			return size, pen, body, nil
+		}
+		if attempt >= s.opts.FetchRetries || s.draining() {
+			break
+		}
+		s.st.backendRetries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	s.st.backendFailures.Add(1)
+	return 0, 0, nil, err
 }
 
 func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
@@ -289,11 +650,28 @@ func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 			val, flags, hit = s.c.Get(key, 0, 0, nil)
 		}
 		if !hit && s.opts.Backend != nil {
-			size, pen, body := s.opts.Backend.Fetch(key, true)
-			if err := s.c.Set(key, size+len(key)+itemOverhead, pen, 0, body); err == nil {
-				val, flags, hit = body, 0, true
-				if withCAS {
-					_, _, cas, _ = s.c.GetWithCAS(key, nil)
+			size, pen, body, ferr := s.fetchBackend(key)
+			switch {
+			case ferr == nil:
+				if err := s.c.Set(key, size+len(key)+itemOverhead, pen, 0, body); err == nil {
+					val, flags, hit = body, 0, true
+					if withCAS {
+						_, _, cas, _ = s.c.GetWithCAS(key, nil)
+					}
+				} else {
+					// The fetch worked but the engine refused the
+					// refill (e.g. item larger than any class):
+					// still serve the value this once.
+					s.st.serverErrors.Add(1)
+					val, flags, hit = body, 0, true
+				}
+			case s.opts.ServeStale:
+				// Backend down: degrade to the engine's retained
+				// stale copy, if any. The reply carries no CAS
+				// token (a stale value must not win a cas race).
+				if sval, sflags, ok := s.c.GetStale(key, nil); ok {
+					s.st.staleServes.Add(1)
+					val, flags, cas, hit = sval, sflags, 0, true
 				}
 			}
 		}
@@ -317,8 +695,10 @@ func (s *Server) doDelta(out []byte, cmd *proto.Command) []byte {
 	case errors.Is(err, cache.ErrNotStored):
 		return proto.AppendLine(out, "NOT_FOUND")
 	case errors.Is(err, cache.ErrNotNumeric):
+		s.st.clientErrors.Add(1)
 		return proto.AppendLine(out, "CLIENT_ERROR cannot increment or decrement non-numeric value")
 	case err != nil:
+		s.st.serverErrors.Add(1)
 		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
 	}
 	return proto.AppendLine(out, fmt.Sprintf("%d", next))
@@ -354,6 +734,7 @@ func (s *Server) doSet(out []byte, cmd *proto.Command) []byte {
 	case errors.Is(err, cache.ErrNotStored):
 		return proto.AppendLine(out, "NOT_STORED")
 	default:
+		s.st.serverErrors.Add(1)
 		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
 	}
 }
@@ -384,8 +765,22 @@ func (s *Server) doStats(out []byte) []byte {
 	out = proto.AppendStat(out, "cmd_delete", st.Deletes)
 	out = proto.AppendStat(out, "evictions", st.Evictions)
 	out = proto.AppendStat(out, "ghost_hits", st.GhostHits)
+	out = proto.AppendStat(out, "stale_gets", st.StaleGets)
 	out = proto.AppendStat(out, "curr_items", s.c.Items())
 	out = proto.AppendStat(out, "policy", s.c.PolicyName())
+	ss := s.Stats()
+	out = proto.AppendStat(out, "curr_connections", ss.CurrConns)
+	out = proto.AppendStat(out, "total_connections", ss.Conns)
+	out = proto.AppendStat(out, "client_errors", ss.ClientErrors)
+	out = proto.AppendStat(out, "server_errors", ss.ServerErrors)
+	out = proto.AppendStat(out, "io_errors", ss.IOErrors)
+	out = proto.AppendStat(out, "idle_timeouts", ss.IdleTimeouts)
+	out = proto.AppendStat(out, "response_batches", ss.Batches)
+	out = proto.AppendStat(out, "batched_commands", ss.BatchedCmds)
+	out = proto.AppendStat(out, "backend_retries", ss.BackendRetries)
+	out = proto.AppendStat(out, "backend_timeouts", ss.BackendTimeouts)
+	out = proto.AppendStat(out, "backend_failures", ss.BackendFailures)
+	out = proto.AppendStat(out, "stale_serves", ss.StaleServes)
 	for cl, n := range s.c.SnapshotSlabs() {
 		if n > 0 {
 			out = proto.AppendStat(out, fmt.Sprintf("slabs_class_%d", cl), n)

@@ -36,10 +36,12 @@ func New(cfg cache.Config, n int, factory PolicyFactory) (*Group, error) {
 		shards <<= 1
 	}
 	per := cfg.CacheBytes / int64(shards)
+	perStale := cfg.StaleBytes / int64(shards)
 	g := &Group{mask: uint64(shards - 1)}
 	for i := 0; i < shards; i++ {
 		scfg := cfg
 		scfg.CacheBytes = per
+		scfg.StaleBytes = perStale
 		c, err := cache.New(scfg, factory())
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -82,6 +84,11 @@ func (g *Group) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 // SetMode routes to the owning shard.
 func (g *Group) SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
 	return g.pick(key).SetMode(key, mode, cas, size, pen, flags, expireAt, value)
+}
+
+// GetStale routes a degraded read to the owning shard.
+func (g *Group) GetStale(key string, buf []byte) ([]byte, uint32, bool) {
+	return g.pick(key).GetStale(key, buf)
 }
 
 // Delete routes to the owning shard.
@@ -144,6 +151,7 @@ func (g *Group) Stats() cache.Stats {
 		t.Evictions += st.Evictions
 		t.GhostHits += st.GhostHits
 		t.Expired += st.Expired
+		t.StaleGets += st.StaleGets
 		t.TooLarge += st.TooLarge
 		t.NoSpace += st.NoSpace
 		t.FallbackEvicts += st.FallbackEvicts

@@ -182,6 +182,13 @@ type (
 	ServerStore = server.Store
 	// Backend simulates the database tier a cache shields.
 	Backend = backend.Store
+	// BackendFaults injects deterministic fetch failures and latency
+	// spikes into a Backend (Backend.SetFaults).
+	BackendFaults = backend.Faults
+	// ServerStats are the server-level counters (connections, error
+	// classes, pipelining depth, backend retry/degradation activity) —
+	// distinct from the engine-level Stats.
+	ServerStats = server.Stats
 	// ShardGroup is a hash-sharded set of caches.
 	ShardGroup = shard.Group
 	// GDSFCache is the item-granularity GreedyDual-Size-Frequency cache
@@ -215,6 +222,10 @@ func NewBackend(model PenaltyModel, sizer func(keyHash uint64) int) *Backend {
 func NewRealTimeBackend(model PenaltyModel, sizer func(keyHash uint64) int, scale float64) *Backend {
 	return backend.NewRealTime(model, sizer, scale)
 }
+
+// ErrBackendUnavailable is returned by Backend.FetchErr for injected
+// failures (BackendFaults).
+var ErrBackendUnavailable = backend.ErrUnavailable
 
 // HashKey returns the 64-bit hash the engine uses for key — the argument
 // backend sizers receive.
