@@ -1,0 +1,43 @@
+package pamakv
+
+// Allocation regression guards for the hot paths the observability layer
+// instruments: the per-(class,subclass) attribution counters added to the
+// engine must stay allocation-free, or the instrumentation would tax every
+// request it measures.
+
+import (
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+)
+
+// TestEngineGetHitAllocs pins the metadata-mode GET-hit path at zero
+// allocations per request (the configuration BenchmarkEngineGetHit runs).
+func TestEngineGetHitAllocs(t *testing.T) {
+	c, err := cache.New(cache.Config{
+		CacheBytes: 64 << 20,
+		WindowLen:  1 << 40, // no rollovers: windows are not the path under test
+		Tracker:    cache.TrackerExact,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 10
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = kv.KeyString(uint64(i))
+		if err := c.Set(keys[i], 100, 0.01, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var i int
+	allocs := testing.AllocsPerRun(5000, func() {
+		c.Get(keys[i&(n-1)], 0, 0, nil)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("GET hit allocates %.1f objects per request, want 0", allocs)
+	}
+}

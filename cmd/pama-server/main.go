@@ -8,6 +8,7 @@
 //	pama-server -addr :11211 -cache 256 -policy pama
 //	pama-server -addr :11211 -readthrough -penalty-scale 0.05
 //	pama-server -readthrough -fault-err-rate 0.2 -fetch-retries 2 -serve-stale
+//	pama-server -addr :11211 -admin-addr 127.0.0.1:11212   # /metrics, /statsz, pprof
 //
 // Try it with a plain TCP client:
 //
@@ -43,6 +44,9 @@ type options struct {
 	shards       int
 	snapshot     string
 
+	adminAddr      string
+	adminSeriesInt time.Duration
+
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	maxConns     int
@@ -70,6 +74,8 @@ func main() {
 	flag.Float64Var(&o.penaltyScale, "penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
 	flag.IntVar(&o.shards, "shards", 1, "hash shards (rounded up to a power of two)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
+	flag.StringVar(&o.adminAddr, "admin-addr", "", "HTTP observability listener (/metrics, /statsz, /series, /debug/pprof); empty disables")
+	flag.DurationVar(&o.adminSeriesInt, "admin-series-interval", 5*time.Second, "sampling window of the admin /series recorder (0 disables the series)")
 
 	flag.DurationVar(&o.readTimeout, "read-timeout", 5*time.Minute, "per-connection idle deadline (0 = none)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "per-flush write deadline (0 = none)")
@@ -174,6 +180,17 @@ func run(o options) error {
 	}
 	srv := server.New(c, opts)
 
+	var admin *server.Admin
+	if o.adminAddr != "" {
+		admin = server.NewAdmin(srv, o.adminSeriesInt)
+		go func() {
+			if err := admin.ListenAndServe(o.adminAddr); err != nil {
+				log.Printf("pama-server: admin listener: %v", err)
+			}
+		}()
+		log.Printf("pama-server: admin endpoints on http://%s/{metrics,statsz,series,healthz,debug/pprof}", o.adminAddr)
+	}
+
 	// Serve returns as soon as shutdown begins; the drain (and snapshot
 	// save) happen in the signal goroutine, so the exit path below must
 	// wait for it or the process would quit mid-drain.
@@ -186,6 +203,9 @@ func run(o options) error {
 		<-sigc
 		draining.Store(true)
 		log.Println("pama-server: draining connections")
+		if admin != nil {
+			admin.Close()
+		}
 		srv.Shutdown()
 		st := srv.Stats()
 		log.Printf("pama-server: drained (%d conns served, %d forced closes)", st.Conns, st.ForcedCloses)

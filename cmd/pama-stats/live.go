@@ -1,0 +1,88 @@
+package main
+
+// Live mode: poll a pama-server admin endpoint and turn cumulative /statsz
+// counters into windowed rows, the same shape as the simulator's per-window
+// TSV (hit ratio per window of served GETs) but measured off a real socket.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pamakv/internal/server"
+)
+
+// fetchStatsz GETs and decodes one /statsz document.
+func fetchStatsz(client *http.Client, url string) (server.Statsz, error) {
+	var doc server.Statsz
+	resp, err := client.Get(url)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return doc, nil
+}
+
+// runLive polls addr's /statsz every interval and prints one delta row per
+// window. samples > 0 stops after that many rows; otherwise it runs until
+// the poll fails (e.g. the server went away) or the process is interrupted.
+func runLive(w io.Writer, addr string, interval time.Duration, samples int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/statsz"
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	prev, err := fetchStatsz(client, url)
+	if err != nil {
+		return err
+	}
+	prevT := time.Now()
+	fmt.Fprintf(w, "# %s  policy=%s  items=%d  shards' slabs=%v\n",
+		url, prev.Policy, prev.Items, prev.Slabs)
+	fmt.Fprintf(w, "%10s %10s %8s %8s %10s %12s %12s\n",
+		"gets/s", "sets/s", "hit%", "evic/s", "items", "p99get(ms)", "migrations")
+
+	for n := 0; samples <= 0 || n < samples; n++ {
+		time.Sleep(interval)
+		cur, err := fetchStatsz(client, url)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		dt := now.Sub(prevT).Seconds()
+		if dt <= 0 {
+			dt = interval.Seconds()
+		}
+		dGets := cur.Engine.Gets - prev.Engine.Gets
+		dHits := cur.Engine.Hits - prev.Engine.Hits
+		dSets := cur.Engine.Sets - prev.Engine.Sets
+		dEvic := cur.Engine.Evictions - prev.Engine.Evictions
+		hitCell := "-" // no GET traffic this window: not 0%, just unknown
+		if dGets > 0 {
+			hitCell = fmt.Sprintf("%.2f", 100*float64(dHits)/float64(dGets))
+		}
+		p99 := 0.0
+		if lat, ok := cur.Latencies["get"]; ok {
+			p99 = lat.P99 * 1e3 // cumulative, not windowed: quantiles need buckets
+		}
+		fmt.Fprintf(w, "%10.0f %10.0f %8s %8.0f %10d %12.3f %12d\n",
+			float64(dGets)/dt, float64(dSets)/dt, hitCell, float64(dEvic)/dt,
+			cur.Items, p99, cur.Engine.SlabMigrations)
+		prev, prevT = cur, now
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/server"
+)
+
+// newLiveEngine builds a small value-storing engine under the PAMA policy.
+func newLiveEngine(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 22,
+		StoreValues: true,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stubStatsz serves a /statsz whose counters advance by a fixed step per
+// poll, so the delta rows runLive prints are fully predictable.
+func stubStatsz(t *testing.T) *httptest.Server {
+	t.Helper()
+	var polls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statsz" {
+			http.NotFound(w, r)
+			return
+		}
+		n := polls.Add(1) - 1 // 0 on the baseline poll
+		hr := 0.75
+		doc := server.Statsz{
+			Policy:   "pama",
+			Items:    int(100 + n),
+			HitRatio: &hr,
+			Engine: cache.Stats{
+				Gets:           1000 * n,
+				Hits:           750 * n,
+				Misses:         250 * n,
+				Sets:           100 * n,
+				Evictions:      10 * n,
+				SlabMigrations: n,
+			},
+			Slabs: []int{3, 2, 1},
+			Latencies: map[string]server.LatencySummary{
+				"get": {Count: 1000 * n, Mean: 0.0001, P50: 0.0001, P95: 0.0005, P99: 0.002},
+			},
+		}
+		if err := json.NewEncoder(w).Encode(doc); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunLiveRendersDeltas(t *testing.T) {
+	ts := stubStatsz(t)
+	var buf bytes.Buffer
+	if err := runLive(&buf, strings.TrimPrefix(ts.URL, "http://"), time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // banner, header, two windows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "policy=pama") || !strings.Contains(lines[0], "items=100") {
+		t.Errorf("banner = %q", lines[0])
+	}
+	for _, row := range lines[2:] {
+		f := strings.Fields(row)
+		if len(f) != 7 {
+			t.Fatalf("row %q has %d columns, want 7", row, len(f))
+		}
+		// Each window advances hits by 750 of 1000 gets: hit% is exact
+		// regardless of wall-clock jitter in the rates.
+		if f[2] != "75.00" {
+			t.Errorf("hit%% column = %q, want 75.00", f[2])
+		}
+		// p99 is rendered in milliseconds: 0.002 s -> 2.000.
+		if f[5] != "2.000" {
+			t.Errorf("p99 column = %q, want 2.000", f[5])
+		}
+	}
+}
+
+func TestRunLiveNoTrafficWindow(t *testing.T) {
+	// A constant document: every window has zero deltas; the hit column
+	// must say "-" (unknown), never 0 or NaN.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.Statsz{Policy: "pama"})
+	}))
+	t.Cleanup(ts.Close)
+	var buf bytes.Buffer
+	if err := runLive(&buf, ts.URL, time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("live output leaks NaN:\n%s", out)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if f := strings.Fields(rows[len(rows)-1]); f[2] != "-" {
+		t.Errorf("idle window hit%% = %q, want -", f[2])
+	}
+}
+
+func TestRunLiveAgainstRealAdmin(t *testing.T) {
+	// Full integration: a real engine behind a real admin handler.
+	eng := newLiveEngine(t)
+	srv := server.New(eng, server.Options{})
+	admin := server.NewAdmin(srv, 0)
+	ts := httptest.NewServer(admin.Handler())
+	t.Cleanup(ts.Close)
+
+	if err := eng.Set("k", 64, 0.01, 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Get("k", 0, 0, nil)
+	var buf bytes.Buffer
+	if err := runLive(&buf, ts.URL+"/", time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "policy=") {
+		t.Fatalf("no banner in:\n%s", buf.String())
+	}
+}

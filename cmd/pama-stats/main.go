@@ -5,10 +5,16 @@
 // implies, and a reuse-distance (stack-distance) profile that shows how
 // much cache the workload can actually use.
 //
+// With -live it instead attaches to a running pama-server's admin endpoint
+// (see pama-server -admin-addr) and renders one windowed row per polling
+// interval from /statsz deltas — the live counterpart of the simulator's
+// windowed TSV.
+//
 // Usage:
 //
 //	pama-tracegen -workload app -n 1000000 -out app.trace
 //	pama-stats -trace app.trace
+//	pama-stats -live 127.0.0.1:11212 -interval 2s
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"pamakv/internal/kv"
 	"pamakv/internal/metrics"
@@ -32,8 +39,17 @@ func main() {
 	topN := flag.Int("top", 10, "how many hottest keys to list")
 	depth := flag.Int("depth", 64, "reuse-distance profile depth, in 1 MiB slab equivalents")
 	fit := flag.Bool("fit", false, "additionally fit a synthetic workload.Config to the trace")
+	live := flag.String("live", "", "poll a running server's admin /statsz at this address instead of reading a trace")
+	interval := flag.Duration("interval", 2*time.Second, "polling interval in -live mode")
+	samples := flag.Int("samples", 0, "stop -live mode after this many windows (0 = until interrupted)")
 	flag.Parse()
-	if err := run(os.Stdout, *tracePath, *topN, *depth, *fit); err != nil {
+	var err error
+	if *live != "" {
+		err = runLive(os.Stdout, *live, *interval, *samples)
+	} else {
+		err = run(os.Stdout, *tracePath, *topN, *depth, *fit)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pama-stats:", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pamakv/internal/kv"
+	"pamakv/internal/obs"
 	"pamakv/internal/penalty"
 )
 
@@ -70,17 +71,23 @@ type Store struct {
 	errs     atomic.Uint64
 	spikes   atomic.Uint64
 	faultSeq atomic.Uint64
+
+	// fetchLat records wall-clock FetchErr latency (the serving path's view
+	// of the back end, spikes and sleeps included). Fetch, the simulators'
+	// accounting-mode entry point, is deliberately not timed: its callers
+	// measure simulated time, not wall time.
+	fetchLat *obs.Hist
 }
 
 // New returns an accounting-mode store.
 func New(model penalty.Model, sizer Sizer) *Store {
-	return &Store{model: model, sizer: sizer}
+	return &Store{model: model, sizer: sizer, fetchLat: obs.NewHist(1e-6, 7)}
 }
 
 // NewRealTime returns a store that sleeps penalty*scale per fetch. scale 1.0
 // reproduces penalties in real time; demos use 0.01–0.1.
 func NewRealTime(model penalty.Model, sizer Sizer, scale float64) *Store {
-	return &Store{model: model, sizer: sizer, sleepScale: scale}
+	return &Store{model: model, sizer: sizer, sleepScale: scale, fetchLat: obs.NewHist(1e-6, 7)}
 }
 
 // Fetch produces the value for key: its size, its miss penalty in seconds,
@@ -121,6 +128,10 @@ func (s *Store) SetFaults(f *Faults) {
 // behaves exactly like Fetch. Failed fetches still count toward Fetches()
 // (the back end was hit; it just misbehaved) but do not accumulate penalty.
 func (s *Store) FetchErr(key string, fill bool) (size int, pen float64, value []byte, err error) {
+	if s.fetchLat != nil {
+		start := time.Now()
+		defer func() { s.fetchLat.Observe(time.Since(start).Seconds()) }()
+	}
 	f := s.faults.Load()
 	if !f.enabled() {
 		size, pen, value = s.Fetch(key, fill)
@@ -158,6 +169,16 @@ func (s *Store) InjectedSpikes() uint64 { return s.spikes.Load() }
 // that know an item's size already).
 func (s *Store) Penalty(key string, size int) float64 {
 	return s.model.Of(kv.HashString(key), size)
+}
+
+// FetchLatency snapshots the wall-clock latency histogram of FetchErr calls
+// (failed attempts included — a slow failure is still latency the serving
+// path paid). Zero-valued for a store that has served none.
+func (s *Store) FetchLatency() obs.HistSnapshot {
+	if s.fetchLat == nil {
+		return obs.NewHist(1e-6, 7).Snapshot()
+	}
+	return s.fetchLat.Snapshot()
 }
 
 // Fetches returns the number of Fetch calls served.

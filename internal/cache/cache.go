@@ -162,7 +162,13 @@ type Cache struct {
 	winMiss []uint64
 
 	stats Stats
-	pool  []*kv.Item
+	// subHits/subMiss attribute GETs to (class, penalty subclass) and
+	// moves counts slab migrations by [src][dst] class — the introspection
+	// matrices behind Introspect (see introspect.go).
+	subHits [][]uint64
+	subMiss [][]uint64
+	moves   [][]uint64
+	pool    []*kv.Item
 	// casCounter issues unique CAS tokens; incremented per store.
 	casCounter uint64
 
@@ -231,6 +237,14 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	}
 	c.winReqs = make([]uint64, c.geom.NumClasses)
 	c.winMiss = make([]uint64, c.geom.NumClasses)
+	c.subHits = make([][]uint64, c.geom.NumClasses)
+	c.subMiss = make([][]uint64, c.geom.NumClasses)
+	c.moves = make([][]uint64, c.geom.NumClasses)
+	for ci := range c.subHits {
+		c.subHits[ci] = make([]uint64, nsub)
+		c.subMiss[ci] = make([]uint64, nsub)
+		c.moves[ci] = make([]uint64, c.geom.NumClasses)
+	}
 	if cfg.StaleValues {
 		c.staleIdx = hashtable.New(1 << 8)
 	}
@@ -271,6 +285,7 @@ func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val 
 		it.LastAccess = c.clock
 		c.winReqs[cl]++
 		c.stats.Hits++
+		c.subHits[cl][it.Sub]++
 		c.policy.OnHit(it, seg)
 		if c.cfg.StoreValues {
 			buf = append(buf, it.Value...)
@@ -292,6 +307,9 @@ func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val 
 	if clHint >= 0 {
 		c.winReqs[clHint]++
 		c.winMiss[clHint]++
+		if subHint >= 0 {
+			c.subMiss[clHint][subHint]++
+		}
 	}
 	c.policy.OnMiss(clHint, subHint, g, gseg)
 	return buf, 0, false
@@ -478,7 +496,11 @@ func (c *Cache) MigrateSlab(fromClass, fromSub, toClass int) error {
 			sub = next
 		}
 	}
-	return c.slabs.MoveSlab(fromClass, toClass)
+	if err := c.slabs.MoveSlab(fromClass, toClass); err != nil {
+		return err
+	}
+	c.moves[fromClass][toClass]++
+	return nil
 }
 
 // ---- Policy-facing accessors ----

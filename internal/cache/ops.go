@@ -69,6 +69,7 @@ func (c *Cache) GetWithCAS(key string, buf []byte) (val []byte, flags uint32, ca
 	it.LastAccess = c.clock
 	c.winReqs[it.Class]++
 	c.stats.Hits++
+	c.subHits[it.Class][it.Sub]++
 	c.policy.OnHit(it, seg)
 	if c.cfg.StoreValues {
 		buf = append(buf, it.Value...)

@@ -220,6 +220,19 @@ func (p *PAMA) IncomingValue(class, sub int) float64 {
 	return blend(p.in[class][sub], p.inPrev[class][sub])
 }
 
+// ReportDecisions implements cache.DecisionReporter for the engine's
+// introspection surface (called with the engine lock held).
+func (p *PAMA) ReportDecisions() cache.PolicyDecisions {
+	return cache.PolicyDecisions{
+		Migrations:          p.dec.Migrations,
+		SameClass:           p.dec.SameClass,
+		NotWorthIt:          p.dec.NotWorthIt,
+		Forced:              p.dec.Forced,
+		EvictsBySub:         append([]uint64(nil), p.dec.EvictsBySub...),
+		EvictedPenaltyBySub: append([]float64(nil), p.dec.EvictedPenalty...),
+	}
+}
+
 // Decisions returns a copy of the decision counters.
 func (p *PAMA) Decisions() Decisions {
 	d := p.dec
@@ -391,4 +404,7 @@ func maxInt(a, b int) int {
 	return b
 }
 
-var _ cache.Policy = (*PAMA)(nil)
+var (
+	_ cache.Policy           = (*PAMA)(nil)
+	_ cache.DecisionReporter = (*PAMA)(nil)
+)

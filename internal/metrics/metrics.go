@@ -30,18 +30,21 @@ func (w *Window) Add(hit bool, service float64) {
 	w.ServiceTime += service
 }
 
-// HitRatio returns hits/gets, or 0 for an empty window.
+// HitRatio returns hits/gets, or NaN for an empty window: a window that saw
+// no traffic is not a window with 0% hits, and every emitter renders the
+// distinction (TSV as "-", JSON as null/omitted).
 func (w *Window) HitRatio() float64 {
 	if w.Gets == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(w.Hits) / float64(w.Gets)
 }
 
-// AvgService returns mean service time per GET in seconds, or 0 when empty.
+// AvgService returns mean service time per GET in seconds, or NaN when the
+// window is empty (see HitRatio).
 func (w *Window) AvgService() float64 {
 	if w.Gets == 0 {
-		return 0
+		return math.NaN()
 	}
 	return w.ServiceTime / float64(w.Gets)
 }
@@ -81,33 +84,44 @@ func (s *Series) Final() Point {
 	return s.Points[len(s.Points)-1]
 }
 
-// MeanHitRatio averages hit ratio over all points (unweighted, matching the
-// paper's per-window presentation).
+// MeanHitRatio averages hit ratio over all non-empty points (unweighted,
+// matching the paper's per-window presentation). Empty (NaN) windows carry
+// no information and are skipped; all-empty series report 0.
 func (s *Series) MeanHitRatio() float64 {
-	if len(s.Points) == 0 {
+	t, n := 0.0, 0
+	for _, p := range s.Points {
+		if math.IsNaN(p.HitRatio) {
+			continue
+		}
+		t += p.HitRatio
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	t := 0.0
-	for _, p := range s.Points {
-		t += p.HitRatio
-	}
-	return t / float64(len(s.Points))
+	return t / float64(n)
 }
 
-// MeanAvgService averages the per-window mean service time.
+// MeanAvgService averages the per-window mean service time over non-empty
+// points (see MeanHitRatio for the NaN-window rule).
 func (s *Series) MeanAvgService() float64 {
-	if len(s.Points) == 0 {
+	t, n := 0.0, 0
+	for _, p := range s.Points {
+		if math.IsNaN(p.AvgService) {
+			continue
+		}
+		t += p.AvgService
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	t := 0.0
-	for _, p := range s.Points {
-		t += p.AvgService
-	}
-	return t / float64(len(s.Points))
+	return t / float64(n)
 }
 
 // TailMeanAvgService averages AvgService over the last frac of points —
-// "when the service time curves stabilize" in the paper's wording.
+// "when the service time curves stabilize" in the paper's wording. Empty
+// (NaN) windows inside the tail are skipped.
 func (s *Series) TailMeanAvgService(frac float64) float64 {
 	n := len(s.Points)
 	if n == 0 {
@@ -117,11 +131,18 @@ func (s *Series) TailMeanAvgService(frac float64) float64 {
 	if start < 0 {
 		start = 0
 	}
-	t := 0.0
+	t, k := 0.0, 0
 	for _, p := range s.Points[start:] {
+		if math.IsNaN(p.AvgService) {
+			continue
+		}
 		t += p.AvgService
+		k++
 	}
-	return t / float64(n-start)
+	if k == 0 {
+		return 0
+	}
+	return t / float64(k)
 }
 
 // WriteTSV renders several series side by side: one row per window, columns
@@ -152,7 +173,7 @@ func WriteTSV(w io.Writer, series []*Series) error {
 		for _, s := range series {
 			if i < len(s.Points) {
 				p := s.Points[i]
-				row = append(row, fmt.Sprintf("%.4f", p.HitRatio), fmt.Sprintf("%.6f", p.AvgService))
+				row = append(row, cell(p.HitRatio, "%.4f"), cell(p.AvgService, "%.6f"))
 			} else {
 				row = append(row, "-", "-")
 			}
@@ -162,6 +183,14 @@ func WriteTSV(w io.Writer, series []*Series) error {
 		}
 	}
 	return nil
+}
+
+// cell formats one TSV value, rendering an empty window's NaN as "-".
+func cell(v float64, format string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // WriteSlabTSV renders the per-class slab allocation series of one

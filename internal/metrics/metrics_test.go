@@ -21,8 +21,47 @@ func TestWindowAccumulates(t *testing.T) {
 		t.Fatalf("AvgService = %v", got)
 	}
 	w.Reset()
-	if w.Gets != 0 || w.HitRatio() != 0 || w.AvgService() != 0 {
-		t.Fatal("Reset incomplete")
+	if w.Gets != 0 || !math.IsNaN(w.HitRatio()) || !math.IsNaN(w.AvgService()) {
+		t.Fatal("Reset incomplete: empty window must report NaN, not 0")
+	}
+}
+
+func TestEmptyWindowIsNaNNotZero(t *testing.T) {
+	// "No traffic" must be distinguishable from "0% hits": an empty window
+	// reports NaN, a window of pure misses reports exactly 0.
+	var empty, allMiss Window
+	allMiss.Add(false, 0.1)
+	if !math.IsNaN(empty.HitRatio()) || !math.IsNaN(empty.AvgService()) {
+		t.Fatalf("empty window: hit=%v svc=%v, want NaN", empty.HitRatio(), empty.AvgService())
+	}
+	if allMiss.HitRatio() != 0 {
+		t.Fatalf("all-miss window HitRatio = %v, want 0", allMiss.HitRatio())
+	}
+	// Series aggregates skip NaN windows instead of poisoning the mean.
+	s := &Series{}
+	s.Append(Point{GetsServed: 10, HitRatio: 0.5, AvgService: 0.2})
+	s.Append(Point{GetsServed: 10, HitRatio: empty.HitRatio(), AvgService: empty.AvgService()})
+	s.Append(Point{GetsServed: 20, HitRatio: 0.7, AvgService: 0.4})
+	if got := s.MeanHitRatio(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("MeanHitRatio = %v, want 0.6 (NaN window skipped)", got)
+	}
+	if got := s.MeanAvgService(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MeanAvgService = %v, want 0.3", got)
+	}
+	if got := s.TailMeanAvgService(0.5); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("TailMeanAvgService = %v, want 0.4 (tail is {NaN, 0.4})", got)
+	}
+	// The TSV emitter renders the empty window as "-", never "NaN".
+	var sb strings.Builder
+	if err := WriteTSV(&sb, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatalf("WriteTSV leaked NaN:\n%s", sb.String())
+	}
+	rows := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(rows) != 4 || !strings.Contains(rows[2], "-\t-") {
+		t.Fatalf("empty window row not dashed:\n%s", sb.String())
 	}
 }
 

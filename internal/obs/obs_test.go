@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"pamakv/internal/metrics"
+)
+
+func TestCounterMergeAcrossShards(t *testing.T) {
+	// Shard-merge semantics: the group-level value is the sum of per-shard
+	// loads, regardless of how increments were distributed.
+	cases := []struct {
+		name   string
+		shards [][]uint64 // per-shard Add sequences
+		want   uint64
+	}{
+		{"empty", [][]uint64{{}, {}}, 0},
+		{"one-shard", [][]uint64{{1, 2, 3}}, 6},
+		{"even-split", [][]uint64{{5, 5}, {10}, {0, 20}}, 40},
+		{"skewed", [][]uint64{{1}, {}, {1 << 40}}, 1 + 1<<40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			counters := make([]Counter, len(tc.shards))
+			for i, adds := range tc.shards {
+				for _, n := range adds {
+					counters[i].Add(n)
+				}
+			}
+			var total uint64
+			for i := range counters {
+				total += counters[i].Load()
+			}
+			if total != tc.want {
+				t.Fatalf("merged counter = %d, want %d", total, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	// The bucket layout must match metrics.Histogram exactly: decade
+	// buckets subdivided 8x, underflow in bucket 0, overflow in the last.
+	h := NewHist(0.001, 3) // [1ms, 1s), 25 buckets
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{0.0005, 0},
+		{0.001, 0},                // exactly min -> underflow bucket
+		{0.00101, 1},              // just above min
+		{0.01, 9},                 // exactly on a decade edge -> next bucket, as metrics.Histogram
+		{0.1, 17},                 // two decades, same edge rule
+		{0.999, 24},        // just under the top
+		{1.0, 24},          // at the top -> clamped to last
+		{1e300, 24},        // far out of range -> last, no int overflow
+		{math.Inf(1), 24},  // infinite -> last, no int overflow
+		{math.NaN(), 0},    // NaN -> underflow bucket, not a panic
+	}
+	for _, tc := range cases {
+		if got := h.bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Every recorded value must land in a bucket whose UpperBound is >= it
+	// (except the saturated last bucket), mirroring metrics.Histogram.
+	s := h.Snapshot()
+	for _, v := range []float64{0.0011, 0.004, 0.03, 0.5} {
+		i := h.bucketOf(v)
+		if s.UpperBound(i) < v {
+			t.Errorf("UpperBound(bucketOf(%v)) = %v < value", v, s.UpperBound(i))
+		}
+	}
+}
+
+func TestHistMatchesMetricsHistogram(t *testing.T) {
+	// obs.Hist and metrics.Histogram share one bucket scheme; identical
+	// inputs must yield identical counts, means, and quantile bounds.
+	h := NewHist(0.0001, 5)
+	m := metrics.NewHistogram(0.0001, 5)
+	vals := []float64{0.00005, 0.0002, 0.0015, 0.0015, 0.02, 0.3, 4.4, 99}
+	for _, v := range vals {
+		h.Observe(v)
+		m.Add(v)
+	}
+	s := h.Snapshot()
+	if s.Count != m.Count() {
+		t.Fatalf("count %d vs metrics %d", s.Count, m.Count())
+	}
+	if math.Abs(s.Mean()-m.Mean()) > 1e-12 {
+		t.Fatalf("mean %v vs metrics %v", s.Mean(), m.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(q), m.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, metrics says %v", q, got, want)
+		}
+	}
+}
+
+func TestHistQuantileAgainstExactValues(t *testing.T) {
+	// 1000 uniform values in [1ms, 1s): the bucketed quantile must be an
+	// upper bound of the exact order statistic and within one subdivision
+	// (a factor of 10^(1/8) ≈ 1.33) of it.
+	h := NewHist(0.001, 3)
+	var exact []float64
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := 0.001 + 0.999*float64(x>>11)/(1<<53)
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	sort.Float64s(exact)
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := exact[int(q*float64(len(exact)))]
+		if got < want {
+			t.Errorf("Quantile(%v) = %v below exact %v (must be an upper bound)", q, got, want)
+		}
+		if got > want*math.Pow(10, 1.0/8)*1.0001 {
+			t.Errorf("Quantile(%v) = %v too far above exact %v", q, got, want)
+		}
+	}
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+}
+
+func TestSnapshotDeltaSemantics(t *testing.T) {
+	h := NewHist(0.001, 2)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	before := h.Snapshot()
+	h.Observe(0.002)
+	h.Observe(0.09)
+	h.Observe(0.09)
+	after := h.Snapshot()
+
+	d, err := after.Delta(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if math.Abs(d.Sum-(0.002+0.09+0.09)) > 1e-12 {
+		t.Fatalf("delta sum = %v", d.Sum)
+	}
+	var total uint64
+	for _, c := range d.Buckets {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("delta buckets sum to %d, want 3", total)
+	}
+	// A snapshot is immutable: the earlier one must be unaffected.
+	if before.Count != 2 {
+		t.Fatalf("before snapshot mutated: count %d", before.Count)
+	}
+	// Mismatched layouts must refuse to subtract or merge.
+	other := NewHist(0.01, 2).Snapshot()
+	if _, err := after.Delta(other); err == nil {
+		t.Fatal("Delta across layouts succeeded")
+	}
+	if err := (&other).Merge(after); err == nil {
+		t.Fatal("Merge across layouts succeeded")
+	}
+}
+
+func TestSnapshotMergeAcrossShards(t *testing.T) {
+	a, b := NewHist(0.001, 3), NewHist(0.001, 3)
+	for _, v := range []float64{0.002, 0.004, 0.5} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.03, 0.03} {
+		b.Observe(v)
+	}
+	merged := a.Snapshot()
+	if err := merged.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != 5 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	want := 0.002 + 0.004 + 0.5 + 0.03 + 0.03
+	if math.Abs(merged.Sum-want) > 1e-12 {
+		t.Fatalf("merged sum = %v, want %v", merged.Sum, want)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	// Race-detector test: many goroutines hammer one counter and one
+	// histogram; totals must balance exactly.
+	const workers, perWorker = 8, 5000
+	var c Counter
+	h := NewHist(1e-6, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(seed*perWorker+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("buckets sum to %d, count says %d", bucketTotal, s.Count)
+	}
+}
+
+func TestRecorderWindows(t *testing.T) {
+	r := NewRecorder("live")
+	r.Sample(0, 0, 0, nil) // baseline only
+	if r.Len() != 0 {
+		t.Fatalf("baseline sample recorded a point")
+	}
+	r.Sample(100, 80, 2.0, []int{3, 1})
+	r.Sample(100, 80, 2.0, nil) // empty window: no traffic
+	r.Sample(300, 130, 6.0, nil)
+	s := r.Series()
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(s.Points))
+	}
+	p0, p1, p2 := s.Points[0], s.Points[1], s.Points[2]
+	if p0.HitRatio != 0.8 || math.Abs(p0.AvgService-0.02) > 1e-12 || p0.GetsServed != 100 {
+		t.Fatalf("window 0 = %+v", p0)
+	}
+	if len(p0.Slabs) != 2 {
+		t.Fatalf("window 0 slabs missing: %+v", p0)
+	}
+	if !math.IsNaN(p1.HitRatio) || !math.IsNaN(p1.AvgService) {
+		t.Fatalf("empty window must record NaN, got %+v", p1)
+	}
+	if math.Abs(p2.HitRatio-0.25) > 1e-12 || math.Abs(p2.AvgService-0.02) > 1e-12 {
+		t.Fatalf("window 2 = %+v", p2)
+	}
+	// The NaN window must flow through the TSV emitter as "-", not "NaN".
+	var sb strings.Builder
+	if err := metrics.WriteTSV(&sb, []*metrics.Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatalf("TSV leaked NaN:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("TSV did not mark the empty window:\n%s", sb.String())
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("pamakv_gets_total", "GET requests served.", 42)
+	p.Gauge("pamakv_items", "Resident items.", 7)
+	h := NewHist(0.001, 1)
+	h.Observe(0.002)
+	h.Observe(0.5)
+	p.Header("pamakv_req_seconds", "Request latency.", "histogram")
+	p.Histogram("pamakv_req_seconds", `cmd="get"`, h.Snapshot())
+	p.Histogram("pamakv_req_seconds", "", h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pamakv_gets_total counter",
+		"pamakv_gets_total 42",
+		"# TYPE pamakv_items gauge",
+		"pamakv_items 7",
+		"# TYPE pamakv_req_seconds histogram",
+		`pamakv_req_seconds_bucket{cmd="get",le="0.001"} 0`,
+		`pamakv_req_seconds_bucket{cmd="get",le="+Inf"} 2`,
+		`pamakv_req_seconds_count{cmd="get"} 2`,
+		`pamakv_req_seconds_bucket{le="+Inf"} 2`,
+		"pamakv_req_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "{}") {
+		t.Errorf("empty label braces leaked:\n%s", out)
+	}
+	// le buckets must be cumulative and non-decreasing.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `pamakv_req_seconds_bucket{cmd="get"`) {
+			continue
+		}
+		var n uint64
+		if _, err := fmtSscan(line[strings.LastIndex(line, " ")+1:], &n); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		last = n
+	}
+}
+
+// fmtSscan isolates the fmt dependency used only above.
+func fmtSscan(s string, n *uint64) (int, error) {
+	var v uint64
+	var i int
+	for i = 0; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		v = v*10 + uint64(s[i]-'0')
+	}
+	*n = v
+	return i, nil
+}

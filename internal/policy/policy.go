@@ -142,6 +142,11 @@ func (p *PSA) MakeRoom(class, _ int) {
 	p.c.EvictOneInClass(class)
 }
 
+// ReportDecisions implements cache.DecisionReporter.
+func (p *PSA) ReportDecisions() cache.PolicyDecisions {
+	return cache.PolicyDecisions{Migrations: p.Relocations}
+}
+
 // Twemcache is Twitter's random-donor policy.
 type Twemcache struct {
 	base
@@ -180,6 +185,11 @@ func (t *Twemcache) MakeRoom(class, _ int) {
 	} else {
 		c.EvictOneInClass(class)
 	}
+}
+
+// ReportDecisions implements cache.DecisionReporter.
+func (t *Twemcache) ReportDecisions() cache.PolicyDecisions {
+	return cache.PolicyDecisions{Migrations: t.Reassignments}
 }
 
 // FacebookAge is Facebook's LRU-age balancer.
@@ -241,10 +251,19 @@ func (f *FacebookAge) OnWindow() {
 	}
 }
 
+// ReportDecisions implements cache.DecisionReporter.
+func (f *FacebookAge) ReportDecisions() cache.PolicyDecisions {
+	return cache.PolicyDecisions{Migrations: f.Moves}
+}
+
 // Interface conformance checks.
 var (
 	_ cache.Policy = (*Static)(nil)
 	_ cache.Policy = (*PSA)(nil)
 	_ cache.Policy = (*Twemcache)(nil)
 	_ cache.Policy = (*FacebookAge)(nil)
+
+	_ cache.DecisionReporter = (*PSA)(nil)
+	_ cache.DecisionReporter = (*Twemcache)(nil)
+	_ cache.DecisionReporter = (*FacebookAge)(nil)
 )

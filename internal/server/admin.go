@@ -1,0 +1,396 @@
+package server
+
+// The admin listener is the live observability surface: a second, plain-HTTP
+// port (never the cache port — monitoring must not compete with the data
+// path's accept queue) exposing
+//
+//	/metrics       Prometheus text format 0.0.4
+//	/statsz        JSON superset of the in-band `stats` command
+//	/series        paper-style windowed TSV (hit ratio / service time per
+//	               sampling window, the live analogue of the simulator's
+//	               figure data)
+//	/healthz       liveness probe
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// Everything here is cold-path: snapshots are taken under the engine lock
+// exactly as the `stats` command takes them, and nothing is accumulated that
+// the serving path does not already maintain.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/metrics"
+	"pamakv/internal/obs"
+)
+
+// introspector is optionally implemented by stores that expose the engine's
+// full introspection snapshot (*cache.Cache does; *shard.Group merges its
+// shards'). Stores without it still serve /metrics and /statsz, minus the
+// per-subclass and slab-move detail.
+type introspector interface{ Introspect() cache.Introspection }
+
+// Admin serves the observability endpoints for one Server. Construct with
+// NewAdmin; it does not listen until Serve or ListenAndServe.
+type Admin struct {
+	srv   *Server
+	rec   *obs.Recorder
+	every time.Duration
+	mux   *http.ServeMux
+	hs    *http.Server
+
+	mu      sync.Mutex
+	ln      net.Listener
+	stopC   chan struct{}
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewAdmin builds the admin surface for srv. sampleEvery > 0 runs a
+// background sampler that closes one /series window per interval; 0 disables
+// the series (the other endpoints are snapshot-on-demand and need no
+// sampler).
+func NewAdmin(srv *Server, sampleEvery time.Duration) *Admin {
+	a := &Admin{
+		srv:   srv,
+		rec:   obs.NewRecorder("live"),
+		every: sampleEvery,
+		mux:   http.NewServeMux(),
+	}
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/statsz", a.handleStatsz)
+	a.mux.HandleFunc("/series", a.handleSeries)
+	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// pprof registers on http.DefaultServeMux via init; wire it into this
+	// private mux explicitly so the admin port works even when the default
+	// mux is never served.
+	a.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	a.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	a.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	a.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.hs = &http.Server{Handler: a.mux, ReadHeaderTimeout: 5 * time.Second}
+	return a
+}
+
+// Handler returns the admin HTTP handler (for embedding in an existing mux
+// or driving with httptest).
+func (a *Admin) Handler() http.Handler { return a.mux }
+
+// ListenAndServe listens on addr and serves until Close.
+func (a *Admin) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return a.Serve(ln)
+}
+
+// Serve serves admin requests on ln until Close. A clean Close returns nil.
+func (a *Admin) Serve(ln net.Listener) error {
+	a.mu.Lock()
+	a.ln = ln
+	if a.every > 0 && !a.started {
+		a.started = true
+		a.stopC = make(chan struct{})
+		a.wg.Add(1)
+		go a.sampleLoop()
+	}
+	a.mu.Unlock()
+	err := a.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Addr returns the bound admin address ("" before Serve).
+func (a *Admin) Addr() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener and the sampler. Safe to call more than once.
+func (a *Admin) Close() error {
+	a.mu.Lock()
+	if a.stopC != nil {
+		close(a.stopC)
+		a.stopC = nil
+	}
+	a.mu.Unlock()
+	err := a.hs.Close()
+	a.wg.Wait()
+	return err
+}
+
+// Sample closes one /series window immediately (the sampler does this on a
+// timer; tests and the stats poller may force it).
+func (a *Admin) Sample() {
+	st := a.srv.c.Stats()
+	svc := 0.0
+	if b := a.srv.opts.Backend; b != nil {
+		svc = b.TotalPenalty()
+	}
+	a.rec.Sample(st.Gets, st.Hits, svc, a.srv.c.SnapshotSlabs())
+}
+
+func (a *Admin) sampleLoop() {
+	defer a.wg.Done()
+	a.mu.Lock()
+	done := a.stopC
+	a.mu.Unlock()
+	t := time.NewTicker(a.every)
+	defer t.Stop()
+	a.Sample() // baseline, so the first tick closes a real window
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			a.Sample()
+		}
+	}
+}
+
+// handleMetrics renders the Prometheus exposition. Matrix cells with zero
+// counts are skipped (a classes×classes move matrix is mostly zeros; an
+// absent sample and a zero counter read the same to Prometheus rate()).
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	st := a.srv.c.Stats()
+	p.Counter("pamakv_gets_total", "GET requests served by the engine.", st.Gets)
+	p.Counter("pamakv_hits_total", "GET requests answered from cache.", st.Hits)
+	p.Counter("pamakv_misses_total", "GET requests not resident.", st.Misses)
+	p.Counter("pamakv_sets_total", "Store operations accepted.", st.Sets)
+	p.Counter("pamakv_deletes_total", "Delete operations.", st.Deletes)
+	p.Counter("pamakv_evictions_total", "Items evicted to make room.", st.Evictions)
+	p.Counter("pamakv_ghost_hits_total", "Misses whose key was in a ghost region.", st.GhostHits)
+	p.Counter("pamakv_expired_total", "Items removed by TTL expiry.", st.Expired)
+	p.Counter("pamakv_stale_gets_total", "Reads answered from the stale buffer.", st.StaleGets)
+	p.Counter("pamakv_slab_migrations_total", "Cross-class slab moves.", st.SlabMigrations)
+	p.Gauge("pamakv_items", "Resident items.", float64(a.srv.c.Items()))
+
+	if in, ok := a.srv.c.(introspector); ok {
+		a.writeIntrospection(p, in.Introspect())
+	} else {
+		p.Header("pamakv_slabs", "Slabs owned per size class.", "gauge")
+		for cl, n := range a.srv.c.SnapshotSlabs() {
+			p.Value("pamakv_slabs", `class="`+strconv.Itoa(cl)+`"`, float64(n))
+		}
+	}
+
+	ss := a.srv.Stats()
+	p.Counter("pamakv_connections_total", "Connections ever accepted.", ss.Conns)
+	p.Gauge("pamakv_connections", "Connections open now.", float64(ss.CurrConns))
+	p.Counter("pamakv_client_errors_total", "Malformed requests.", ss.ClientErrors)
+	p.Counter("pamakv_server_errors_total", "SERVER_ERROR replies.", ss.ServerErrors)
+	p.Counter("pamakv_io_errors_total", "Socket failures.", ss.IOErrors)
+	p.Counter("pamakv_idle_timeouts_total", "Connections closed by the idle deadline.", ss.IdleTimeouts)
+	p.Counter("pamakv_response_batches_total", "Pipelined response flushes.", ss.Batches)
+	p.Counter("pamakv_batched_commands_total", "Requests served across batches.", ss.BatchedCmds)
+	p.Counter("pamakv_stale_serves_total", "GETs degraded to a stale value.", ss.StaleServes)
+
+	p.Header("pamakv_request_seconds", "Request latency from parse to flush, by command family.", "histogram")
+	for fam, snap := range a.srv.Latencies() {
+		p.Histogram("pamakv_request_seconds", `cmd="`+fam+`"`, snap)
+	}
+
+	if b := a.srv.opts.Backend; b != nil {
+		p.Counter("pamakv_backend_fetches_total", "Backend fetches (read-through misses).", b.Fetches())
+		p.Counter("pamakv_backend_retries_total", "Backend fetch re-attempts.", ss.BackendRetries)
+		p.Counter("pamakv_backend_timeouts_total", "Backend attempts cut by FetchTimeout.", ss.BackendTimeouts)
+		p.Counter("pamakv_backend_failures_total", "Fetch chains that exhausted retries.", ss.BackendFailures)
+		p.Header("pamakv_backend_fetch_seconds", "Wall-clock backend fetch latency.", "histogram")
+		p.Histogram("pamakv_backend_fetch_seconds", "", b.FetchLatency())
+		p.Gauge("pamakv_backend_penalty_seconds_total", "Accumulated simulated miss penalty.", b.TotalPenalty())
+	}
+	_ = p.Err() // the peer hung up; nothing to do
+}
+
+// writeIntrospection renders the engine's allocation state: the per-class
+// slab series behind the paper's Fig. 3, per-subclass stack depths (Fig. 4),
+// penalty-band hit/miss attribution, the src→dst move matrix, and the
+// policy's decision counters.
+func (a *Admin) writeIntrospection(p *obs.PromWriter, in cache.Introspection) {
+	p.Header("pamakv_slabs", "Slabs owned per size class.", "gauge")
+	for cl, n := range in.Slabs {
+		p.Value("pamakv_slabs", `class="`+strconv.Itoa(cl)+`"`, float64(n))
+	}
+	p.Gauge("pamakv_free_slabs", "Slabs not yet granted to any class.", float64(in.FreeSlabs))
+	p.Gauge("pamakv_total_slabs", "Slab budget.", float64(in.TotalSlabs))
+	p.Header("pamakv_used_slots", "Occupied slots per size class.", "gauge")
+	for cl, n := range in.UsedSlots {
+		p.Value("pamakv_used_slots", `class="`+strconv.Itoa(cl)+`"`, float64(n))
+	}
+
+	p.Header("pamakv_subclass_items", "Resident items per (class, penalty subclass) LRU stack.", "gauge")
+	for cl, row := range in.SubLens {
+		for sub, n := range row {
+			if n != 0 {
+				p.Value("pamakv_subclass_items", subLabels(cl, sub), float64(n))
+			}
+		}
+	}
+	p.Header("pamakv_subclass_hits_total", "GET hits by (class, penalty subclass).", "counter")
+	for cl, row := range in.SubHits {
+		for sub, n := range row {
+			if n != 0 {
+				p.Value("pamakv_subclass_hits_total", subLabels(cl, sub), float64(n))
+			}
+		}
+	}
+	p.Header("pamakv_subclass_misses_total", "Attributed GET misses by would-be (class, penalty subclass).", "counter")
+	for cl, row := range in.SubMisses {
+		for sub, n := range row {
+			if n != 0 {
+				p.Value("pamakv_subclass_misses_total", subLabels(cl, sub), float64(n))
+			}
+		}
+	}
+	p.Header("pamakv_slab_moves_total", "Cross-class slab moves by donor and receiver class.", "counter")
+	for src, row := range in.SlabMoves {
+		for dst, n := range row {
+			if n != 0 {
+				p.Value("pamakv_slab_moves_total",
+					`src="`+strconv.Itoa(src)+`",dst="`+strconv.Itoa(dst)+`"`, float64(n))
+			}
+		}
+	}
+
+	if d := in.Decisions; d != nil {
+		p.Counter("pamakv_policy_migrations_total", "Slab migrations the policy performed.", d.Migrations)
+		p.Counter("pamakv_policy_same_class_total", "Replacements kept in-class (cheapest candidate was local).", d.SameClass)
+		p.Counter("pamakv_policy_not_worth_it_total", "Migrations declined on price (incoming <= outgoing value).", d.NotWorthIt)
+		p.Counter("pamakv_policy_forced_total", "Migrations forced by an empty class.", d.Forced)
+		if len(d.EvictsBySub) > 0 {
+			p.Header("pamakv_policy_evictions_total", "Evictions by penalty subclass.", "counter")
+			for sub, n := range d.EvictsBySub {
+				p.Value("pamakv_policy_evictions_total", `sub="`+strconv.Itoa(sub)+`"`, float64(n))
+			}
+		}
+		if len(d.EvictedPenaltyBySub) > 0 {
+			p.Header("pamakv_policy_evicted_penalty_seconds_total", "Summed miss penalty of evicted items by subclass.", "counter")
+			for sub, v := range d.EvictedPenaltyBySub {
+				p.Value("pamakv_policy_evicted_penalty_seconds_total", `sub="`+strconv.Itoa(sub)+`"`, v)
+			}
+		}
+	}
+}
+
+func subLabels(cl, sub int) string {
+	return `class="` + strconv.Itoa(cl) + `",sub="` + strconv.Itoa(sub) + `"`
+}
+
+// LatencySummary is the JSON rendering of one latency histogram: count plus
+// derived points, all finite (zero when the histogram is empty).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+func summarize(s obs.HistSnapshot) LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// BackendStatsz is the backend section of /statsz.
+type BackendStatsz struct {
+	Fetches             uint64         `json:"fetches"`
+	TotalPenaltySeconds float64        `json:"total_penalty_seconds"`
+	InjectedErrors      uint64         `json:"injected_errors"`
+	InjectedSpikes      uint64         `json:"injected_spikes"`
+	FetchLatency        LatencySummary `json:"fetch_latency"`
+}
+
+// Statsz is the /statsz document: everything the in-band `stats` command
+// reports plus the structures it cannot carry (matrices, histograms). All
+// numbers are finite — "no traffic" ratios are omitted, never NaN, because
+// encoding/json refuses NaN.
+type Statsz struct {
+	Policy   string      `json:"policy"`
+	Items    int         `json:"items"`
+	HitRatio *float64    `json:"hit_ratio,omitempty"`
+	Engine   cache.Stats `json:"engine"`
+	Server   Stats       `json:"server"`
+	Slabs    []int       `json:"slabs"`
+
+	Latencies     map[string]LatencySummary `json:"latencies"`
+	Backend       *BackendStatsz            `json:"backend,omitempty"`
+	Introspection *cache.Introspection      `json:"introspection,omitempty"`
+}
+
+// statsz assembles the document (shared by the HTTP handler and tests).
+func (a *Admin) statsz() Statsz {
+	st := a.srv.c.Stats()
+	doc := Statsz{
+		Policy: a.srv.c.PolicyName(),
+		Items:  a.srv.c.Items(),
+		Engine: st,
+		Server: a.srv.Stats(),
+		Slabs:  a.srv.c.SnapshotSlabs(),
+	}
+	if st.Gets > 0 {
+		hr := float64(st.Hits) / float64(st.Gets)
+		if !math.IsNaN(hr) {
+			doc.HitRatio = &hr
+		}
+	}
+	doc.Latencies = make(map[string]LatencySummary, numFams)
+	for fam, snap := range a.srv.Latencies() {
+		doc.Latencies[fam] = summarize(snap)
+	}
+	if b := a.srv.opts.Backend; b != nil {
+		doc.Backend = &BackendStatsz{
+			Fetches:             b.Fetches(),
+			TotalPenaltySeconds: b.TotalPenalty(),
+			InjectedErrors:      b.InjectedErrors(),
+			InjectedSpikes:      b.InjectedSpikes(),
+			FetchLatency:        summarize(b.FetchLatency()),
+		}
+	}
+	if in, ok := a.srv.c.(introspector); ok {
+		snap := in.Introspect()
+		doc.Introspection = &snap
+	}
+	return doc
+}
+
+func (a *Admin) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a.statsz()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (a *Admin) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	_ = metrics.WriteTSV(w, []*metrics.Series{a.rec.Series()})
+}

@@ -1,0 +1,390 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readStats runs the in-band `stats` command and returns its key/value map.
+func (c *client) readStats(t *testing.T) map[string]string {
+	t.Helper()
+	c.send(t, "stats\r\n")
+	m := map[string]string{}
+	for {
+		l := c.line(t)
+		if l == "END" {
+			return m
+		}
+		parts := strings.SplitN(l, " ", 3)
+		if len(parts) != 3 || parts[0] != "STAT" {
+			t.Fatalf("bad stats line %q", l)
+		}
+		m[parts[1]] = parts[2]
+	}
+}
+
+// httpGet fetches one admin endpoint body.
+func httpGet(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestAdminEndToEnd drives a mixed workload through the TCP port and then
+// checks every observability surface agrees: /metrics parses as Prometheus
+// text, /statsz round-trips as JSON, and both reconcile with the in-band
+// `stats` command.
+func TestAdminEndToEnd(t *testing.T) {
+	srv, addr := startServer(t, Options{})
+	admin := NewAdmin(srv, 0)
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go admin.Serve(aln)
+	t.Cleanup(func() { admin.Close() })
+	base := "http://" + aln.Addr().String()
+
+	cl := dial(t, addr)
+	// Mixed workload: stores across size classes and penalty bands, hits,
+	// misses, a delete, a counter.
+	for i := 0; i < 40; i++ {
+		val := strings.Repeat("x", 20+i*17)
+		cl.send(t, fmt.Sprintf("set key%d 0 0 %d\r\n%s\r\n", i, len(val), val))
+		if got := cl.line(t); got != "STORED" {
+			t.Fatalf("set key%d: %q", i, got)
+		}
+	}
+	hits, misses := 0, 0
+	for i := 0; i < 60; i++ {
+		cl.send(t, fmt.Sprintf("get key%d\r\n", i))
+		if l := cl.line(t); strings.HasPrefix(l, "VALUE ") {
+			hits++
+			cl.line(t) // body
+			if end := cl.line(t); end != "END" {
+				t.Fatalf("get tail: %q", end)
+			}
+		} else if l == "END" {
+			misses++
+		} else {
+			t.Fatalf("get key%d: %q", i, l)
+		}
+	}
+	cl.send(t, "delete key0\r\n")
+	if got := cl.line(t); got != "DELETED" {
+		t.Fatalf("delete: %q", got)
+	}
+	cl.send(t, "set n 0 0 1\r\n7\r\nincr n 3\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("set n: %q", got)
+	}
+	if got := cl.line(t); got != "10" {
+		t.Fatalf("incr: %q", got)
+	}
+	if hits != 40 || misses != 20 {
+		t.Fatalf("workload shape: %d hits, %d misses", hits, misses)
+	}
+	stats := cl.readStats(t)
+
+	t.Run("healthz", func(t *testing.T) {
+		body, _ := httpGet(t, base+"/healthz")
+		if strings.TrimSpace(body) != "ok" {
+			t.Fatalf("healthz = %q", body)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		body, ctype := httpGet(t, base+"/metrics")
+		if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+			t.Errorf("content type %q", ctype)
+		}
+		samples := map[string]float64{}
+		typed := map[string]bool{}
+		var lastBucketCum = map[string]float64{}
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				f := strings.Fields(line)
+				if len(f) != 4 {
+					t.Fatalf("bad TYPE line %q", line)
+				}
+				if typed[f[2]] {
+					t.Errorf("duplicate TYPE for %s", f[2])
+				}
+				typed[f[2]] = true
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") {
+				continue
+			}
+			if strings.HasPrefix(line, "#") || line == "" {
+				t.Fatalf("unexpected comment/blank line %q", line)
+			}
+			if !promLine.MatchString(line) {
+				t.Fatalf("line does not parse as a Prometheus sample: %q", line)
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			name, valStr := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil && valStr != "NaN" && valStr != "+Inf" {
+				t.Fatalf("bad sample value in %q: %v", line, err)
+			}
+			samples[name] = v
+			// Cumulative `le` buckets must be non-decreasing per series.
+			if i := strings.Index(name, "_bucket{"); i >= 0 {
+				series := name[:i] + histSeriesKey(name)
+				if v < lastBucketCum[series] {
+					t.Errorf("bucket counts decrease in %q", name)
+				}
+				lastBucketCum[series] = v
+			}
+		}
+		// Every metric family used a TYPE header.
+		for name := range samples {
+			fam := name
+			if i := strings.IndexByte(fam, '{'); i >= 0 {
+				fam = fam[:i]
+			}
+			fam = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(fam, "_bucket"), "_sum"), "_count")
+			if !typed[fam] {
+				t.Errorf("sample %q has no TYPE header (family %q)", name, fam)
+			}
+		}
+		// The acceptance surface: engine counters, per-class slabs,
+		// subclass attribution, and the GET latency histogram.
+		wantGets := float64(hits + misses)
+		if samples["pamakv_gets_total"] != wantGets {
+			t.Errorf("pamakv_gets_total = %v, want %v", samples["pamakv_gets_total"], wantGets)
+		}
+		if samples["pamakv_hits_total"] != float64(hits) {
+			t.Errorf("pamakv_hits_total = %v, want %d", samples["pamakv_hits_total"], hits)
+		}
+		for _, want := range []string{
+			`pamakv_slabs{class="0"}`,
+			`pamakv_request_seconds_count{cmd="get"}`,
+			`pamakv_request_seconds_bucket{cmd="get",le="+Inf"}`,
+		} {
+			if _, ok := samples[want]; !ok {
+				t.Errorf("missing sample %s", want)
+			}
+		}
+		var subHits float64
+		for name, v := range samples {
+			if strings.HasPrefix(name, "pamakv_subclass_hits_total{") {
+				subHits += v
+			}
+		}
+		if subHits != float64(hits) {
+			t.Errorf("sum of pamakv_subclass_hits_total = %v, want %d", subHits, hits)
+		}
+		// GET latency histogram observed one sample per GET (and the
+		// cumulative +Inf bucket equals the count).
+		getCount := samples[`pamakv_request_seconds_count{cmd="get"}`]
+		if getCount != wantGets {
+			t.Errorf("request_seconds_count{get} = %v, want %v", getCount, wantGets)
+		}
+		if inf := samples[`pamakv_request_seconds_bucket{cmd="get",le="+Inf"}`]; inf != getCount {
+			t.Errorf("+Inf bucket %v != count %v", inf, getCount)
+		}
+	})
+
+	t.Run("statsz", func(t *testing.T) {
+		body, ctype := httpGet(t, base+"/statsz")
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Errorf("content type %q", ctype)
+		}
+		var doc Statsz
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("unmarshal /statsz: %v", err)
+		}
+		// Round trip: re-encoding must be stable (no NaN can have slipped
+		// in; json.Marshal would have failed already on the server side).
+		again, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var doc2 Statsz
+		if err := json.Unmarshal(again, &doc2); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		if doc2.Engine != doc.Engine {
+			t.Errorf("engine stats changed across round trip")
+		}
+
+		// Reconciliation with the in-band stats command.
+		if got := strconv.FormatUint(doc.Engine.Gets, 10); got != stats["cmd_get"] {
+			t.Errorf("statsz gets %s != stats cmd_get %s", got, stats["cmd_get"])
+		}
+		if got := strconv.FormatUint(doc.Engine.Hits, 10); got != stats["get_hits"] {
+			t.Errorf("statsz hits %s != stats get_hits %s", got, stats["get_hits"])
+		}
+		if got := strconv.FormatUint(doc.Engine.Misses, 10); got != stats["get_misses"] {
+			t.Errorf("statsz misses %s != stats get_misses %s", got, stats["get_misses"])
+		}
+		if doc.Engine.Hits+doc.Engine.Misses != doc.Engine.Gets {
+			t.Errorf("hits %d + misses %d != gets %d", doc.Engine.Hits, doc.Engine.Misses, doc.Engine.Gets)
+		}
+		if doc.HitRatio == nil {
+			t.Fatal("hit_ratio omitted despite traffic")
+		}
+		if want := float64(doc.Engine.Hits) / float64(doc.Engine.Gets); *doc.HitRatio != want {
+			t.Errorf("hit_ratio = %v, want %v", *doc.HitRatio, want)
+		}
+		if doc.Introspection == nil {
+			t.Fatal("introspection missing for *cache.Cache store")
+		}
+		in := doc.Introspection
+		var subHits uint64
+		for _, row := range in.SubHits {
+			for _, n := range row {
+				subHits += n
+			}
+		}
+		if subHits != doc.Engine.Hits {
+			t.Errorf("introspection sum(SubHits) = %d, want %d", subHits, doc.Engine.Hits)
+		}
+		if doc.Latencies["get"].Count != doc.Engine.Gets {
+			t.Errorf("latency get count = %d, want %d", doc.Latencies["get"].Count, doc.Engine.Gets)
+		}
+		if doc.Latencies["get"].P99 <= 0 || doc.Latencies["get"].Mean <= 0 {
+			t.Errorf("degenerate get latency summary: %+v", doc.Latencies["get"])
+		}
+		// Slabs per class must agree with the stats command's slabs_class_N.
+		for cl, n := range doc.Slabs {
+			key := "slabs_class_" + strconv.Itoa(cl)
+			if n == 0 {
+				if _, ok := stats[key]; ok {
+					t.Errorf("stats has %s but statsz reports 0", key)
+				}
+				continue
+			}
+			if stats[key] != strconv.Itoa(n) {
+				t.Errorf("%s = %s in stats, %d in statsz", key, stats[key], n)
+			}
+		}
+	})
+
+	t.Run("series", func(t *testing.T) {
+		admin.Sample() // baseline
+		cl.send(t, "get key1\r\n")
+		cl.line(t) // VALUE
+		cl.line(t) // body
+		cl.line(t) // END
+		admin.Sample() // closes a window containing one GET hit
+		body, _ := httpGet(t, base+"/series")
+		lines := strings.Split(strings.TrimSpace(body), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("series has no data rows:\n%s", body)
+		}
+		row := lines[len(lines)-1]
+		if !strings.Contains(row, "1.0000") {
+			t.Errorf("window hit ratio row = %q, want 1.0000 (one hit, one get)", row)
+		}
+		if strings.Contains(body, "NaN") {
+			t.Errorf("series leaks NaN:\n%s", body)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		body, _ := httpGet(t, base+"/debug/pprof/cmdline")
+		if len(body) == 0 {
+			t.Error("pprof cmdline empty")
+		}
+	})
+}
+
+// histSeriesKey extracts the label set minus `le` so buckets of one series
+// are compared against each other only.
+func histSeriesKey(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	labels := strings.TrimSuffix(name[i+1:], "}")
+	var keep []string
+	for _, l := range strings.Split(labels, ",") {
+		if !strings.HasPrefix(l, "le=") {
+			keep = append(keep, l)
+		}
+	}
+	return strings.Join(keep, ",")
+}
+
+// TestAdminSamplerClosesWindows checks the background sampler fills /series
+// without manual Sample calls.
+func TestAdminSamplerClosesWindows(t *testing.T) {
+	srv, addr := startServer(t, Options{})
+	admin := NewAdmin(srv, 5*time.Millisecond)
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go admin.Serve(aln)
+	t.Cleanup(func() { admin.Close() })
+
+	cl := dial(t, addr)
+	cl.send(t, "set k 0 0 3\r\nabc\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("set: %q", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		body, _ := httpGet(t, "http://"+aln.Addr().String()+"/series")
+		if len(strings.Split(strings.TrimSpace(body), "\n")) >= 3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler closed no windows:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminStatszEmptyServer checks the no-traffic document: hit_ratio is
+// omitted (not NaN, not 0) and the JSON still decodes.
+func TestAdminStatszEmptyServer(t *testing.T) {
+	srv, _ := startServer(t, Options{})
+	admin := NewAdmin(srv, 0)
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go admin.Serve(aln)
+	t.Cleanup(func() { admin.Close() })
+
+	body, _ := httpGet(t, "http://"+aln.Addr().String()+"/statsz")
+	if strings.Contains(body, "NaN") {
+		t.Fatalf("statsz leaks NaN:\n%s", body)
+	}
+	var doc Statsz
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.HitRatio != nil {
+		t.Errorf("hit_ratio = %v on an idle server, want omitted", *doc.HitRatio)
+	}
+	if doc.Latencies["get"].Count != 0 {
+		t.Errorf("latency count = %d on an idle server", doc.Latencies["get"].Count)
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/proto"
+)
+
+// benchServer builds a value-storing PAMA engine preloaded with n keys.
+func benchServer(tb testing.TB, n int) (*Server, []string) {
+	tb.Helper()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 24,
+		StoreValues: true,
+		WindowLen:   1 << 40,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keys := make([]string, n)
+	body := strings.Repeat("v", 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+		if err := c.Set(keys[i], len(keys[i])+len(body)+itemOverhead, 0.01, 0, []byte(body)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return New(c, Options{}), keys
+}
+
+// TestServedGetAllocations pins the dispatch path of a GET hit (parse
+// already done, response appended to a reused buffer) at its current
+// allocation count: one, the value buffer the engine hands back. The latency
+// instrumentation and attribution counters must not add to it.
+func TestServedGetAllocations(t *testing.T) {
+	srv, keys := benchServer(t, 4)
+	cmd := &proto.Command{Name: "get", Keys: keys[:1]}
+	out := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(5000, func() {
+		out = srv.dispatch(out[:0], cmd)
+	})
+	if allocs > 1 {
+		t.Fatalf("served GET allocates %.1f objects per request, want <= 1", allocs)
+	}
+	if !strings.HasPrefix(string(out), "VALUE ") {
+		t.Fatalf("dispatch output %q", out)
+	}
+}
+
+// BenchmarkServerGetRoundTrip measures a full client round trip — request
+// bytes on a real TCP socket, parse, engine hit, response flush, client
+// read — one GET per round trip (no pipelining).
+func BenchmarkServerGetRoundTrip(b *testing.B) {
+	srv, keys := benchServer(b, 1<<10)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fmt.Fprintf(conn, "get %s\r\n", keys[i&(len(keys)-1)]); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				b.Fatal(err)
+			}
+			if strings.HasPrefix(line, "END") {
+				break
+			}
+		}
+	}
+}

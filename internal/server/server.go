@@ -40,9 +40,41 @@ import (
 
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
+	"pamakv/internal/obs"
 	"pamakv/internal/penalty"
 	"pamakv/internal/proto"
 )
+
+// Command families for latency attribution. Reads and writes have different
+// latency floors (a GET miss may pay a backend fetch; a SET never does), so
+// one merged histogram would hide exactly the effect the paper prices.
+const (
+	famGet = iota
+	famSet
+	famDelete
+	famDelta
+	famOther
+	numFams
+)
+
+// famNames label the families in Latencies() and /metrics.
+var famNames = [numFams]string{"get", "set", "delete", "delta", "other"}
+
+// famOf maps a protocol command to its latency family.
+func famOf(name string) uint8 {
+	switch name {
+	case "get", "gets":
+		return famGet
+	case "set", "add", "replace", "cas":
+		return famSet
+	case "delete":
+		return famDelete
+	case "incr", "decr":
+		return famDelta
+	default:
+		return famOther
+	}
+}
 
 // itemOverhead approximates per-item metadata charged to the slab slot, as
 // Memcached charges its item header.
@@ -187,6 +219,11 @@ type Server struct {
 	sem chan struct{}
 
 	st nstats
+
+	// lat holds one request-latency histogram per command family, measured
+	// from command parse to response flush (the client-visible interval
+	// minus the wire). Buckets span [1µs, 10s) on a log scale.
+	lat [numFams]*obs.Hist
 }
 
 // reaper is implemented by stores that support proactive expiry
@@ -201,6 +238,9 @@ func New(c Store, opts Options) *Server {
 	s := &Server{c: c, opts: opts, conns: make(map[net.Conn]struct{}), doneC: make(chan struct{})}
 	if opts.MaxConns > 0 {
 		s.sem = make(chan struct{}, opts.MaxConns)
+	}
+	for i := range s.lat {
+		s.lat[i] = obs.NewHist(1e-6, 7)
 	}
 	return s
 }
@@ -299,6 +339,19 @@ func (s *Server) Stats() Stats {
 		BackendFailures: s.st.backendFailures.Load(),
 		StaleServes:     s.st.staleServes.Load(),
 	}
+}
+
+// Latencies snapshots the per-family request-latency histograms, keyed by
+// family name ("get", "set", "delete", "delta", "other"). Latency is
+// measured from command parse to response flush; pipelined requests in one
+// batch share a flush, so each carries its queueing delay behind its batch
+// mates — the client's view.
+func (s *Server) Latencies() map[string]obs.HistSnapshot {
+	m := make(map[string]obs.HistSnapshot, numFams)
+	for i, h := range s.lat {
+		m[famNames[i]] = h.Snapshot()
+	}
+	return m
 }
 
 // draining reports whether Shutdown has begun.
@@ -415,6 +468,14 @@ func (s *Server) handle(conn net.Conn) {
 		maxBatch = DefaultMaxPipeline
 	}
 	var out []byte
+	// pending holds (family, parse time) for every request in the current
+	// batch; latency is observed once the shared flush lands. Preallocated
+	// at the batch cap so the hot loop never allocates.
+	type pending struct {
+		fam   uint8
+		start time.Time
+	}
+	lats := make([]pending, 0, maxBatch)
 	for {
 		// Block for the next request under the idle deadline.
 		if s.opts.ReadTimeout > 0 {
@@ -432,6 +493,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		lats = append(lats[:0], pending{famOf(cmd.Name), time.Now()})
 		out = s.dispatch(out[:0], cmd)
 		quit := cmd.Name == "quit"
 		batch := 1
@@ -453,6 +515,7 @@ func (s *Server) handle(conn net.Conn) {
 				batchErr = err
 				break
 			}
+			lats = append(lats, pending{famOf(cmd.Name), time.Now()})
 			out = s.dispatch(out, cmd)
 			batch++
 			quit = cmd.Name == "quit"
@@ -461,6 +524,12 @@ func (s *Server) handle(conn net.Conn) {
 		s.st.batchedCmds.Add(uint64(batch))
 		if !s.flush(conn, w, out) {
 			return
+		}
+		// The flush is the moment the whole batch became visible to the
+		// client; observe every request against it.
+		now := time.Now()
+		for _, p := range lats {
+			s.lat[p.fam].Observe(now.Sub(p.start).Seconds())
 		}
 		if quit {
 			return

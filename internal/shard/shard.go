@@ -142,23 +142,20 @@ func (g *Group) Items() int {
 func (g *Group) Stats() cache.Stats {
 	var t cache.Stats
 	for _, s := range g.shards {
-		st := s.Stats()
-		t.Gets += st.Gets
-		t.Hits += st.Hits
-		t.Misses += st.Misses
-		t.Sets += st.Sets
-		t.Deletes += st.Deletes
-		t.Evictions += st.Evictions
-		t.GhostHits += st.GhostHits
-		t.Expired += st.Expired
-		t.StaleGets += st.StaleGets
-		t.TooLarge += st.TooLarge
-		t.NoSpace += st.NoSpace
-		t.FallbackEvicts += st.FallbackEvicts
-		t.WindowRollovers += st.WindowRollovers
-		t.SlabMigrations += st.SlabMigrations
+		t = cache.AddStats(t, s.Stats())
 	}
 	return t
+}
+
+// Introspect returns the group-wide introspection snapshot: per-shard
+// snapshots merged element-wise, so per-class and per-subclass counters
+// describe the whole keyspace just as a single engine's would.
+func (g *Group) Introspect() cache.Introspection {
+	in := g.shards[0].Introspect()
+	for _, s := range g.shards[1:] {
+		in.Merge(s.Introspect())
+	}
+	return in
 }
 
 // SnapshotSlabs sums per-class slab counts across shards.

@@ -26,6 +26,8 @@
 package pamakv
 
 import (
+	"time"
+
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
 	"pamakv/internal/core"
@@ -194,6 +196,21 @@ type (
 	// GDSFCache is the item-granularity GreedyDual-Size-Frequency cache
 	// (an alternative engine, no slabs).
 	GDSFCache = gds.Cache
+
+	// Introspection is one consistent snapshot of the engine's allocation
+	// state — per-class slabs, per-subclass stack depths and hit/miss
+	// attribution, the src→dst slab-move matrix, and the policy's decision
+	// counters (Cache.Introspect, ShardGroup.Introspect).
+	Introspection = cache.Introspection
+	// PolicyDecisions are the reallocation-decision counters a
+	// DecisionReporter policy exposes.
+	PolicyDecisions = cache.PolicyDecisions
+	// Admin serves the observability endpoints of a Server over HTTP:
+	// /metrics (Prometheus), /statsz (JSON), /series (windowed TSV),
+	// /healthz, and /debug/pprof.
+	Admin = server.Admin
+	// AdminStatsz is the /statsz document shape.
+	AdminStatsz = server.Statsz
 )
 
 // NewSharded splits cfg.CacheBytes across n hash shards (rounded up to a
@@ -210,6 +227,12 @@ func NewGDSF(capBytes int64, storeValues bool) (*GDSFCache, error) {
 // NewServer wraps a cache or shard group (built with StoreValues: true) in
 // a protocol server.
 func NewServer(c ServerStore, opts ServerOptions) *Server { return server.New(c, opts) }
+
+// NewAdmin builds the observability listener for a Server; sampleEvery > 0
+// closes one /series window per interval.
+func NewAdmin(s *Server, sampleEvery time.Duration) *Admin {
+	return server.NewAdmin(s, sampleEvery)
+}
 
 // NewBackend returns an accounting-mode simulated back end: Fetch reports
 // each key's size, miss penalty, and synthesized value.
