@@ -13,6 +13,12 @@
 //
 //	pama-server -addr :11211 -policy pama &
 //	pama-loadgen -addr localhost:11211 -workload etc -n 200000 -conns 4
+//
+// Against a cluster, pass every member: the load generator shards keys
+// client-side with the same consistent-hash ring the servers use, so each
+// request lands directly on its owner (no forwarding hop):
+//
+//	pama-loadgen -addr :11211,:11311,:11411 -workload etc -n 200000
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"pamakv/internal/cluster"
 	"pamakv/internal/kv"
 	"pamakv/internal/metrics"
 	"pamakv/internal/trace"
@@ -34,14 +41,15 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:11211", "server address")
+	addr := flag.String("addr", "127.0.0.1:11211", "server address, or a comma-separated member list for client-side ring sharding")
 	wl := flag.String("workload", "etc", "workload model: etc, app, usr, sys, var")
 	n := flag.Uint64("n", 100_000, "total requests across all connections")
 	conns := flag.Int("conns", 4, "concurrent connections")
 	keys := flag.Uint64("keys", 65536, "hot keyspace size")
 	valueBytes := flag.Int("value-bytes", 0, "fixed value size (0 = workload sizes, capped at 64 KiB)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the sharding ring (match the servers')")
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes); err != nil {
+	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes, *vnodes); err != nil {
 		fmt.Fprintln(os.Stderr, "pama-loadgen:", err)
 		os.Exit(1)
 	}
@@ -54,9 +62,27 @@ type connStats struct {
 	lat              *metrics.Histogram
 }
 
-func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes int) error {
+func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes, vnodes int) error {
 	if conns < 1 {
 		conns = 1
+	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("no server address")
+	}
+	// More than one target: shard keys client-side with the same ring the
+	// cluster tier uses, so every request lands on its owner directly.
+	var sel cluster.Selector
+	if len(addrs) > 1 {
+		var err error
+		if sel, err = cluster.NewSelector("ring", addrs, vnodes); err != nil {
+			return err
+		}
 	}
 	cfg, err := workload.ByName(wl)
 	if err != nil {
@@ -79,7 +105,7 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 			c := cfg
 			c.Seed = cfg.Seed + uint64(i)*1e9
 			stats[i] = &connStats{lat: metrics.NewHistogram(1e-6, 6)}
-			errs[i] = drive(addr, c, perConn, valueBytes, stats[i])
+			errs[i] = drive(addrs, sel, c, perConn, valueBytes, stats[i])
 		}(i)
 	}
 	wg.Wait()
@@ -110,19 +136,47 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 	return nil
 }
 
-// drive runs one connection's request stream.
-func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connStats) error {
+// target is one server's connection within a driver stream.
+type target struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// drive runs one driver's request stream. With a selector, each key's
+// request goes down the connection to its owning member (one lazily dialed
+// connection per member); otherwise everything goes to addrs[0].
+func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, valueBytes int, st *connStats) error {
 	gen, err := workload.New(cfg)
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+	targets := make(map[string]*target, len(addrs))
+	defer func() {
+		for _, tg := range targets {
+			tg.conn.Close()
+		}
+	}()
+	targetFor := func(key string) (*target, error) {
+		addr := addrs[0]
+		if sel != nil {
+			addr = sel.Owner(key)
+		}
+		if tg, ok := targets[addr]; ok {
+			return tg, nil
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		tg := &target{
+			conn: conn,
+			r:    bufio.NewReaderSize(conn, 1<<16),
+			w:    bufio.NewWriterSize(conn, 1<<16),
+		}
+		targets[addr] = tg
+		return tg, nil
 	}
-	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 1<<16)
-	w := bufio.NewWriterSize(conn, 1<<16)
 
 	valueOf := func(size int) string {
 		if valueBytes > 0 {
@@ -138,13 +192,13 @@ func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connS
 	}
 	keyOf := func(id uint64) string { return fmt.Sprintf("lg:%d", id) }
 
-	doSet := func(key, val string) error {
+	doSet := func(tg *target, key, val string) error {
 		start := time.Now()
-		fmt.Fprintf(w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
-		if err := w.Flush(); err != nil {
+		fmt.Fprintf(tg.w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+		if err := tg.w.Flush(); err != nil {
 			return err
 		}
-		line, err := r.ReadString('\n')
+		line, err := tg.r.ReadString('\n')
 		if err != nil {
 			return err
 		}
@@ -155,15 +209,15 @@ func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connS
 		}
 		return nil
 	}
-	doGet := func(key string, size int) error {
+	doGet := func(tg *target, key string, size int) error {
 		start := time.Now()
-		fmt.Fprintf(w, "get %s\r\n", key)
-		if err := w.Flush(); err != nil {
+		fmt.Fprintf(tg.w, "get %s\r\n", key)
+		if err := tg.w.Flush(); err != nil {
 			return err
 		}
 		hit := false
 		for {
-			line, err := r.ReadString('\n')
+			line, err := tg.r.ReadString('\n')
 			if err != nil {
 				return err
 			}
@@ -176,7 +230,7 @@ func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connS
 					st.errs++
 					continue
 				}
-				if _, err := io.CopyN(io.Discard, r, int64(blen)+2); err != nil {
+				if _, err := io.CopyN(io.Discard, tg.r, int64(blen)+2); err != nil {
 					return err
 				}
 				continue
@@ -193,7 +247,7 @@ func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connS
 			st.hits++
 		} else {
 			// Client refill, as a real cache client would.
-			return doSet(key, valueOf(size))
+			return doSet(tg, key, valueOf(size))
 		}
 		return nil
 	}
@@ -208,18 +262,22 @@ func drive(addr string, cfg workload.Config, n uint64, valueBytes int, st *connS
 			return err
 		}
 		key := keyOf(req.Key)
+		tg, err := targetFor(key)
+		if err != nil {
+			return err
+		}
 		switch req.Op {
 		case kv.Get:
-			if err := doGet(key, int(req.Size)); err != nil {
+			if err := doGet(tg, key, int(req.Size)); err != nil {
 				return err
 			}
 		case kv.Set:
-			if err := doSet(key, valueOf(int(req.Size))); err != nil {
+			if err := doSet(tg, key, valueOf(int(req.Size))); err != nil {
 				return err
 			}
 		case kv.Delete:
-			fmt.Fprintf(w, "delete %s noreply\r\n", key)
-			if err := w.Flush(); err != nil {
+			fmt.Fprintf(tg.w, "delete %s noreply\r\n", key)
+			if err := tg.w.Flush(); err != nil {
 				return err
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pamakv/internal/cache"
+	"pamakv/internal/cluster"
 	"pamakv/internal/core"
 	"pamakv/internal/server"
 )
@@ -33,7 +34,7 @@ func startTestServer(t *testing.T) string {
 func TestLoadgenAgainstLiveServer(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
-	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128); err != nil {
+	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -52,17 +53,70 @@ func TestLoadgenWorkloadSizes(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
 	// value-bytes 0: use (capped) workload sizes.
-	if err := run(&sb, addr, "sys", 1000, 1, 512, 0); err != nil {
+	if err := run(&sb, addr, "sys", 1000, 1, 512, 0, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadgenShardsAcrossCluster: a comma-separated -addr list shards keys
+// client-side with the same ring the servers use, so every request lands on
+// its owner and the cluster never forwards.
+func TestLoadgenShardsAcrossCluster(t *testing.T) {
+	const vnodes = 64
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	srvs := make([]*server.Server, 2)
+	for i := range srvs {
+		p, err := cluster.New(cluster.Config{Self: addrs[i], Members: addrs, VNodes: vnodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cache.New(cache.Config{
+			CacheBytes:  32 << 20,
+			StoreValues: true,
+			WindowLen:   50_000,
+		}, core.New(core.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = server.New(c, server.Options{Cluster: p})
+		go srvs[i].Serve(lns[i])
+		t.Cleanup(func() { srvs[i].Shutdown(); p.Close() })
+	}
+
+	var sb strings.Builder
+	if err := run(&sb, addrs[0]+","+addrs[1], "etc", 4000, 2, 2048, 128, vnodes); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "protocol-errors=0") {
+		t.Fatalf("sharded run had protocol errors:\n%s", out)
+	}
+	for i, srv := range srvs {
+		st := srv.Stats()
+		if st.Conns == 0 {
+			t.Errorf("node %d received no connections (sharding collapsed)", i)
+		}
+		// The loadgen's ring agrees with the servers': nothing to relay.
+		if st.PeerForwards != 0 {
+			t.Errorf("node %d forwarded %d requests; client-side sharding should route to owners", i, st.PeerForwards)
+		}
 	}
 }
 
 func TestLoadgenErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64, 0); err == nil {
 		t.Fatal("unreachable server accepted")
 	}
-	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64, 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

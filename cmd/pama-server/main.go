@@ -10,6 +10,13 @@
 //	pama-server -readthrough -fault-err-rate 0.2 -fetch-retries 2 -serve-stale
 //	pama-server -addr :11211 -admin-addr 127.0.0.1:11212   # /metrics, /statsz, pprof
 //
+// Cluster mode — three nodes sharing one key space by consistent hashing,
+// each node run with the full member list and itself as -self:
+//
+//	pama-server -addr :11211 -peers :11211,:11311,:11411 -self :11211
+//	pama-server -addr :11311 -peers :11211,:11311,:11411 -self :11311
+//	pama-server -addr :11411 -peers :11211,:11311,:11411 -self :11411
+//
 // Try it with a plain TCP client:
 //
 //	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc localhost 11211
@@ -21,12 +28,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
+	"pamakv/internal/cluster"
 	"pamakv/internal/penalty"
 	"pamakv/internal/server"
 	"pamakv/internal/shard"
@@ -63,6 +72,17 @@ type options struct {
 	faultSpikeRate  float64
 	faultSpikeSleep time.Duration
 	faultSeed       uint64
+
+	peers        string
+	self         string
+	clusterHash  string
+	vnodes       int
+	hotCacheMiB  int64
+	hotCacheTTL  time.Duration
+	peerPool     int
+	peerRetries  int
+	peerOpTO     time.Duration
+	hedgeEnabled bool
 }
 
 func main() {
@@ -93,6 +113,17 @@ func main() {
 	flag.Float64Var(&o.faultSpikeRate, "fault-spike-rate", 0, "inject backend latency spikes at this rate [0,1]")
 	flag.DurationVar(&o.faultSpikeSleep, "fault-spike-sleep", 50*time.Millisecond, "extra latency per injected spike")
 	flag.Uint64Var(&o.faultSeed, "fault-seed", 1, "deterministic seed for fault injection draws")
+
+	flag.StringVar(&o.peers, "peers", "", "comma-separated cluster member list (enables cluster mode; must include -self)")
+	flag.StringVar(&o.self, "self", "", "this node's address as it appears in -peers (defaults to -addr)")
+	flag.StringVar(&o.clusterHash, "cluster-hash", "ring", "owner selection scheme: ring or rendezvous")
+	flag.IntVar(&o.vnodes, "vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+	flag.Int64Var(&o.hotCacheMiB, "hot-cache", 4, "non-owner hot-item mini-cache budget in MiB (0 disables)")
+	flag.DurationVar(&o.hotCacheTTL, "hot-cache-ttl", cluster.DefaultHotCacheTTL, "max staleness of a hot-cached forwarded copy")
+	flag.IntVar(&o.peerPool, "peer-pool", cluster.DefaultPoolSize, "idle pooled connections per peer")
+	flag.IntVar(&o.peerRetries, "peer-retries", cluster.DefaultRetries, "extra attempts for a failed peer request (-1 disables)")
+	flag.DurationVar(&o.peerOpTO, "peer-timeout", cluster.DefaultOpTimeout, "per-attempt peer round-trip deadline")
+	flag.BoolVar(&o.hedgeEnabled, "hedge", true, "hedge peer GETs of expensive keys (penalty-aware duplicate reads)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -177,6 +208,49 @@ func run(o options) error {
 		opts.Backend = store
 	} else if o.serveStale || o.fetchRetries > 0 || o.fetchTimeout > 0 {
 		log.Printf("pama-server: -serve-stale/-fetch-* only apply with -readthrough")
+	}
+	var peers *cluster.Peers
+	if o.peers != "" {
+		self := o.self
+		if self == "" {
+			self = o.addr
+		}
+		var members []string
+		for _, m := range strings.Split(o.peers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		hedge := cluster.HedgePolicy{}
+		if o.hedgeEnabled {
+			hedge = cluster.DefaultHedgePolicy()
+		}
+		var err error
+		peers, err = cluster.New(cluster.Config{
+			Self:    self,
+			Members: members,
+			Hash:    o.clusterHash,
+			VNodes:  o.vnodes,
+			Client: cluster.ClientOptions{
+				PoolSize:  o.peerPool,
+				Retries:   o.peerRetries,
+				OpTimeout: o.peerOpTO,
+			},
+			Hedge: hedge,
+		})
+		if err != nil {
+			return err
+		}
+		defer peers.Close()
+		opts.Cluster = peers
+		opts.HotCacheTTL = o.hotCacheTTL
+		if o.hotCacheMiB <= 0 {
+			opts.HotCacheBytes = -1
+		} else {
+			opts.HotCacheBytes = o.hotCacheMiB << 20
+		}
+		log.Printf("pama-server: cluster mode, %d members, self=%s, %s hashing",
+			len(members), self, o.clusterHash)
 	}
 	srv := server.New(c, opts)
 

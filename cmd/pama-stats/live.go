@@ -15,6 +15,17 @@ import (
 	"pamakv/internal/server"
 )
 
+// Reconnect tuning: a failed poll is retried with exponential backoff from
+// reconnectBase, capped at reconnectCap, for at most reconnectAttempts
+// consecutive failures before the poller gives up. Vars, not consts, so
+// tests can shrink the waits.
+var (
+	reconnectBase = 500 * time.Millisecond
+	reconnectCap  = 15 * time.Second
+)
+
+const reconnectAttempts = 8
+
 // fetchStatsz GETs and decodes one /statsz document.
 func fetchStatsz(client *http.Client, url string) (server.Statsz, error) {
 	var doc server.Statsz
@@ -60,7 +71,17 @@ func runLive(w io.Writer, addr string, interval time.Duration, samples int) erro
 		time.Sleep(interval)
 		cur, err := fetchStatsz(client, url)
 		if err != nil {
-			return err
+			cur, err = reconnect(w, client, url, err)
+			if err != nil {
+				return err
+			}
+			// The server may have restarted and reset its counters: the
+			// first poll after a reconnect is a fresh baseline, not a
+			// window (a delta across the gap would be garbage or would
+			// underflow).
+			prev, prevT = cur, time.Now()
+			n--
+			continue
 		}
 		now := time.Now()
 		dt := now.Sub(prevT).Seconds()
@@ -85,4 +106,28 @@ func runLive(w io.Writer, addr string, interval time.Duration, samples int) erro
 		prev, prevT = cur, now
 	}
 	return nil
+}
+
+// reconnect retries the poll with capped exponential backoff until one
+// fetch succeeds, announcing the outage and the recovery in one line each
+// (comment-prefixed, so downstream column parsers skip them). It gives up
+// with the last error after reconnectAttempts consecutive failures.
+func reconnect(w io.Writer, client *http.Client, url string, cause error) (server.Statsz, error) {
+	backoff := reconnectBase
+	fmt.Fprintf(w, "# poll failed (%v); retrying with backoff up to %v\n", cause, reconnectCap)
+	for attempt := 1; ; attempt++ {
+		time.Sleep(backoff)
+		doc, err := fetchStatsz(client, url)
+		if err == nil {
+			fmt.Fprintf(w, "# reconnected after %d attempt(s)\n", attempt)
+			return doc, nil
+		}
+		if attempt >= reconnectAttempts {
+			return doc, fmt.Errorf("gave up after %d attempts: %w", attempt, err)
+		}
+		backoff *= 2
+		if backoff > reconnectCap {
+			backoff = reconnectCap
+		}
+	}
 }

@@ -119,6 +119,67 @@ func TestRunLiveNoTrafficWindow(t *testing.T) {
 	}
 }
 
+func TestRunLiveReconnectsAfterOutage(t *testing.T) {
+	// Polls 2 and 3 fail; the poller must back off, reconnect, rebase,
+	// and keep printing windows — announcing both phases in # lines.
+	oldBase, oldCap := reconnectBase, reconnectCap
+	reconnectBase, reconnectCap = time.Millisecond, 4*time.Millisecond
+	t.Cleanup(func() { reconnectBase, reconnectCap = oldBase, oldCap })
+
+	var polls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := polls.Add(1)
+		if n == 2 || n == 3 {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.Statsz{Policy: "pama"})
+	}))
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	if err := runLive(&buf, ts.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# poll failed") {
+		t.Errorf("no outage notice in:\n%s", out)
+	}
+	if !strings.Contains(out, "# reconnected after 2 attempt(s)") {
+		t.Errorf("no reconnect notice in:\n%s", out)
+	}
+	// Two real windows still rendered: banner, header, 2 notices, 2 rows.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestRunLiveGivesUpWhenServerStaysDown(t *testing.T) {
+	oldBase, oldCap := reconnectBase, reconnectCap
+	reconnectBase, reconnectCap = time.Microsecond, 2*time.Microsecond
+	t.Cleanup(func() { reconnectBase, reconnectCap = oldBase, oldCap })
+
+	var polls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if polls.Add(1) == 1 {
+			json.NewEncoder(w).Encode(server.Statsz{Policy: "pama"})
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	err := runLive(&buf, ts.URL, time.Millisecond, 3)
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("err = %v, want a give-up error", err)
+	}
+	// Baseline + the failed poll + reconnectAttempts retries.
+	if got := polls.Load(); got != 2+reconnectAttempts {
+		t.Errorf("server saw %d polls, want %d", got, 2+reconnectAttempts)
+	}
+}
+
 func TestRunLiveAgainstRealAdmin(t *testing.T) {
 	// Full integration: a real engine behind a real admin handler.
 	eng := newLiveEngine(t)

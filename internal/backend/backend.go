@@ -18,6 +18,7 @@ import (
 	"pamakv/internal/kv"
 	"pamakv/internal/obs"
 	"pamakv/internal/penalty"
+	"pamakv/internal/singleflight"
 )
 
 // ErrUnavailable reports an injected back-end failure (see Faults). Callers
@@ -77,6 +78,11 @@ type Store struct {
 	// accounting-mode entry point, is deliberately not timed: its callers
 	// measure simulated time, not wall time.
 	fetchLat *obs.Hist
+
+	// flight dedupes concurrent FetchSharedErr calls per key; sfShared
+	// counts the calls answered by another caller's in-flight fetch.
+	flight   singleflight.Group
+	sfShared atomic.Uint64
 }
 
 // New returns an accounting-mode store.
@@ -155,6 +161,51 @@ func (s *Store) FetchErr(key string, fill bool) (size int, pen float64, value []
 	return size, pen, value, nil
 }
 
+// sharedResult carries one fetch's outcome across a singleflight.
+type sharedResult struct {
+	size  int
+	pen   float64
+	value []byte
+}
+
+// FetchSharedErr is FetchErr behind a per-key singleflight: while a fetch
+// for key is in flight, concurrent callers wait for its result instead of
+// hitting the back end again, so N simultaneous misses of one key cost one
+// backend call (and share one failure). This is the serving path's
+// thundering-herd guard — a retry storm on a hot missing key amplifies into
+// exactly one upstream fetch chain. The fill flag of the first (leading)
+// caller decides whether the shared result carries a value body; the
+// serving path always fills, so mixed callers are not a concern there.
+// Sequential calls (no overlap) each fetch: deduplication is concurrency
+// control, not caching.
+//
+// The shared value slice is handed to every waiter: callers must treat it
+// as immutable (the serving path copies it into the engine and the response
+// buffer).
+func (s *Store) FetchSharedErr(key string, fill bool) (size int, pen float64, value []byte, err error) {
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		size, pen, value, err := s.FetchErr(key, fill)
+		if err != nil {
+			return nil, err
+		}
+		return sharedResult{size: size, pen: pen, value: value}, nil
+	})
+	if shared {
+		s.sfShared.Add(1)
+	}
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	r := v.(sharedResult)
+	return r.size, r.pen, r.value, nil
+}
+
+// SharedFetches returns how many FetchSharedErr calls coalesced with at
+// least one concurrent caller onto a single backend fetch (the flight
+// leader included, so 64 concurrent misses of one key count 64 here and 1
+// in Fetches).
+func (s *Store) SharedFetches() uint64 { return s.sfShared.Load() }
+
 // uniform maps a mixed 64-bit value to [0,1).
 func uniform(x uint64) float64 { return float64(x>>11) / (1 << 53) }
 
@@ -169,6 +220,18 @@ func (s *Store) InjectedSpikes() uint64 { return s.spikes.Load() }
 // that know an item's size already).
 func (s *Store) Penalty(key string, size int) float64 {
 	return s.model.Of(kv.HashString(key), size)
+}
+
+// PenaltyOf returns the penalty a Fetch of key would pay, deriving the
+// item's size from the sizer exactly as Fetch would — the cheap
+// estimate-without-fetching entry point the cluster hedging policy uses.
+func (s *Store) PenaltyOf(key string) float64 {
+	h := kv.HashString(key)
+	size := 100
+	if s.sizer != nil {
+		size = s.sizer(h)
+	}
+	return s.model.Of(h, size)
 }
 
 // FetchLatency snapshots the wall-clock latency histogram of FetchErr calls

@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"pamakv/internal/obs"
+	"pamakv/internal/penalty"
+	"pamakv/internal/proto"
+)
+
+// ErrPeerDown reports a request rejected without touching the wire because
+// the peer's circuit breaker is open.
+var ErrPeerDown = errors.New("cluster: peer circuit open")
+
+// ErrClientClosed reports a request on a closed client (the peer left the
+// membership).
+var ErrClientClosed = errors.New("cluster: peer client closed")
+
+// Client connection defaults. One op spans write + peer-side service (which
+// may include the peer's own backend fetch of up to the 5s penalty cap,
+// scaled) + read, hence the generous op deadline.
+const (
+	DefaultPoolSize    = 4
+	DefaultDialTimeout = 500 * time.Millisecond
+	DefaultOpTimeout   = 3 * time.Second
+	DefaultRetries     = 1
+)
+
+// ClientOptions tune one peer connection pool.
+type ClientOptions struct {
+	// PoolSize caps idle pooled connections; <= 0 means DefaultPoolSize.
+	// In-flight connections are unbounded (each op holds at most one).
+	PoolSize int
+	// DialTimeout bounds establishing a connection; <= 0 means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// OpTimeout is the per-attempt round-trip deadline; <= 0 means
+	// DefaultOpTimeout.
+	OpTimeout time.Duration
+	// Retries is how many extra attempts an op gets after a transport
+	// failure (a fresh connection each time); < 0 means none, 0 means
+	// DefaultRetries.
+	Retries int
+	// Breaker tunes the per-peer circuit breaker.
+	Breaker BreakerConfig
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.Retries == 0 {
+		o.Retries = DefaultRetries
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// pconn is one pooled connection with its buffered endpoints.
+type pconn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Client is a connection-pooled Memcached-text-protocol client for one peer.
+// It is safe for concurrent use; every method may be called from many
+// request goroutines at once.
+type Client struct {
+	addr string
+	opts ClientOptions
+	idle chan *pconn
+	br   *breaker
+
+	closed atomic.Bool
+
+	requests  atomic.Uint64
+	errs      atomic.Uint64
+	retries   atomic.Uint64
+	fastFails atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	dials     atomic.Uint64
+	lat       *obs.Hist
+}
+
+// NewClient builds a pooled client for the peer at addr. No connection is
+// dialed until the first request.
+func NewClient(addr string, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		addr: addr,
+		opts: opts,
+		idle: make(chan *pconn, opts.PoolSize),
+		br:   newBreaker(opts.Breaker),
+		lat:  obs.NewHist(1e-6, 7),
+	}
+}
+
+// Addr returns the peer's address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the pooled connections. In-flight ops finish (their
+// connections are closed on return); subsequent ops fail with
+// ErrClientClosed.
+func (c *Client) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for {
+		select {
+		case pc := <-c.idle:
+			pc.c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// get acquires a pooled connection or dials a new one.
+func (c *Client) get() (*pconn, error) {
+	select {
+	case pc := <-c.idle:
+		return pc, nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.dials.Add(1)
+	return &pconn{
+		c: conn,
+		r: bufio.NewReaderSize(conn, 1<<14),
+		w: bufio.NewWriterSize(conn, 1<<14),
+	}, nil
+}
+
+// put returns a healthy connection to the pool, closing it if the pool is
+// full or the client is closed.
+func (c *Client) put(pc *pconn) {
+	if c.closed.Load() {
+		pc.c.Close()
+		return
+	}
+	select {
+	case c.idle <- pc:
+	default:
+		pc.c.Close()
+	}
+}
+
+// roundTrip sends one request and reads one response on a single
+// connection. Transport failures close the connection and are retriable;
+// a parsed response (even an error response) is final.
+func (c *Client) roundTrip(req []byte) (*proto.Response, error) {
+	pc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	pc.c.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	if _, err := pc.w.Write(req); err != nil {
+		pc.c.Close()
+		return nil, err
+	}
+	if err := pc.w.Flush(); err != nil {
+		pc.c.Close()
+		return nil, err
+	}
+	resp, err := proto.ReadResponse(pc.r)
+	if err != nil {
+		pc.c.Close()
+		return nil, err
+	}
+	c.put(pc)
+	return resp, nil
+}
+
+// attempt runs roundTrip with the configured bounded retries. Each retry
+// uses a fresh connection (the failed one was closed), which also flushes
+// stale pooled connections that the peer idled out.
+func (c *Client) attempt(req []byte) (resp *proto.Response, err error) {
+	for try := 0; ; try++ {
+		resp, err = c.roundTrip(req)
+		if err == nil || try >= c.opts.Retries || c.closed.Load() {
+			return resp, err
+		}
+		c.retries.Add(1)
+	}
+}
+
+// Do sends one pre-rendered request (see proto.AppendCommand) and returns
+// the peer's response. It consults the circuit breaker, applies bounded
+// retries, and records per-peer latency. Responses with error status are
+// successful round-trips; only transport failures trip the breaker.
+func (c *Client) Do(req []byte) (*proto.Response, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if !c.br.allow() {
+		c.fastFails.Add(1)
+		return nil, ErrPeerDown
+	}
+	c.requests.Add(1)
+	start := time.Now()
+	resp, err := c.attempt(req)
+	c.lat.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.errs.Add(1)
+		c.br.failure()
+		return nil, err
+	}
+	c.br.success()
+	return resp, nil
+}
+
+// Get retrieves one key (gets semantics — the CAS token rides along — when
+// withCAS). hedge > 0 arms a hedged duplicate: if the first attempt has not
+// answered within hedge, a second identical request races it on another
+// connection and the first response wins. GETs are idempotent, so the loser
+// is simply discarded when it lands.
+func (c *Client) Get(key string, withCAS bool, hedge time.Duration) (*proto.Response, error) {
+	verb := "get"
+	if withCAS {
+		verb = "gets"
+	}
+	req := append(append(append([]byte(verb), ' '), key...), '\r', '\n')
+	if hedge <= 0 {
+		return c.Do(req)
+	}
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if !c.br.allow() {
+		c.fastFails.Add(1)
+		return nil, ErrPeerDown
+	}
+	c.requests.Add(1)
+	start := time.Now()
+	resp, err := c.hedged(req, hedge)
+	c.lat.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.errs.Add(1)
+		c.br.failure()
+		return nil, err
+	}
+	c.br.success()
+	return resp, nil
+}
+
+// hedged races the primary attempt against a duplicate fired after the
+// hedge delay. The first success wins; both failing returns the last error.
+func (c *Client) hedged(req []byte, hedge time.Duration) (*proto.Response, error) {
+	type result struct {
+		resp   *proto.Response
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	run := func(hedged bool) {
+		resp, err := c.attempt(req)
+		ch <- result{resp, err, hedged}
+	}
+	go run(false)
+	t := time.NewTimer(hedge)
+	defer t.Stop()
+	launched := 1
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedged {
+					c.hedgeWins.Add(1)
+				}
+				return r.resp, nil
+			}
+			launched--
+			if launched == 0 {
+				// Every launched attempt failed.
+				return nil, r.err
+			}
+		case <-t.C:
+			if launched == 1 {
+				c.hedges.Add(1)
+				launched++
+				go run(true)
+			}
+		}
+	}
+}
+
+// ClientStats is a point-in-time snapshot of one peer client's counters.
+type ClientStats struct {
+	// Requests counts ops admitted past the breaker.
+	Requests uint64 `json:"requests"`
+	// Errors counts ops that failed at transport level after retries.
+	Errors uint64 `json:"errors"`
+	// Retries counts per-attempt transport retries.
+	Retries uint64 `json:"retries"`
+	// Dials counts new connections established.
+	Dials uint64 `json:"dials"`
+	// FastFails counts ops rejected by the open breaker without touching
+	// the wire.
+	FastFails uint64 `json:"fast_fails"`
+	// BreakerOpens counts how many times the circuit opened.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// BreakerOpen reports whether the circuit is rejecting right now.
+	BreakerOpen bool `json:"breaker_open"`
+	// Hedges counts hedged duplicates fired; HedgeWins the subset that
+	// answered before the primary.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Latency is the per-op round-trip histogram (hedged ops observe the
+	// winning attempt's latency).
+	Latency obs.HistSnapshot `json:"latency"`
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests:     c.requests.Load(),
+		Errors:       c.errs.Load(),
+		Retries:      c.retries.Load(),
+		Dials:        c.dials.Load(),
+		FastFails:    c.fastFails.Load(),
+		BreakerOpens: c.br.openCount(),
+		BreakerOpen:  c.br.open(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		Latency:      c.lat.Snapshot(),
+	}
+}
+
+// HedgePolicy maps an item's penalty subclass to its hedge delay: how long
+// the first peer read may dangle before a duplicate is fired. The policy
+// encodes the paper's pricing inverted: a key that is cheap to recompute
+// (subclass 0–1, ≤10ms) never hedges — the backend is an acceptable fallback
+// and duplicate load buys little — while a 1s–5s recompute (subclass 4)
+// hedges after a few milliseconds, because a slow peer read is still two
+// orders of magnitude cheaper than the recompute it shields.
+type HedgePolicy struct {
+	// Delays[sub] is the hedge delay for penalty subclass sub
+	// (penalty.SubclassBounds); 0 disables hedging for that subclass.
+	Delays [5]time.Duration `json:"delays"`
+}
+
+// DefaultHedgePolicy returns the penalty-aware hedge schedule: never for
+// cheap keys, progressively earlier as the recompute penalty grows.
+func DefaultHedgePolicy() HedgePolicy {
+	return HedgePolicy{Delays: [5]time.Duration{
+		0,                     // (0,1ms]: recompute is as cheap as a peer read
+		0,                     // (1ms,10ms]
+		20 * time.Millisecond, // (10ms,100ms]
+		8 * time.Millisecond,  // (100ms,1s]
+		3 * time.Millisecond,  // (1s,5s]: hedge almost immediately
+	}}
+}
+
+// DelayFor returns the hedge delay for a key with the given miss penalty in
+// seconds.
+func (h HedgePolicy) DelayFor(pen float64) time.Duration {
+	return h.Delays[penalty.SubclassFor(pen, penalty.SubclassBounds)]
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamakv/internal/proto"
+)
+
+// fakePeer is a minimal in-process Memcached peer for client tests: a
+// key-value map plus knobs for per-request delay and hard connection drops.
+type fakePeer struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	data map[string][]byte
+
+	// delay is slept before answering each request.
+	delay atomic.Int64 // nanoseconds
+	// dropAll makes the peer close every connection on arrival.
+	dropAll atomic.Bool
+	// dropNext closes the connection (instead of answering) for the next
+	// N requests — a transient fault.
+	dropNext atomic.Int32
+	requests atomic.Uint64
+	conns    atomic.Uint64
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakePeer{ln: ln, data: map[string][]byte{}}
+	go p.serve()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *fakePeer) addr() string { return p.ln.Addr().String() }
+
+func (p *fakePeer) set(key string, val []byte) {
+	p.mu.Lock()
+	p.data[key] = val
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		if p.dropAll.Load() {
+			conn.Close()
+			continue
+		}
+		go p.handle(conn)
+	}
+}
+
+func (p *fakePeer) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		cmd, err := proto.ReadCommand(r)
+		if err != nil {
+			return
+		}
+		p.requests.Add(1)
+		if d := p.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if p.dropAll.Load() {
+			return
+		}
+		if n := p.dropNext.Load(); n > 0 && p.dropNext.CompareAndSwap(n, n-1) {
+			return
+		}
+		var out []byte
+		switch cmd.Name {
+		case "get", "gets":
+			p.mu.Lock()
+			for _, k := range cmd.Keys {
+				if v, ok := p.data[k]; ok {
+					if cmd.Name == "gets" {
+						out = proto.AppendValueCAS(out, k, 0, v, 7)
+					} else {
+						out = proto.AppendValue(out, k, 0, v)
+					}
+				}
+			}
+			p.mu.Unlock()
+			out = proto.AppendEnd(out)
+		case "set":
+			p.set(cmd.Keys[0], cmd.Data)
+			out = proto.AppendLine(out, "STORED")
+		case "delete":
+			p.mu.Lock()
+			delete(p.data, cmd.Keys[0])
+			p.mu.Unlock()
+			out = proto.AppendLine(out, "DELETED")
+		default:
+			out = proto.AppendLine(out, "ERROR")
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func TestClientGetAndPoolReuse(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("hello"))
+	c := NewClient(peer.addr(), ClientOptions{PoolSize: 2})
+	defer c.Close()
+
+	for i := 0; i < 10; i++ {
+		resp, err := c.Get("k", false, 0)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if len(resp.Values) != 1 || string(resp.Values[0].Data) != "hello" {
+			t.Fatalf("Get %d: %+v", i, resp)
+		}
+	}
+	if d := c.Stats().Dials; d != 1 {
+		t.Errorf("10 sequential gets dialed %d times, want 1 (pool reuse)", d)
+	}
+	// A miss is a successful round trip with no VALUE blocks.
+	resp, err := c.Get("absent", false, 0)
+	if err != nil || len(resp.Values) != 0 || resp.Status != "END" {
+		t.Fatalf("miss = (%+v, %v), want clean END", resp, err)
+	}
+}
+
+func TestClientGetsCarriesCAS(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("v"))
+	c := NewClient(peer.addr(), ClientOptions{})
+	defer c.Close()
+	resp, err := c.Get("k", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != 1 || resp.Values[0].CAS != 7 {
+		t.Fatalf("gets = %+v, want CAS 7", resp)
+	}
+}
+
+func TestClientDoSetDelete(t *testing.T) {
+	peer := newFakePeer(t)
+	c := NewClient(peer.addr(), ClientOptions{})
+	defer c.Close()
+	req := proto.AppendCommand(nil, &proto.Command{
+		Name: "set", Keys: []string{"k"}, Data: []byte("zzz"),
+	})
+	resp, err := c.Do(req)
+	if err != nil || resp.Status != "STORED" {
+		t.Fatalf("set = (%+v, %v)", resp, err)
+	}
+	resp, err = c.Do(proto.AppendCommand(nil, &proto.Command{Name: "delete", Keys: []string{"k"}}))
+	if err != nil || resp.Status != "DELETED" {
+		t.Fatalf("delete = (%+v, %v)", resp, err)
+	}
+}
+
+func TestClientRetriesTransientFailure(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("v"))
+	c := NewClient(peer.addr(), ClientOptions{Retries: 2})
+	defer c.Close()
+	// Seed the pool with a healthy connection, then have the peer drop the
+	// next request: the attempt on the now-stale pooled connection fails,
+	// the retry dials fresh and succeeds.
+	if _, err := c.Get("k", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	peer.dropNext.Store(1)
+	resp, err := c.Get("k", false, 0)
+	if err != nil {
+		t.Fatalf("Get after drop: %v (stats %+v)", err, c.Stats())
+	}
+	if len(resp.Values) != 1 {
+		t.Fatalf("Get after drop: %+v", resp)
+	}
+	if c.Stats().Retries == 0 {
+		t.Error("expected at least one recorded retry")
+	}
+}
+
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("v"))
+	c := NewClient(peer.addr(), ClientOptions{
+		Retries:     -1, // no retries: each op is one attempt
+		DialTimeout: 200 * time.Millisecond,
+		Breaker:     BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond},
+	})
+	defer c.Close()
+	peer.dropAll.Store(true)
+	// Three consecutive failures open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("k", false, 0); err == nil {
+			t.Fatalf("Get %d succeeded against dropping peer", i)
+		}
+	}
+	if !c.Stats().BreakerOpen {
+		t.Fatal("breaker closed after threshold failures")
+	}
+	// While open: fast-fail without touching the wire.
+	if _, err := c.Get("k", false, 0); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open-circuit Get = %v, want ErrPeerDown", err)
+	}
+	wire := peer.conns.Load()
+	if _, err := c.Get("k", false, 0); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open-circuit Get = %v, want ErrPeerDown", err)
+	}
+	if peer.conns.Load() != wire {
+		t.Error("open circuit still dialed the peer")
+	}
+	// After the cooldown the half-open probe readmits a healthy peer.
+	peer.dropAll.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	resp, err := c.Get("k", false, 0)
+	if err != nil || len(resp.Values) != 1 {
+		t.Fatalf("post-recovery Get = (%+v, %v)", resp, err)
+	}
+	st := c.Stats()
+	if st.BreakerOpen || st.BreakerOpens == 0 || st.FastFails < 2 {
+		t.Errorf("post-recovery stats %+v", st)
+	}
+}
+
+func TestClientHedgedGetWins(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("v"))
+	c := NewClient(peer.addr(), ClientOptions{})
+	defer c.Close()
+	// Make the peer slow: the hedge fires, and (both attempts being
+	// equally slow here) the op still completes with a hedge recorded.
+	peer.delay.Store(int64(60 * time.Millisecond))
+	start := time.Now()
+	resp, err := c.Get("k", false, 5*time.Millisecond)
+	if err != nil || len(resp.Values) != 1 {
+		t.Fatalf("hedged Get = (%+v, %v)", resp, err)
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Errorf("hedged Get took %v", e)
+	}
+	if c.Stats().Hedges != 1 {
+		t.Errorf("hedges = %d, want 1", c.Stats().Hedges)
+	}
+	// Fast peer: no hedge fires.
+	peer.delay.Store(0)
+	if _, err := c.Get("k", false, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hedges != 1 {
+		t.Errorf("fast Get hedged: hedges = %d, want still 1", c.Stats().Hedges)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	peer := newFakePeer(t)
+	c := NewClient(peer.addr(), ClientOptions{})
+	c.Close()
+	if _, err := c.Get("k", false, 0); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("closed Get = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestHedgePolicyDelays(t *testing.T) {
+	h := DefaultHedgePolicy()
+	if d := h.DelayFor(0.0005); d != 0 {
+		t.Errorf("0.5ms penalty hedges after %v, want never", d)
+	}
+	if d := h.DelayFor(0.005); d != 0 {
+		t.Errorf("5ms penalty hedges after %v, want never", d)
+	}
+	d2 := h.DelayFor(0.05) // subclass 2
+	d3 := h.DelayFor(0.5)  // subclass 3
+	d4 := h.DelayFor(3.0)  // subclass 4
+	if d2 == 0 || d3 == 0 || d4 == 0 {
+		t.Fatalf("expensive subclasses must hedge: %v %v %v", d2, d3, d4)
+	}
+	if !(d4 < d3 && d3 < d2) {
+		t.Errorf("hedge delay must shrink as penalty grows: %v %v %v", d2, d3, d4)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	b.failure()
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("breaker allowed a second concurrent half-open probe")
+	}
+	b.failure() // probe failed: re-open
+	if b.allow() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success()
+	if !b.allow() || b.open() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	if b.openCount() != 2 {
+		t.Errorf("openCount = %d, want 2", b.openCount())
+	}
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's own address as it appears in Members.
+	Self string
+	// Members is the full member list, Self included.
+	Members []string
+	// Hash selects the owner-selection scheme: "ring" (default) or
+	// "rendezvous".
+	Hash string
+	// VNodes is the ring's virtual-node count per member (ring only);
+	// <= 0 means DefaultVNodes.
+	VNodes int
+	// Client tunes the per-peer connection pools.
+	Client ClientOptions
+	// Hedge maps penalty subclasses to hedge delays for peer GETs. The
+	// zero value disables hedging; use DefaultHedgePolicy for the
+	// penalty-aware schedule.
+	Hedge HedgePolicy
+}
+
+// Peers is one node's routing table: the owner selector plus a pooled
+// client per remote member. Safe for concurrent use; SetMembers may be
+// called while requests are in flight.
+type Peers struct {
+	self  string
+	cfg   Config
+	hedge HedgePolicy
+
+	mu      sync.RWMutex
+	sel     Selector
+	clients map[string]*Client
+}
+
+// New validates cfg and builds the routing table. Self must appear in
+// Members; clients for the remote members are created lazily-dialed (no
+// connection until first use).
+func New(cfg Config) (*Peers, error) {
+	members := normalize(cfg.Members)
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	found := false
+	for _, m := range members {
+		if m == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in members %v", cfg.Self, members)
+	}
+	sel, err := NewSelector(cfg.Hash, members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peers{
+		self:    cfg.Self,
+		cfg:     cfg,
+		hedge:   cfg.Hedge,
+		sel:     sel,
+		clients: make(map[string]*Client, len(members)),
+	}
+	for _, m := range members {
+		if m != cfg.Self {
+			p.clients[m] = NewClient(m, cfg.Client)
+		}
+	}
+	return p, nil
+}
+
+// Self returns this node's address.
+func (p *Peers) Self() string { return p.self }
+
+// Owner returns the member owning key under the current membership.
+func (p *Peers) Owner(key string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sel.Owner(key)
+}
+
+// IsOwner reports whether this node owns key.
+func (p *Peers) IsOwner(key string) bool { return p.Owner(key) == p.self }
+
+// ClientFor returns the pooled client for a remote member, or nil for self
+// and unknown members.
+func (p *Peers) ClientFor(addr string) *Client {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.clients[addr]
+}
+
+// Members returns the current member list.
+func (p *Peers) Members() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sel.Members()
+}
+
+// HedgeDelay returns the hedge delay for a key with the given miss penalty.
+func (p *Peers) HedgeDelay(pen float64) time.Duration { return p.hedge.DelayFor(pen) }
+
+// SetMembers rebuilds the routing table for a new member list (Self must
+// remain a member). The selector is swapped atomically: keys whose arc
+// changed hands route to their new owner on the next request. Clients of
+// departed members are closed; surviving clients keep their pools.
+func (p *Peers) SetMembers(members []string) error {
+	ms := normalize(members)
+	found := false
+	for _, m := range ms {
+		if m == p.self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: self %q not in new members %v", p.self, ms)
+	}
+	sel, err := NewSelector(p.cfg.Hash, ms, p.cfg.VNodes)
+	if err != nil {
+		return err
+	}
+	keep := make(map[string]struct{}, len(ms))
+	for _, m := range ms {
+		keep[m] = struct{}{}
+	}
+	p.mu.Lock()
+	p.sel = sel
+	var closing []*Client
+	for addr, c := range p.clients {
+		if _, ok := keep[addr]; !ok {
+			closing = append(closing, c)
+			delete(p.clients, addr)
+		}
+	}
+	for _, m := range ms {
+		if m != p.self {
+			if _, ok := p.clients[m]; !ok {
+				p.clients[m] = NewClient(m, p.cfg.Client)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range closing {
+		c.Close()
+	}
+	return nil
+}
+
+// Snapshots returns per-peer counter snapshots keyed by peer address.
+func (p *Peers) Snapshots() map[string]ClientStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]ClientStats, len(p.clients))
+	for addr, c := range p.clients {
+		out[addr] = c.Stats()
+	}
+	return out
+}
+
+// Close closes every peer client.
+func (p *Peers) Close() {
+	p.mu.Lock()
+	clients := make([]*Client, 0, len(p.clients))
+	for _, c := range p.clients {
+		clients = append(clients, c)
+	}
+	p.clients = make(map[string]*Client)
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

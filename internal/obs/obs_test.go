@@ -52,15 +52,15 @@ func TestHistBucketBoundaries(t *testing.T) {
 	}{
 		{0, 0},
 		{0.0005, 0},
-		{0.001, 0},                // exactly min -> underflow bucket
-		{0.00101, 1},              // just above min
-		{0.01, 9},                 // exactly on a decade edge -> next bucket, as metrics.Histogram
-		{0.1, 17},                 // two decades, same edge rule
-		{0.999, 24},        // just under the top
-		{1.0, 24},          // at the top -> clamped to last
-		{1e300, 24},        // far out of range -> last, no int overflow
-		{math.Inf(1), 24},  // infinite -> last, no int overflow
-		{math.NaN(), 0},    // NaN -> underflow bucket, not a panic
+		{0.001, 0},        // exactly min -> underflow bucket
+		{0.00101, 1},      // just above min
+		{0.01, 9},         // exactly on a decade edge -> next bucket, as metrics.Histogram
+		{0.1, 17},         // two decades, same edge rule
+		{0.999, 24},       // just under the top
+		{1.0, 24},         // at the top -> clamped to last
+		{1e300, 24},       // far out of range -> last, no int overflow
+		{math.Inf(1), 24}, // infinite -> last, no int overflow
+		{math.NaN(), 0},   // NaN -> underflow bucket, not a panic
 	}
 	for _, tc := range cases {
 		if got := h.bucketOf(tc.v); got != tc.want {

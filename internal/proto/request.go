@@ -1,0 +1,95 @@
+package proto
+
+import "strconv"
+
+// Client-side request rendering: the inverse of ReadCommand, used by the
+// cluster peer client and the forwarding path to re-emit a parsed command on
+// another connection. Responses have a matching encoder, AppendResponse, so
+// a node can relay a peer's reply verbatim.
+
+// AppendCommand renders cmd to its wire form, appending to dst. NoReply is
+// honored for the commands that accept it; Data supplies storage commands'
+// data-block bytes (the Bytes field is ignored — the block length is
+// len(Data)).
+func AppendCommand(dst []byte, cmd *Command) []byte {
+	dst = append(dst, cmd.Name...)
+	switch cmd.Name {
+	case "get", "gets":
+		for _, k := range cmd.Keys {
+			dst = append(dst, ' ')
+			dst = append(dst, k...)
+		}
+		return append(dst, '\r', '\n')
+	case "set", "add", "replace", "cas":
+		dst = append(dst, ' ')
+		dst = append(dst, cmd.Keys[0]...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(cmd.Flags), 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, cmd.Exptime, 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(len(cmd.Data)), 10)
+		if cmd.Name == "cas" {
+			dst = append(dst, ' ')
+			dst = strconv.AppendUint(dst, cmd.CasID, 10)
+		}
+		dst = appendNoReply(dst, cmd.NoReply)
+		dst = append(dst, '\r', '\n')
+		dst = append(dst, cmd.Data...)
+		return append(dst, '\r', '\n')
+	case "delete":
+		dst = append(dst, ' ')
+		dst = append(dst, cmd.Keys[0]...)
+		dst = appendNoReply(dst, cmd.NoReply)
+		return append(dst, '\r', '\n')
+	case "touch":
+		dst = append(dst, ' ')
+		dst = append(dst, cmd.Keys[0]...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, cmd.Exptime, 10)
+		dst = appendNoReply(dst, cmd.NoReply)
+		return append(dst, '\r', '\n')
+	case "incr", "decr":
+		dst = append(dst, ' ')
+		dst = append(dst, cmd.Keys[0]...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cmd.Delta, 10)
+		dst = appendNoReply(dst, cmd.NoReply)
+		return append(dst, '\r', '\n')
+	default:
+		// stats, flush_all, version, quit: the bare verb.
+		return append(dst, '\r', '\n')
+	}
+}
+
+func appendNoReply(dst []byte, noreply bool) []byte {
+	if noreply {
+		dst = append(dst, " noreply"...)
+	}
+	return dst
+}
+
+// AppendResponse renders resp back to its wire form, appending to dst —
+// what a relaying node emits to its own client after ReadResponse parsed
+// the owner's reply. withCAS controls whether VALUE blocks carry their CAS
+// token (a gets relay keeps it; a get relay must not add one).
+func AppendResponse(dst []byte, resp *Response, withCAS bool) []byte {
+	for _, v := range resp.Values {
+		if withCAS {
+			dst = AppendValueCAS(dst, v.Key, v.Flags, v.Data, v.CAS)
+		} else {
+			dst = AppendValue(dst, v.Key, v.Flags, v.Data)
+		}
+	}
+	for _, st := range resp.Stats {
+		dst = AppendLine(dst, "STAT "+st[0]+" "+st[1])
+	}
+	switch resp.Status {
+	case "NUMBER":
+		return AppendLine(dst, strconv.FormatUint(resp.Number, 10))
+	case "CLIENT_ERROR", "SERVER_ERROR", "VERSION":
+		return AppendLine(dst, resp.Status+" "+resp.Message)
+	default:
+		return AppendLine(dst, resp.Status)
+	}
+}

@@ -1,0 +1,103 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestAppendCommandRoundTrip checks that AppendCommand is the inverse of
+// ReadCommand over the full command set.
+func TestAppendCommandRoundTrip(t *testing.T) {
+	cmds := []*Command{
+		{Name: "get", Keys: []string{"a"}},
+		{Name: "get", Keys: []string{"a", "b", "longer-key"}},
+		{Name: "gets", Keys: []string{"x"}},
+		{Name: "set", Keys: []string{"k"}, Flags: 7, Exptime: 60, Data: []byte("hello")},
+		{Name: "set", Keys: []string{"k"}, Flags: 0, Exptime: 0, Data: []byte{}, NoReply: true},
+		{Name: "add", Keys: []string{"k"}, Flags: 1, Exptime: 2, Data: []byte("v")},
+		{Name: "replace", Keys: []string{"k"}, Data: []byte("vv")},
+		{Name: "cas", Keys: []string{"k"}, Flags: 3, Exptime: 9, CasID: 12345, Data: []byte("w")},
+		{Name: "delete", Keys: []string{"k"}},
+		{Name: "delete", Keys: []string{"k"}, NoReply: true},
+		{Name: "touch", Keys: []string{"k"}, Exptime: 30},
+		{Name: "incr", Keys: []string{"n"}, Delta: 5},
+		{Name: "decr", Keys: []string{"n"}, Delta: 1, NoReply: true},
+		{Name: "stats"},
+		{Name: "flush_all"},
+		{Name: "version"},
+		{Name: "quit"},
+	}
+	for _, want := range cmds {
+		wire := AppendCommand(nil, want)
+		got, err := ReadCommand(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("%s: re-parse of %q: %v", want.Name, wire, err)
+		}
+		// ReadCommand records the declared block length; mirror it before
+		// comparing.
+		want.Bytes = len(want.Data)
+		if got.Data == nil {
+			got.Data = want.Data // []byte{} vs nil for empty blocks
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip = %+v, want %+v (wire %q)", want.Name, got, want, wire)
+		}
+	}
+}
+
+// TestAppendResponseRoundTrip checks AppendResponse against ReadResponse.
+func TestAppendResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{Status: "END"},
+		{Status: "END", Values: []Value{{Key: "k", Flags: 2, Data: []byte("abc")}}},
+		{Status: "END", Values: []Value{
+			{Key: "a", Flags: 0, Data: []byte("1")},
+			{Key: "b", Flags: 9, Data: []byte("22")},
+		}},
+		{Status: "STORED"},
+		{Status: "NOT_FOUND"},
+		{Status: "NUMBER", Number: 41},
+		{Status: "SERVER_ERROR", Message: "backend unavailable"},
+		{Status: "VERSION", Message: "pamakv/1.0"},
+		{Status: "END", Stats: [][2]string{{"cmd_get", "10"}, {"policy", "pama"}}},
+	}
+	for _, want := range resps {
+		wire := AppendResponse(nil, want, false)
+		got, err := ReadResponse(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("%s: re-parse of %q: %v", want.Status, wire, err)
+		}
+		if got.Status != want.Status || got.Message != want.Message || got.Number != want.Number {
+			t.Errorf("%s: round trip = %+v, want %+v", want.Status, got, want)
+		}
+		if len(got.Values) != len(want.Values) || len(got.Stats) != len(want.Stats) {
+			t.Fatalf("%s: block counts %d/%d, want %d/%d",
+				want.Status, len(got.Values), len(got.Stats), len(want.Values), len(want.Stats))
+		}
+		for i := range want.Values {
+			if got.Values[i].Key != want.Values[i].Key ||
+				got.Values[i].Flags != want.Values[i].Flags ||
+				!bytes.Equal(got.Values[i].Data, want.Values[i].Data) {
+				t.Errorf("%s: value %d = %+v, want %+v", want.Status, i, got.Values[i], want.Values[i])
+			}
+		}
+	}
+}
+
+// TestAppendResponseCAS checks the CAS token survives a gets relay and is
+// stripped from a get relay.
+func TestAppendResponseCAS(t *testing.T) {
+	resp := &Response{Status: "END", Values: []Value{{Key: "k", Flags: 1, CAS: 99, Data: []byte("v")}}}
+	withCAS := AppendResponse(nil, resp, true)
+	got, err := ReadResponse(bufio.NewReader(bytes.NewReader(withCAS)))
+	if err != nil || got.Values[0].CAS != 99 {
+		t.Fatalf("gets relay: CAS = %d (err %v), want 99", got.Values[0].CAS, err)
+	}
+	without := AppendResponse(nil, resp, false)
+	got, err = ReadResponse(bufio.NewReader(bytes.NewReader(without)))
+	if err != nil || got.Values[0].CAS != 0 {
+		t.Fatalf("get relay: CAS = %d (err %v), want 0", got.Values[0].CAS, err)
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"pamakv/internal/cache"
+	"pamakv/internal/cluster"
 	"pamakv/internal/metrics"
 	"pamakv/internal/obs"
 )
@@ -222,7 +224,71 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.Histogram("pamakv_backend_fetch_seconds", "", b.FetchLatency())
 		p.Gauge("pamakv_backend_penalty_seconds_total", "Accumulated simulated miss penalty.", b.TotalPenalty())
 	}
+
+	if a.srv.peers != nil {
+		a.writeClusterMetrics(p, ss)
+	}
 	_ = p.Err() // the peer hung up; nothing to do
+}
+
+// writeClusterMetrics renders the cluster tier: forwarding outcomes, the
+// hot-item mini-cache, and a labelled series per remote peer (requests,
+// failure modes, hedging, breaker state, round-trip latency). Peers are
+// emitted in sorted address order so scrapes diff cleanly.
+func (a *Admin) writeClusterMetrics(p *obs.PromWriter, ss Stats) {
+	p.Counter("pamakv_cluster_forwards_total", "Requests relayed to an owning peer.", ss.PeerForwards)
+	p.Counter("pamakv_cluster_peer_hits_total", "Forwarded GETs the owner answered with a value.", ss.PeerHits)
+	p.Counter("pamakv_cluster_peer_errors_total", "Forwards failed at transport level.", ss.PeerErrors)
+	p.Counter("pamakv_cluster_fallbacks_total", "Failed GET forwards degraded to a local backend fetch.", ss.PeerFallbacks)
+	if hc, ok := a.srv.HotCacheStats(); ok {
+		p.Counter("pamakv_hot_cache_hits_total", "Remote-owned GETs served from the hot-item mini-cache.", hc.Hits)
+		p.Counter("pamakv_hot_cache_misses_total", "Hot-cache lookups that fell through to the owner.", hc.Misses)
+		p.Counter("pamakv_hot_cache_evictions_total", "Hot-cache entries evicted past the byte budget.", hc.Evicts)
+		p.Gauge("pamakv_hot_cache_bytes", "Bytes resident in the hot-item mini-cache.", float64(hc.Bytes))
+		p.Gauge("pamakv_hot_cache_items", "Entries resident in the hot-item mini-cache.", float64(hc.Items))
+	}
+
+	snaps := a.srv.peers.Snapshots()
+	addrs := make([]string, 0, len(snaps))
+	for addr := range snaps {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+
+	counter := func(name, help string, get func(cluster.ClientStats) uint64) {
+		p.Header(name, help, "counter")
+		for _, addr := range addrs {
+			p.Value(name, `peer="`+addr+`"`, float64(get(snaps[addr])))
+		}
+	}
+	counter("pamakv_peer_requests_total", "Ops admitted past the peer's circuit breaker.",
+		func(s cluster.ClientStats) uint64 { return s.Requests })
+	counter("pamakv_peer_errors_total", "Ops failed at transport level after retries.",
+		func(s cluster.ClientStats) uint64 { return s.Errors })
+	counter("pamakv_peer_retries_total", "Per-attempt transport retries.",
+		func(s cluster.ClientStats) uint64 { return s.Retries })
+	counter("pamakv_peer_dials_total", "Connections established to the peer.",
+		func(s cluster.ClientStats) uint64 { return s.Dials })
+	counter("pamakv_peer_fast_fails_total", "Ops rejected by the open breaker without touching the wire.",
+		func(s cluster.ClientStats) uint64 { return s.FastFails })
+	counter("pamakv_peer_breaker_opens_total", "Times the peer's circuit opened.",
+		func(s cluster.ClientStats) uint64 { return s.BreakerOpens })
+	counter("pamakv_peer_hedges_total", "Hedged duplicate reads fired.",
+		func(s cluster.ClientStats) uint64 { return s.Hedges })
+	counter("pamakv_peer_hedge_wins_total", "Hedged duplicates that answered before the primary.",
+		func(s cluster.ClientStats) uint64 { return s.HedgeWins })
+	p.Header("pamakv_peer_breaker_open", "Whether the peer's circuit is rejecting right now.", "gauge")
+	for _, addr := range addrs {
+		v := 0.0
+		if snaps[addr].BreakerOpen {
+			v = 1.0
+		}
+		p.Value("pamakv_peer_breaker_open", `peer="`+addr+`"`, v)
+	}
+	p.Header("pamakv_peer_request_seconds", "Peer round-trip latency (hedged ops observe the winner).", "histogram")
+	for _, addr := range addrs {
+		p.Histogram("pamakv_peer_request_seconds", `peer="`+addr+`"`, snaps[addr].Latency)
+	}
 }
 
 // writeIntrospection renders the engine's allocation state: the per-class
@@ -328,6 +394,34 @@ type BackendStatsz struct {
 	FetchLatency        LatencySummary `json:"fetch_latency"`
 }
 
+// PeerStatsz is one remote peer's section of /statsz: the raw counters plus
+// a summarized latency view (the full histogram rides on /metrics).
+type PeerStatsz struct {
+	Requests     uint64         `json:"requests"`
+	Errors       uint64         `json:"errors"`
+	Retries      uint64         `json:"retries"`
+	Dials        uint64         `json:"dials"`
+	FastFails    uint64         `json:"fast_fails"`
+	BreakerOpens uint64         `json:"breaker_opens"`
+	BreakerOpen  bool           `json:"breaker_open"`
+	Hedges       uint64         `json:"hedges"`
+	HedgeWins    uint64         `json:"hedge_wins"`
+	Latency      LatencySummary `json:"latency"`
+}
+
+// ClusterStatsz is the cluster section of /statsz.
+type ClusterStatsz struct {
+	Self          string                 `json:"self"`
+	Members       []string               `json:"members"`
+	Forwards      uint64                 `json:"forwards"`
+	PeerHits      uint64                 `json:"peer_hits"`
+	PeerErrors    uint64                 `json:"peer_errors"`
+	PeerFallbacks uint64                 `json:"peer_fallbacks"`
+	HotHits       uint64                 `json:"hot_hits"`
+	HotCache      *cluster.HotCacheStats `json:"hot_cache,omitempty"`
+	Peers         map[string]PeerStatsz  `json:"peers"`
+}
+
 // Statsz is the /statsz document: everything the in-band `stats` command
 // reports plus the structures it cannot carry (matrices, histograms). All
 // numbers are finite — "no traffic" ratios are omitted, never NaN, because
@@ -342,6 +436,7 @@ type Statsz struct {
 
 	Latencies     map[string]LatencySummary `json:"latencies"`
 	Backend       *BackendStatsz            `json:"backend,omitempty"`
+	Cluster       *ClusterStatsz            `json:"cluster,omitempty"`
 	Introspection *cache.Introspection      `json:"introspection,omitempty"`
 }
 
@@ -373,6 +468,37 @@ func (a *Admin) statsz() Statsz {
 			InjectedSpikes:      b.InjectedSpikes(),
 			FetchLatency:        summarize(b.FetchLatency()),
 		}
+	}
+	if ps := a.srv.peers; ps != nil {
+		ss := doc.Server
+		cs := &ClusterStatsz{
+			Self:          ps.Self(),
+			Members:       ps.Members(),
+			Forwards:      ss.PeerForwards,
+			PeerHits:      ss.PeerHits,
+			PeerErrors:    ss.PeerErrors,
+			PeerFallbacks: ss.PeerFallbacks,
+			HotHits:       ss.HotHits,
+			Peers:         make(map[string]PeerStatsz),
+		}
+		if hc, ok := a.srv.HotCacheStats(); ok {
+			cs.HotCache = &hc
+		}
+		for addr, st := range ps.Snapshots() {
+			cs.Peers[addr] = PeerStatsz{
+				Requests:     st.Requests,
+				Errors:       st.Errors,
+				Retries:      st.Retries,
+				Dials:        st.Dials,
+				FastFails:    st.FastFails,
+				BreakerOpens: st.BreakerOpens,
+				BreakerOpen:  st.BreakerOpen,
+				Hedges:       st.Hedges,
+				HedgeWins:    st.HedgeWins,
+				Latency:      summarize(st.Latency),
+			}
+		}
+		doc.Cluster = cs
 	}
 	if in, ok := a.srv.c.(introspector); ok {
 		snap := in.Introspect()

@@ -288,9 +288,9 @@ func TestAdminEndToEnd(t *testing.T) {
 	t.Run("series", func(t *testing.T) {
 		admin.Sample() // baseline
 		cl.send(t, "get key1\r\n")
-		cl.line(t) // VALUE
-		cl.line(t) // body
-		cl.line(t) // END
+		cl.line(t)     // VALUE
+		cl.line(t)     // body
+		cl.line(t)     // END
 		admin.Sample() // closes a window containing one GET hit
 		body, _ := httpGet(t, base+"/series")
 		lines := strings.Split(strings.TrimSpace(body), "\n")

@@ -40,9 +40,11 @@ import (
 
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
+	"pamakv/internal/cluster"
 	"pamakv/internal/obs"
 	"pamakv/internal/penalty"
 	"pamakv/internal/proto"
+	"pamakv/internal/singleflight"
 )
 
 // Command families for latency attribution. Reads and writes have different
@@ -151,6 +153,20 @@ type Options struct {
 	// recently evicted/expired value (requires the engine to be built
 	// with cache.Config.StaleValues) instead of reporting a miss.
 	ServeStale bool
+
+	// Cluster enables the peer tier: keys this node does not own are
+	// forwarded to their owning peer (GETs with penalty-aware hedging,
+	// writes verbatim), and only the owner fills from the backend. The
+	// server does not take ownership of the Peers — the caller closes it
+	// after Shutdown.
+	Cluster *cluster.Peers
+	// HotCacheBytes bounds the non-owner mini-cache of forwarded GET
+	// hits (cluster mode only); 0 means cluster.DefaultHotCacheBytes,
+	// negative disables the hot cache.
+	HotCacheBytes int64
+	// HotCacheTTL bounds the staleness of a hot-cached forwarded copy;
+	// 0 means cluster.DefaultHotCacheTTL.
+	HotCacheTTL time.Duration
 }
 
 // Stats are server-level counters — connections and serving-path health, as
@@ -183,6 +199,16 @@ type Stats struct {
 	// StaleServes counts GETs answered from the stale buffer after a
 	// backend failure.
 	StaleServes uint64
+	// PeerForwards counts requests relayed to an owning peer (cluster
+	// mode); PeerHits the forwarded GETs the peer answered with a value.
+	PeerForwards, PeerHits uint64
+	// PeerErrors counts forwards that failed at transport level (after
+	// the peer client's retries and hedging); PeerFallbacks the subset
+	// of failed GET forwards that degraded to a local backend fetch.
+	PeerErrors, PeerFallbacks uint64
+	// HotHits counts GETs of remote-owned keys answered from the local
+	// hot-item mini-cache without touching the owner.
+	HotHits uint64
 }
 
 // nstats is Stats with atomic fields, updated lock-free on the hot path.
@@ -198,6 +224,11 @@ type nstats struct {
 	backendTimeouts      atomic.Uint64
 	backendFailures      atomic.Uint64
 	staleServes          atomic.Uint64
+	peerForwards         atomic.Uint64
+	peerHits             atomic.Uint64
+	peerErrors           atomic.Uint64
+	peerFallbacks        atomic.Uint64
+	hotHits              atomic.Uint64
 }
 
 // Server serves the cache over TCP. Construct with New.
@@ -220,6 +251,14 @@ type Server struct {
 
 	st nstats
 
+	// peers is the cluster routing table (nil outside cluster mode); hot
+	// is the non-owner mini-cache of forwarded hits.
+	peers *cluster.Peers
+	hot   *cluster.HotCache
+	// flight dedupes concurrent peer fetches for one key (the
+	// backend-fetch path dedupes inside backend.FetchSharedErr).
+	flight singleflight.Group
+
 	// lat holds one request-latency histogram per command family, measured
 	// from command parse to response flush (the client-visible interval
 	// minus the wire). Buckets span [1µs, 10s) on a log scale.
@@ -241,6 +280,12 @@ func New(c Store, opts Options) *Server {
 	}
 	for i := range s.lat {
 		s.lat[i] = obs.NewHist(1e-6, 7)
+	}
+	if opts.Cluster != nil {
+		s.peers = opts.Cluster
+		if opts.HotCacheBytes >= 0 {
+			s.hot = cluster.NewHotCache(opts.HotCacheBytes, opts.HotCacheTTL)
+		}
 	}
 	return s
 }
@@ -338,7 +383,21 @@ func (s *Server) Stats() Stats {
 		BackendTimeouts: s.st.backendTimeouts.Load(),
 		BackendFailures: s.st.backendFailures.Load(),
 		StaleServes:     s.st.staleServes.Load(),
+		PeerForwards:    s.st.peerForwards.Load(),
+		PeerHits:        s.st.peerHits.Load(),
+		PeerErrors:      s.st.peerErrors.Load(),
+		PeerFallbacks:   s.st.peerFallbacks.Load(),
+		HotHits:         s.st.hotHits.Load(),
 	}
+}
+
+// HotCacheStats snapshots the hot-item mini-cache; ok is false outside
+// cluster mode (or when the hot cache is disabled).
+func (s *Server) HotCacheStats() (st cluster.HotCacheStats, ok bool) {
+	if s.hot == nil {
+		return cluster.HotCacheStats{}, false
+	}
+	return s.hot.Stats(), true
 }
 
 // Latencies snapshots the per-family request-latency histograms, keyed by
@@ -613,6 +672,18 @@ func clientMsg(err error) string {
 }
 
 func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
+	if s.peers != nil {
+		switch cmd.Name {
+		case "set", "add", "replace", "cas", "delete", "touch", "incr", "decr":
+			// Single-owner writes: mutations of a key this node does
+			// not own are relayed to the owner, so one authoritative
+			// copy exists cluster-wide. (GETs route per key inside
+			// doGet — a multi-key get may span owners.)
+			if owner := s.peers.Owner(cmd.Keys[0]); owner != "" && owner != s.peers.Self() {
+				return s.forward(out, cmd, owner)
+			}
+		}
+	}
 	switch cmd.Name {
 	case "get", "gets":
 		return s.doGet(out, cmd)
@@ -653,14 +724,141 @@ func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
 	}
 }
 
-// fetchOnce runs one backend fetch attempt under FetchTimeout. On timeout
-// the fetch goroutine is abandoned (it completes and its result is
-// discarded); the backend simulates a database, so there is no external
-// resource to cancel.
+// forward relays a mutating command verbatim to the key's owning peer and
+// echoes the owner's reply. The local hot-cache copy (if any) is dropped
+// first, so this node never serves a value it just knows changed. A failed
+// forward (breaker open, transport error after retries) is a SERVER_ERROR:
+// a write must not silently apply to a non-authoritative copy.
+func (s *Server) forward(out []byte, cmd *proto.Command, owner string) []byte {
+	s.st.peerForwards.Add(1)
+	if s.hot != nil {
+		s.hot.Invalidate(cmd.Keys[0])
+	}
+	cl := s.peers.ClientFor(owner)
+	if cl == nil {
+		s.st.peerErrors.Add(1)
+		if cmd.NoReply {
+			return out
+		}
+		s.st.serverErrors.Add(1)
+		return proto.AppendLine(out, "SERVER_ERROR no client for peer "+owner)
+	}
+	// Forward without noreply so the owner's outcome is observable here,
+	// then honor the client's noreply on the relay side.
+	fwd := *cmd
+	fwd.NoReply = false
+	resp, err := cl.Do(proto.AppendCommand(nil, &fwd))
+	if err != nil {
+		s.st.peerErrors.Add(1)
+		if cmd.NoReply {
+			return out
+		}
+		s.st.serverErrors.Add(1)
+		return proto.AppendLine(out, "SERVER_ERROR peer "+owner+" unavailable")
+	}
+	if cmd.NoReply {
+		return out
+	}
+	return proto.AppendResponse(out, resp, cmd.Name == "gets")
+}
+
+// peerValue is one peer GET outcome shared across a singleflight.
+type peerValue struct {
+	val   []byte
+	flags uint32
+	cas   uint64
+	hit   bool
+}
+
+// peerGet serves one GET key owned by a remote peer: hot cache (plain GETs
+// only), then a singleflight-deduped, penalty-hedged peer read, then — if
+// the peer is unreachable — a local backend fetch as a degraded fallback
+// (the value is correct, only the single-owner fill discipline is bent, and
+// the owner still never learns a wrong copy).
+func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
+	if !withCAS && s.hot != nil {
+		if val, flags, ok := s.hot.Get(key); ok {
+			s.st.hotHits.Add(1)
+			return proto.AppendValue(out, key, flags, val)
+		}
+	}
+	cl := s.peers.ClientFor(owner)
+	if cl == nil {
+		s.st.peerErrors.Add(1)
+		return out
+	}
+	s.st.peerForwards.Add(1)
+	// Dedupe concurrent reads of one remote key: N goroutines racing the
+	// same miss put one request on the wire. gets and get fly separately
+	// (different response shape).
+	fkey := "g:" + key
+	if withCAS {
+		fkey = "G:" + key
+	}
+	var hedge time.Duration
+	if s.opts.Backend != nil {
+		hedge = s.peers.HedgeDelay(s.opts.Backend.PenaltyOf(key))
+	}
+	v, err, _ := s.flight.Do(fkey, func() (any, error) {
+		resp, err := cl.Get(key, withCAS, hedge)
+		if err != nil {
+			return nil, err
+		}
+		var pv peerValue
+		for _, val := range resp.Values {
+			if val.Key == key {
+				pv = peerValue{val: val.Data, flags: val.Flags, cas: val.CAS, hit: true}
+				break
+			}
+		}
+		return pv, nil
+	})
+	if err == nil {
+		pv := v.(peerValue)
+		if !pv.hit {
+			// Authoritative miss from the owner.
+			return out
+		}
+		s.st.peerHits.Add(1)
+		if withCAS {
+			return proto.AppendValueCAS(out, key, pv.flags, pv.val, pv.cas)
+		}
+		if s.hot != nil {
+			s.hot.Put(key, pv.flags, pv.val)
+		}
+		return proto.AppendValue(out, key, pv.flags, pv.val)
+	}
+	s.st.peerErrors.Add(1)
+	if s.opts.Backend == nil {
+		return out
+	}
+	// Peer unreachable: regenerate locally rather than miss. The reply
+	// carries CAS 0 for gets — a degraded token must not win a cas race
+	// against the owner's copy.
+	_, _, body, ferr := s.fetchBackend(key)
+	if ferr != nil {
+		return out
+	}
+	s.st.peerFallbacks.Add(1)
+	if withCAS {
+		return proto.AppendValueCAS(out, key, 0, body, 0)
+	}
+	if s.hot != nil {
+		s.hot.Put(key, 0, body)
+	}
+	return proto.AppendValue(out, key, 0, body)
+}
+
+// fetchOnce runs one backend fetch attempt under FetchTimeout. All attempts
+// go through the backend's per-key singleflight, so concurrent misses of
+// one key — across connections and retry chains — collapse onto a single
+// backend call. On timeout the fetch goroutine is abandoned (it completes
+// and its result is discarded); the backend simulates a database, so there
+// is no external resource to cancel.
 func (s *Server) fetchOnce(key string) (size int, pen float64, body []byte, err error) {
 	b := s.opts.Backend
 	if s.opts.FetchTimeout <= 0 {
-		return b.FetchErr(key, true)
+		return b.FetchSharedErr(key, true)
 	}
 	type result struct {
 		size int
@@ -671,7 +869,7 @@ func (s *Server) fetchOnce(key string) (size int, pen float64, body []byte, err 
 	ch := make(chan result, 1)
 	go func() {
 		var r result
-		r.size, r.pen, r.body, r.err = b.FetchErr(key, true)
+		r.size, r.pen, r.body, r.err = b.FetchSharedErr(key, true)
 		ch <- r
 	}()
 	t := time.NewTimer(s.opts.FetchTimeout)
@@ -709,6 +907,12 @@ func (s *Server) fetchBackend(key string) (size int, pen float64, body []byte, e
 func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 	withCAS := cmd.Name == "gets"
 	for _, key := range cmd.Keys {
+		if s.peers != nil {
+			if owner := s.peers.Owner(key); owner != "" && owner != s.peers.Self() {
+				out = s.peerGet(out, key, owner, withCAS)
+				continue
+			}
+		}
 		var val []byte
 		var flags uint32
 		var cas uint64
@@ -850,6 +1054,13 @@ func (s *Server) doStats(out []byte) []byte {
 	out = proto.AppendStat(out, "backend_timeouts", ss.BackendTimeouts)
 	out = proto.AppendStat(out, "backend_failures", ss.BackendFailures)
 	out = proto.AppendStat(out, "stale_serves", ss.StaleServes)
+	if s.peers != nil {
+		out = proto.AppendStat(out, "peer_forwards", ss.PeerForwards)
+		out = proto.AppendStat(out, "peer_hits", ss.PeerHits)
+		out = proto.AppendStat(out, "peer_errors", ss.PeerErrors)
+		out = proto.AppendStat(out, "peer_fallbacks", ss.PeerFallbacks)
+		out = proto.AppendStat(out, "hot_hits", ss.HotHits)
+	}
 	for cl, n := range s.c.SnapshotSlabs() {
 		if n > 0 {
 			out = proto.AppendStat(out, fmt.Sprintf("slabs_class_%d", cl), n)

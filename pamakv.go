@@ -30,6 +30,7 @@ import (
 
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
+	"pamakv/internal/cluster"
 	"pamakv/internal/core"
 	"pamakv/internal/gds"
 	"pamakv/internal/kv"
@@ -38,6 +39,7 @@ import (
 	"pamakv/internal/server"
 	"pamakv/internal/shard"
 	"pamakv/internal/sim"
+	"pamakv/internal/singleflight"
 	"pamakv/internal/trace"
 	"pamakv/internal/workload"
 )
@@ -249,6 +251,50 @@ func NewRealTimeBackend(model PenaltyModel, sizer func(keyHash uint64) int, scal
 // ErrBackendUnavailable is returned by Backend.FetchErr for injected
 // failures (BackendFaults).
 var ErrBackendUnavailable = backend.ErrUnavailable
+
+// Cluster tier: consistent-hash peer routing, pooled peer clients with
+// circuit breaking and penalty-aware hedged reads, and miss deduplication.
+type (
+	// ClusterPeers is one node's routing table: owner selection plus a
+	// pooled client per remote member (ServerOptions.Cluster).
+	ClusterPeers = cluster.Peers
+	// ClusterConfig describes a node's view of the cluster (self, member
+	// list, hashing scheme, client tuning, hedge policy).
+	ClusterConfig = cluster.Config
+	// ClusterSelector maps keys to owning members ("ring" with virtual
+	// nodes, or "rendezvous").
+	ClusterSelector = cluster.Selector
+	// ClusterClientOptions tune one peer's connection pool, timeouts,
+	// retries, and circuit breaker.
+	ClusterClientOptions = cluster.ClientOptions
+	// ClusterClientStats snapshot one peer client's counters.
+	ClusterClientStats = cluster.ClientStats
+	// HedgePolicy maps penalty subclasses to hedge delays for peer GETs.
+	HedgePolicy = cluster.HedgePolicy
+	// HotCacheStats snapshot a node's hot-item mini-cache of forwarded
+	// peer hits.
+	HotCacheStats = cluster.HotCacheStats
+	// SingleflightGroup dedupes concurrent calls per key: one caller
+	// runs, the rest share its result.
+	SingleflightGroup = singleflight.Group
+)
+
+// DefaultVNodes is the ring's virtual-node count per member.
+const DefaultVNodes = cluster.DefaultVNodes
+
+// NewClusterPeers validates cfg and builds a node's routing table.
+func NewClusterPeers(cfg ClusterConfig) (*ClusterPeers, error) { return cluster.New(cfg) }
+
+// NewClusterSelector builds an owner selector over members: kind "ring"
+// (consistent hashing with vnodes virtual nodes, "" and 0 for defaults) or
+// "rendezvous".
+func NewClusterSelector(kind string, members []string, vnodes int) (ClusterSelector, error) {
+	return cluster.NewSelector(kind, members, vnodes)
+}
+
+// DefaultHedgePolicy returns the penalty-aware hedge schedule: cheap keys
+// never hedge; expensive keys hedge after a few milliseconds.
+func DefaultHedgePolicy() HedgePolicy { return cluster.DefaultHedgePolicy() }
 
 // HashKey returns the 64-bit hash the engine uses for key — the argument
 // backend sizers receive.
