@@ -36,6 +36,7 @@ import (
 	"pamakv/internal/cluster"
 	"pamakv/internal/kv"
 	"pamakv/internal/metrics"
+	"pamakv/internal/proto"
 	"pamakv/internal/trace"
 	"pamakv/internal/workload"
 )
@@ -48,8 +49,10 @@ func main() {
 	keys := flag.Uint64("keys", 65536, "hot keyspace size")
 	valueBytes := flag.Int("value-bytes", 0, "fixed value size (0 = workload sizes, capped at 64 KiB)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the sharding ring (match the servers')")
+	storm := flag.Bool("storm", false, "storm mode: pipelined GET bursts, no miss refills, shed replies counted separately — drive N× capacity with high -conns")
+	stormBurst := flag.Int("storm-burst", 16, "pipelined GETs per flush in storm mode")
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes, *vnodes); err != nil {
+	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes, *vnodes, *storm, *stormBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "pama-loadgen:", err)
 		os.Exit(1)
 	}
@@ -58,11 +61,12 @@ func main() {
 // connStats aggregates one connection's observations.
 type connStats struct {
 	gets, hits, sets uint64
+	sheds            uint64
 	errs             uint64
 	lat              *metrics.Histogram
 }
 
-func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes, vnodes int) error {
+func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes, vnodes int, storm bool, stormBurst int) error {
 	if conns < 1 {
 		conns = 1
 	}
@@ -105,7 +109,7 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 			c := cfg
 			c.Seed = cfg.Seed + uint64(i)*1e9
 			stats[i] = &connStats{lat: metrics.NewHistogram(1e-6, 6)}
-			errs[i] = drive(addrs, sel, c, perConn, valueBytes, stats[i])
+			errs[i] = drive(addrs, sel, c, perConn, valueBytes, storm, stormBurst, stats[i])
 		}(i)
 	}
 	wg.Wait()
@@ -119,6 +123,7 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 		total.gets += s.gets
 		total.hits += s.hits
 		total.sets += s.sets
+		total.sheds += s.sheds
 		total.errs += s.errs
 		total.lat.Merge(s.lat)
 	}
@@ -131,6 +136,13 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 	}
 	fmt.Fprintf(w, "gets=%d hit-ratio=%.4f sets=%d protocol-errors=%d\n",
 		total.gets, hitRatio, total.sets, total.errs)
+	if storm || total.sheds > 0 {
+		shedRatio := 0.0
+		if ops > 0 {
+			shedRatio = float64(total.sheds) / float64(ops)
+		}
+		fmt.Fprintf(w, "sheds=%d shed-ratio=%.4f\n", total.sheds, shedRatio)
+	}
 	fmt.Fprintf(w, "client latency: p50<=%.1fus p99<=%.1fus mean=%.1fus\n",
 		1e6*total.lat.Quantile(0.50), 1e6*total.lat.Quantile(0.99), 1e6*total.lat.Mean())
 	return nil
@@ -145,8 +157,10 @@ type target struct {
 
 // drive runs one driver's request stream. With a selector, each key's
 // request goes down the connection to its owning member (one lazily dialed
-// connection per member); otherwise everything goes to addrs[0].
-func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, valueBytes int, st *connStats) error {
+// connection per member); otherwise everything goes to addrs[0]. In storm
+// mode every request becomes a GET, issued in pipelined bursts with no miss
+// refills — raw read pressure, the way a stampede actually arrives.
+func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, valueBytes int, storm bool, stormBurst int, st *connStats) error {
 	gen, err := workload.New(cfg)
 	if err != nil {
 		return err
@@ -192,6 +206,7 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 	}
 	keyOf := func(id uint64) string { return fmt.Sprintf("lg:%d", id) }
 
+	shedLine := "SERVER_ERROR " + proto.ShedMsg
 	doSet := func(tg *target, key, val string) error {
 		start := time.Now()
 		fmt.Fprintf(tg.w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
@@ -204,22 +219,20 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 		}
 		st.lat.Add(time.Since(start).Seconds())
 		st.sets++
-		if !strings.HasPrefix(line, "STORED") && !strings.HasPrefix(line, "SERVER_ERROR") {
+		if strings.HasPrefix(line, shedLine) {
+			st.sheds++
+		} else if !strings.HasPrefix(line, "STORED") && !strings.HasPrefix(line, "SERVER_ERROR") {
 			st.errs++
 		}
 		return nil
 	}
-	doGet := func(tg *target, key string, size int) error {
-		start := time.Now()
-		fmt.Fprintf(tg.w, "get %s\r\n", key)
-		if err := tg.w.Flush(); err != nil {
-			return err
-		}
-		hit := false
+	// readGetResp consumes one GET response: value lines up to END, or a
+	// single shed/error line.
+	readGetResp := func(tg *target) (hit, shed bool, err error) {
 		for {
 			line, err := tg.r.ReadString('\n')
 			if err != nil {
-				return err
+				return false, false, err
 			}
 			if strings.HasPrefix(line, "VALUE ") {
 				hit = true
@@ -231,28 +244,108 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 					continue
 				}
 				if _, err := io.CopyN(io.Discard, tg.r, int64(blen)+2); err != nil {
-					return err
+					return false, false, err
 				}
 				continue
 			}
 			if strings.HasPrefix(line, "END") {
-				break
+				return hit, false, nil
+			}
+			if strings.HasPrefix(line, shedLine) {
+				return false, true, nil
 			}
 			st.errs++
-			break
+			return hit, false, nil
+		}
+	}
+	doGet := func(tg *target, key string, size int) error {
+		start := time.Now()
+		fmt.Fprintf(tg.w, "get %s\r\n", key)
+		if err := tg.w.Flush(); err != nil {
+			return err
+		}
+		hit, shed, err := readGetResp(tg)
+		if err != nil {
+			return err
 		}
 		st.lat.Add(time.Since(start).Seconds())
 		st.gets++
-		if hit {
+		switch {
+		case shed:
+			st.sheds++
+		case hit:
 			st.hits++
-		} else {
-			// Client refill, as a real cache client would.
+		case !storm:
+			// Client refill, as a real cache client would. Storm mode
+			// never refills — a stampede does not politely repopulate
+			// the cache it is crushing.
 			return doSet(tg, key, valueOf(size))
 		}
 		return nil
 	}
+	// doBurst issues a pipelined burst of GETs with one flush and drains
+	// every response; the recorded latency is the whole burst round-trip.
+	doBurst := func(tg *target, burst []string) error {
+		start := time.Now()
+		for _, k := range burst {
+			fmt.Fprintf(tg.w, "get %s\r\n", k)
+		}
+		if err := tg.w.Flush(); err != nil {
+			return err
+		}
+		for range burst {
+			hit, shed, err := readGetResp(tg)
+			if err != nil {
+				return err
+			}
+			st.gets++
+			switch {
+			case shed:
+				st.sheds++
+			case hit:
+				st.hits++
+			}
+		}
+		st.lat.Add(time.Since(start).Seconds())
+		return nil
+	}
 
 	stream := &trace.Limit{S: gen, N: n}
+	if storm {
+		if stormBurst < 1 {
+			stormBurst = 1
+		}
+		bursts := make(map[*target][]string)
+		for {
+			req, err := stream.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			key := keyOf(req.Key)
+			tg, err := targetFor(key)
+			if err != nil {
+				return err
+			}
+			bursts[tg] = append(bursts[tg], key)
+			if len(bursts[tg]) >= stormBurst {
+				if err := doBurst(tg, bursts[tg]); err != nil {
+					return err
+				}
+				bursts[tg] = bursts[tg][:0]
+			}
+		}
+		for tg, b := range bursts {
+			if len(b) > 0 {
+				if err := doBurst(tg, b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	for {
 		req, err := stream.Next()
 		if errors.Is(err, io.EOF) {

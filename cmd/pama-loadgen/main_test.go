@@ -34,7 +34,7 @@ func startTestServer(t *testing.T) string {
 func TestLoadgenAgainstLiveServer(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
-	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128, 0); err != nil {
+	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -53,7 +53,7 @@ func TestLoadgenWorkloadSizes(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
 	// value-bytes 0: use (capped) workload sizes.
-	if err := run(&sb, addr, "sys", 1000, 1, 512, 0, 0); err != nil {
+	if err := run(&sb, addr, "sys", 1000, 1, 512, 0, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,7 +93,7 @@ func TestLoadgenShardsAcrossCluster(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if err := run(&sb, addrs[0]+","+addrs[1], "etc", 4000, 2, 2048, 128, vnodes); err != nil {
+	if err := run(&sb, addrs[0]+","+addrs[1], "etc", 4000, 2, 2048, 128, vnodes, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if out := sb.String(); !strings.Contains(out, "protocol-errors=0") {
@@ -111,12 +111,30 @@ func TestLoadgenShardsAcrossCluster(t *testing.T) {
 	}
 }
 
+// TestLoadgenStormMode: pipelined GET bursts against a server without
+// overload control parse cleanly end to end (sheds reported, zero, and no
+// protocol errors — the burst framing is the part that can go wrong).
+func TestLoadgenStormMode(t *testing.T) {
+	addr := startTestServer(t)
+	var sb strings.Builder
+	if err := run(&sb, addr, "etc", 2000, 2, 1024, 64, 0, true, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sheds=0") {
+		t.Fatalf("storm report missing shed count:\n%s", out)
+	}
+	if !strings.Contains(out, "protocol-errors=0") {
+		t.Fatalf("storm run had protocol errors:\n%s", out)
+	}
+}
+
 func TestLoadgenErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64, 0); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64, 0, false, 0); err == nil {
 		t.Fatal("unreachable server accepted")
 	}
-	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64, 0); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64, 0, false, 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

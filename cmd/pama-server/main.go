@@ -36,6 +36,7 @@ import (
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
+	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/server"
 	"pamakv/internal/shard"
@@ -67,6 +68,10 @@ type options struct {
 	fetchBackoff time.Duration
 	serveStale   bool
 	staleMiB     int64
+
+	overloadOn  bool
+	targetP99   time.Duration
+	maxInflight int
 
 	faultErrRate    float64
 	faultSpikeRate  float64
@@ -108,6 +113,10 @@ func main() {
 	flag.DurationVar(&o.fetchBackoff, "fetch-backoff", 2*time.Millisecond, "sleep before the first fetch retry; doubles per retry")
 	flag.BoolVar(&o.serveStale, "serve-stale", false, "serve recently evicted/expired values when the backend fails (read-through mode)")
 	flag.Int64Var(&o.staleMiB, "stale-buffer", 1, "serve-stale buffer budget in MiB")
+
+	flag.BoolVar(&o.overloadOn, "overload", false, "penalty-aware admission control: adaptive concurrency limit, bounded queue, load shedding by penalty subclass")
+	flag.DurationVar(&o.targetP99, "target-p99", overload.DefaultTarget, "p99 service-latency target the adaptive concurrency limit steers toward (with -overload)")
+	flag.IntVar(&o.maxInflight, "max-inflight", overload.DefaultMaxInflight, "hard ceiling on concurrently admitted requests (with -overload)")
 
 	flag.Float64Var(&o.faultErrRate, "fault-err-rate", 0, "inject backend fetch failures at this rate [0,1] (read-through mode)")
 	flag.Float64Var(&o.faultSpikeRate, "fault-spike-rate", 0, "inject backend latency spikes at this rate [0,1]")
@@ -170,12 +179,13 @@ func run(o options) error {
 	}
 	if o.snapshot != "" {
 		if eng, ok := c.(*cache.Cache); ok {
-			if f, err := os.Open(o.snapshot); err == nil {
-				if err := eng.LoadSnapshot(f); err != nil {
-					f.Close()
-					return fmt.Errorf("loading snapshot: %w", err)
-				}
-				f.Close()
+			loaded, err := eng.LoadSnapshotFile(o.snapshot)
+			if err != nil {
+				// A corrupt or truncated snapshot is refused outright:
+				// better to start cold than to serve a partial data set.
+				return fmt.Errorf("loading snapshot: %w", err)
+			}
+			if loaded {
 				log.Printf("pama-server: restored %d items from %s", eng.Items(), o.snapshot)
 			}
 		}
@@ -208,6 +218,14 @@ func run(o options) error {
 		opts.Backend = store
 	} else if o.serveStale || o.fetchRetries > 0 || o.fetchTimeout > 0 {
 		log.Printf("pama-server: -serve-stale/-fetch-* only apply with -readthrough")
+	}
+	if o.overloadOn {
+		opts.Overload = &overload.Config{
+			MaxInflight: o.maxInflight,
+			Target:      o.targetP99,
+			Quantile:    0.99,
+		}
+		log.Printf("pama-server: overload control on (target p99 %v, max inflight %d)", o.targetP99, o.maxInflight)
 	}
 	var peers *cluster.Peers
 	if o.peers != "" {
@@ -285,11 +303,9 @@ func run(o options) error {
 		log.Printf("pama-server: drained (%d conns served, %d forced closes)", st.Conns, st.ForcedCloses)
 		if o.snapshot != "" {
 			if eng, ok := c.(*cache.Cache); ok {
-				if f, err := os.Create(o.snapshot); err == nil {
-					if err := eng.SaveSnapshot(f); err != nil {
-						log.Printf("pama-server: snapshot save failed: %v", err)
-					}
-					f.Close()
+				if err := eng.SaveSnapshotFile(o.snapshot); err != nil {
+					log.Printf("pama-server: snapshot save failed: %v", err)
+				} else {
 					log.Printf("pama-server: snapshot saved to %s", o.snapshot)
 				}
 			}

@@ -84,6 +84,9 @@ type Client struct {
 	br   *breaker
 
 	closed atomic.Bool
+	// degraded halves the retry budget while the local node is shedding:
+	// an overloaded node must not amplify load onto its peers.
+	degraded atomic.Bool
 
 	requests  atomic.Uint64
 	errs      atomic.Uint64
@@ -187,13 +190,31 @@ func (c *Client) roundTrip(req []byte) (*proto.Response, error) {
 	return resp, nil
 }
 
+// SetDegraded flips load-amplification avoidance: while degraded, the
+// retry budget halves. The server sets this when its overload controller
+// leaves TierNormal.
+func (c *Client) SetDegraded(d bool) { c.degraded.Store(d) }
+
+// Degraded reports whether the client is in degraded (shedding) mode.
+func (c *Client) Degraded() bool { return c.degraded.Load() }
+
+// retryBudget is the transport-retry allowance for one op: the configured
+// Retries, halved while degraded.
+func (c *Client) retryBudget() int {
+	if c.degraded.Load() {
+		return c.opts.Retries / 2
+	}
+	return c.opts.Retries
+}
+
 // attempt runs roundTrip with the configured bounded retries. Each retry
 // uses a fresh connection (the failed one was closed), which also flushes
 // stale pooled connections that the peer idled out.
 func (c *Client) attempt(req []byte) (resp *proto.Response, err error) {
+	budget := c.retryBudget()
 	for try := 0; ; try++ {
 		resp, err = c.roundTrip(req)
-		if err == nil || try >= c.opts.Retries || c.closed.Load() {
+		if err == nil || try >= budget || c.closed.Load() {
 			return resp, err
 		}
 		c.retries.Add(1)

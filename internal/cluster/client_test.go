@@ -27,6 +27,9 @@ type fakePeer struct {
 	// dropNext closes the connection (instead of answering) for the next
 	// N requests — a transient fault.
 	dropNext atomic.Int32
+	// shedAll makes the peer answer every request with the overload shed
+	// reply instead of serving it.
+	shedAll  atomic.Bool
 	requests atomic.Uint64
 	conns    atomic.Uint64
 }
@@ -86,6 +89,16 @@ func (p *fakePeer) handle(conn net.Conn) {
 			return
 		}
 		var out []byte
+		if p.shedAll.Load() {
+			out = proto.AppendShed(out)
+			if _, err := w.Write(out); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
 		switch cmd.Name {
 		case "get", "gets":
 			p.mu.Lock()

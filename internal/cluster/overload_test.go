@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pamakv/internal/proto"
+)
+
+// TestShedReplyNotBreakerFailure: a peer that is shedding load answers with
+// SERVER_ERROR busy (shed) — a complete, parsed response. Those replies must
+// count as breaker successes, not failures: an overloaded-but-alive peer is
+// not a dead peer, and tripping the circuit on sheds would turn a load spike
+// into a spurious partition.
+func TestShedReplyNotBreakerFailure(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.shedAll.Store(true)
+	c := NewClient(peer.addr(), ClientOptions{
+		Retries: -1,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+	})
+	defer c.Close()
+
+	for i := 0; i < 20; i++ {
+		resp, err := c.Get("k", false, 0)
+		if err != nil {
+			t.Fatalf("op %d: shed reply surfaced as transport error: %v", i, err)
+		}
+		if !proto.IsShedResponse(resp) {
+			t.Fatalf("op %d: response %q %q is not the shed reply", i, resp.Status, resp.Message)
+		}
+	}
+	st := c.Stats()
+	if st.BreakerOpens != 0 || st.BreakerOpen {
+		t.Fatalf("breaker tripped on shed replies: opens=%d open=%v", st.BreakerOpens, st.BreakerOpen)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("shed replies counted as errors: %d", st.Errors)
+	}
+
+	// The moment the peer stops shedding, the same client serves normally
+	// — no cooldown to wait out, because the circuit never opened.
+	peer.shedAll.Store(false)
+	peer.set("k", []byte("v"))
+	resp, err := c.Get("k", false, 0)
+	if err != nil || len(resp.Values) != 1 {
+		t.Fatalf("recovery get = %+v, %v", resp, err)
+	}
+}
+
+// TestClientDegradedHalvesRetries: degraded mode must cut the transport
+// retry budget in half so an overloaded node does not amplify its own load
+// onto struggling peers.
+func TestClientDegradedHalvesRetries(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.dropAll.Store(true)
+	c := NewClient(peer.addr(), ClientOptions{Retries: 2, DialTimeout: 200 * time.Millisecond})
+	defer c.Close()
+
+	retriesAfter := func() uint64 {
+		c.Do([]byte("get k\r\n")) // fails after the retry budget
+		return c.Stats().Retries
+	}
+	if got := retriesAfter(); got != 2 {
+		t.Fatalf("healthy op used %d retries, want the full budget of 2", got)
+	}
+	c.SetDegraded(true)
+	if !c.Degraded() {
+		t.Fatal("Degraded() = false after SetDegraded(true)")
+	}
+	if got := retriesAfter() - 2; got != 1 {
+		t.Fatalf("degraded op used %d retries, want the halved budget of 1", got)
+	}
+	c.SetDegraded(false)
+	if got := retriesAfter() - 3; got != 2 {
+		t.Fatalf("recovered op used %d retries, want 2 again", got)
+	}
+}
+
+// TestPeersDegradedDisablesHedging: while the local node sheds, hedged peer
+// reads are provably off — HedgeDelay returns 0 for every penalty — and the
+// flag reaches every client, including ones created by a later SetMembers.
+func TestPeersDegradedDisablesHedging(t *testing.T) {
+	members := []string{"127.0.0.1:11", "127.0.0.1:12", "127.0.0.1:13"}
+	p, err := New(Config{Self: members[0], Members: members, Hedge: DefaultHedgePolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if d := p.HedgeDelay(4.0); d <= 0 {
+		t.Fatalf("healthy expensive-penalty hedge delay = %v, want > 0", d)
+	}
+	p.SetDegraded(true)
+	if !p.Degraded() {
+		t.Fatal("Degraded() = false after SetDegraded(true)")
+	}
+	for _, pen := range []float64{0.0005, 0.05, 0.5, 4.0} {
+		if d := p.HedgeDelay(pen); d != 0 {
+			t.Fatalf("degraded HedgeDelay(%v) = %v, want 0 (hedging off)", pen, d)
+		}
+	}
+	for _, m := range members[1:] {
+		if c := p.ClientFor(m); c == nil || !c.Degraded() {
+			t.Fatalf("client for %s did not inherit degraded mode", m)
+		}
+	}
+
+	// A membership change mid-shed: the replacement client must inherit
+	// the degraded flag, not reset it.
+	added := "127.0.0.1:14"
+	if err := p.SetMembers(append(members, added)); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.ClientFor(added); c == nil || !c.Degraded() {
+		t.Fatal("client added during shedding did not inherit degraded mode")
+	}
+
+	p.SetDegraded(false)
+	if d := p.HedgeDelay(4.0); d <= 0 {
+		t.Fatalf("hedge delay after recovery = %v, want > 0", d)
+	}
+	if c := p.ClientFor(added); c.Degraded() {
+		t.Fatal("client still degraded after SetDegraded(false)")
+	}
+}
+
+// TestHedgedNoGoroutineLeak: the hedged result channel is buffered for both
+// attempts, so the losing attempt's send never blocks and its goroutine
+// always exits. Run enough hedged GETs with a slow peer (every primary loses
+// or ties with its hedge) and the goroutine count must return to baseline.
+func TestHedgedNoGoroutineLeak(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.set("k", []byte("v"))
+	c := NewClient(peer.addr(), ClientOptions{})
+
+	peer.delay.Store(int64(30 * time.Millisecond))
+	before := runtime.NumGoroutine()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Get("k", false, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().Hedges == 0 {
+		t.Fatal("no hedges fired; the leak path was never exercised")
+	}
+	// Closing the client shuts the pooled connections, and with them the
+	// fake peer's per-connection goroutines; what remains above baseline
+	// can only be leaked hedge attempts stuck sending their result.
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after hedged gets: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,6 +34,11 @@ type Peers struct {
 	self  string
 	cfg   Config
 	hedge HedgePolicy
+
+	// degraded is set while the local node is shedding load: hedging is
+	// disabled and every peer client halves its retry budget, so an
+	// overloaded node does not amplify its load onto the cluster.
+	degraded atomic.Bool
 
 	mu      sync.RWMutex
 	sel     Selector
@@ -104,8 +110,30 @@ func (p *Peers) Members() []string {
 	return p.sel.Members()
 }
 
-// HedgeDelay returns the hedge delay for a key with the given miss penalty.
-func (p *Peers) HedgeDelay(pen float64) time.Duration { return p.hedge.DelayFor(pen) }
+// HedgeDelay returns the hedge delay for a key with the given miss penalty,
+// or 0 (no hedge) while the node is degraded — a shedding node must not fire
+// duplicate reads at its peers.
+func (p *Peers) HedgeDelay(pen float64) time.Duration {
+	if p.degraded.Load() {
+		return 0
+	}
+	return p.hedge.DelayFor(pen)
+}
+
+// SetDegraded flips the cluster-facing degraded mode: hedging off, retry
+// budgets halved, on every current (and future) peer client. Driven by the
+// overload controller's tier transitions.
+func (p *Peers) SetDegraded(d bool) {
+	p.degraded.Store(d)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, c := range p.clients {
+		c.SetDegraded(d)
+	}
+}
+
+// Degraded reports whether cluster-facing degraded mode is on.
+func (p *Peers) Degraded() bool { return p.degraded.Load() }
 
 // SetMembers rebuilds the routing table for a new member list (Self must
 // remain a member). The selector is swapped atomically: keys whose arc
@@ -143,7 +171,9 @@ func (p *Peers) SetMembers(members []string) error {
 	for _, m := range ms {
 		if m != p.self {
 			if _, ok := p.clients[m]; !ok {
-				p.clients[m] = NewClient(m, p.cfg.Client)
+				nc := NewClient(m, p.cfg.Client)
+				nc.SetDegraded(p.degraded.Load())
+				p.clients[m] = nc
 			}
 		}
 	}

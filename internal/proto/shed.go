@@ -1,0 +1,21 @@
+package proto
+
+// Overload shedding speaks through the protocol as a SERVER_ERROR with a
+// recognizable cause, so peers and load generators can tell "the server
+// refused this on purpose" from "the server broke". A shed is not a fault:
+// cluster clients must not count it against a peer's circuit breaker, and
+// clients should back off rather than retry immediately.
+
+// ShedMsg is the message carried by a shed rejection.
+const ShedMsg = "busy (shed)"
+
+// AppendShed renders the shed rejection line.
+func AppendShed(dst []byte) []byte {
+	return append(dst, "SERVER_ERROR "+ShedMsg+"\r\n"...)
+}
+
+// IsShedResponse reports whether a parsed response is a deliberate overload
+// shed rather than a genuine server fault.
+func IsShedResponse(r *Response) bool {
+	return r != nil && r.Status == "SERVER_ERROR" && r.Message == ShedMsg
+}

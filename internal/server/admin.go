@@ -33,6 +33,7 @@ import (
 	"pamakv/internal/cluster"
 	"pamakv/internal/metrics"
 	"pamakv/internal/obs"
+	"pamakv/internal/overload"
 )
 
 // introspector is optionally implemented by stores that expose the engine's
@@ -225,10 +226,52 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.Gauge("pamakv_backend_penalty_seconds_total", "Accumulated simulated miss penalty.", b.TotalPenalty())
 	}
 
+	if c := a.srv.ctrl; c != nil {
+		a.writeOverloadMetrics(p, c.Stats(), ss)
+	}
 	if a.srv.peers != nil {
 		a.writeClusterMetrics(p, ss)
 	}
 	_ = p.Err() // the peer hung up; nothing to do
+}
+
+// writeOverloadMetrics renders the admission controller: the adaptive limit
+// under its hard ceiling, live occupancy, the pressure tier, shed counters by
+// reason and by penalty subclass, and the queue-sojourn and service-latency
+// histograms the limiter steers on.
+func (a *Admin) writeOverloadMetrics(p *obs.PromWriter, os overload.Stats, ss Stats) {
+	p.Gauge("pamakv_overload_limit", "Adaptive concurrency limit.", float64(os.Limit))
+	p.Gauge("pamakv_overload_max_inflight", "Hard in-flight ceiling.", float64(os.MaxInflight))
+	p.Gauge("pamakv_overload_inflight", "Requests admitted and in flight.", float64(os.Inflight))
+	p.Gauge("pamakv_overload_queued", "Requests waiting for admission.", float64(os.Queued))
+	p.Gauge("pamakv_overload_peak_inflight", "High-water mark of admitted concurrency.", float64(os.PeakInflight))
+	p.Gauge("pamakv_overload_tier", "Pressure tier (0 normal .. 3 critical).", float64(os.Tier))
+	p.Counter("pamakv_overload_admitted_total", "Requests admitted past the controller.", os.Admitted)
+	p.Counter("pamakv_overload_queued_total", "Requests that waited in the admission queue.", os.QueuedTotal)
+	p.Counter("pamakv_overload_limit_increases_total", "AIMD limit raises.", os.LimitIncreases)
+	p.Counter("pamakv_overload_limit_decreases_total", "AIMD limit cuts.", os.LimitDecreases)
+	p.Counter("pamakv_sheds_total", "Requests refused at admission with a shed reply.", ss.Sheds)
+	p.Counter("pamakv_shed_fetches_total", "Backend fetches suppressed by the overload tier.", ss.FetchSheds)
+	p.Counter("pamakv_peer_sheds_total", "Forwards the owning peer refused with a shed reply.", ss.PeerSheds)
+	p.Header("pamakv_overload_sheds_total", "Sheds by reason.", "counter")
+	reasons := make([]string, 0, len(os.ShedByReason))
+	for r := range os.ShedByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		p.Value("pamakv_overload_sheds_total", `reason="`+r+`"`, float64(os.ShedByReason[r]))
+	}
+	p.Header("pamakv_overload_sheds_by_sub_total", "Sheds by penalty subclass.", "counter")
+	for sub, n := range os.ShedBySub {
+		if n != 0 {
+			p.Value("pamakv_overload_sheds_by_sub_total", `sub="`+strconv.Itoa(sub)+`"`, float64(n))
+		}
+	}
+	p.Header("pamakv_overload_sojourn_seconds", "Admission-queue waiting time.", "histogram")
+	p.Histogram("pamakv_overload_sojourn_seconds", "", os.Sojourn)
+	p.Header("pamakv_overload_service_seconds", "Observed service latency feeding the limiter.", "histogram")
+	p.Histogram("pamakv_overload_service_seconds", "", os.Service)
 }
 
 // writeClusterMetrics renders the cluster tier: forwarding outcomes, the
@@ -409,6 +452,30 @@ type PeerStatsz struct {
 	Latency      LatencySummary `json:"latency"`
 }
 
+// OverloadStatsz is the overload section of /statsz: the controller's
+// snapshot flattened next to the server-side shed counters, with the
+// histograms summarized (the full curves ride on /metrics).
+type OverloadStatsz struct {
+	Tier           int               `json:"tier"`
+	Limit          int               `json:"limit"`
+	MaxInflight    int               `json:"max_inflight"`
+	Inflight       int               `json:"inflight"`
+	Queued         int               `json:"queued"`
+	PeakInflight   int               `json:"peak_inflight"`
+	Admitted       uint64            `json:"admitted"`
+	QueuedTotal    uint64            `json:"queued_total"`
+	ShedTotal      uint64            `json:"shed_total"`
+	ShedByReason   map[string]uint64 `json:"shed_by_reason"`
+	ShedBySub      [5]uint64         `json:"shed_by_sub"`
+	LimitIncreases uint64            `json:"limit_increases"`
+	LimitDecreases uint64            `json:"limit_decreases"`
+	Sheds          uint64            `json:"sheds"`
+	FetchSheds     uint64            `json:"shed_fetches"`
+	PeerSheds      uint64            `json:"peer_sheds"`
+	Sojourn        LatencySummary    `json:"sojourn"`
+	Service        LatencySummary    `json:"service"`
+}
+
 // ClusterStatsz is the cluster section of /statsz.
 type ClusterStatsz struct {
 	Self          string                 `json:"self"`
@@ -436,6 +503,7 @@ type Statsz struct {
 
 	Latencies     map[string]LatencySummary `json:"latencies"`
 	Backend       *BackendStatsz            `json:"backend,omitempty"`
+	Overload      *OverloadStatsz           `json:"overload,omitempty"`
 	Cluster       *ClusterStatsz            `json:"cluster,omitempty"`
 	Introspection *cache.Introspection      `json:"introspection,omitempty"`
 }
@@ -467,6 +535,30 @@ func (a *Admin) statsz() Statsz {
 			InjectedErrors:      b.InjectedErrors(),
 			InjectedSpikes:      b.InjectedSpikes(),
 			FetchLatency:        summarize(b.FetchLatency()),
+		}
+	}
+	if c := a.srv.ctrl; c != nil {
+		os := c.Stats()
+		ss := doc.Server
+		doc.Overload = &OverloadStatsz{
+			Tier:           os.Tier,
+			Limit:          os.Limit,
+			MaxInflight:    os.MaxInflight,
+			Inflight:       os.Inflight,
+			Queued:         os.Queued,
+			PeakInflight:   os.PeakInflight,
+			Admitted:       os.Admitted,
+			QueuedTotal:    os.QueuedTotal,
+			ShedTotal:      os.ShedTotal,
+			ShedByReason:   os.ShedByReason,
+			ShedBySub:      os.ShedBySub,
+			LimitIncreases: os.LimitIncreases,
+			LimitDecreases: os.LimitDecreases,
+			Sheds:          ss.Sheds,
+			FetchSheds:     ss.FetchSheds,
+			PeerSheds:      ss.PeerSheds,
+			Sojourn:        summarize(os.Sojourn),
+			Service:        summarize(os.Service),
 		}
 	}
 	if ps := a.srv.peers; ps != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Timing-sensitive acceptance tests widen their latency allowances under it:
+// the detector multiplies per-operation cost, which inflates queueing delay
+// in ways production never sees.
+const raceEnabled = true

@@ -42,6 +42,7 @@ import (
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
 	"pamakv/internal/obs"
+	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/proto"
 	"pamakv/internal/singleflight"
@@ -154,6 +155,14 @@ type Options struct {
 	// with cache.Config.StaleValues) instead of reporting a miss.
 	ServeStale bool
 
+	// Overload enables penalty-aware admission control: each data command
+	// passes through an overload.Controller before dispatch, and under
+	// pressure the server degrades in tiers (aggressive serve-stale, no
+	// hot-cache backfill, suppressed cheap fetches, shed cheap reads and
+	// writes) instead of queueing without bound. Nil disables admission
+	// control entirely.
+	Overload *overload.Config
+
 	// Cluster enables the peer tier: keys this node does not own are
 	// forwarded to their owning peer (GETs with penalty-aware hedging,
 	// writes verbatim), and only the owner fills from the backend. The
@@ -196,9 +205,20 @@ type Stats struct {
 	// counts attempts cut by FetchTimeout; BackendFailures counts fetch
 	// chains that exhausted their retries.
 	BackendRetries, BackendTimeouts, BackendFailures uint64
-	// StaleServes counts GETs answered from the stale buffer after a
-	// backend failure.
+	// StaleServes counts GETs answered from the stale buffer, after a
+	// backend failure or preemptively under overload pressure.
 	StaleServes uint64
+	// Sheds counts requests refused at admission with SERVER_ERROR busy
+	// (shed) by the overload controller.
+	Sheds uint64
+	// FetchSheds counts GET misses whose backend fetch was suppressed by
+	// the overload tier (the miss was served as a miss instead of paying
+	// the fetch).
+	FetchSheds uint64
+	// PeerSheds counts forwarded requests the owning peer refused with a
+	// shed reply (served as a miss / relayed verbatim, never retried
+	// against the backend).
+	PeerSheds uint64
 	// PeerForwards counts requests relayed to an owning peer (cluster
 	// mode); PeerHits the forwarded GETs the peer answered with a value.
 	PeerForwards, PeerHits uint64
@@ -224,6 +244,9 @@ type nstats struct {
 	backendTimeouts      atomic.Uint64
 	backendFailures      atomic.Uint64
 	staleServes          atomic.Uint64
+	sheds                atomic.Uint64
+	fetchSheds           atomic.Uint64
+	peerSheds            atomic.Uint64
 	peerForwards         atomic.Uint64
 	peerHits             atomic.Uint64
 	peerErrors           atomic.Uint64
@@ -259,6 +282,10 @@ type Server struct {
 	// backend-fetch path dedupes inside backend.FetchSharedErr).
 	flight singleflight.Group
 
+	// ctrl is the overload admission controller (nil when disabled). Its
+	// tier transitions also drive the peers' degraded mode.
+	ctrl *overload.Controller
+
 	// lat holds one request-latency histogram per command family, measured
 	// from command parse to response flush (the client-visible interval
 	// minus the wire). Buckets span [1µs, 10s) on a log scale.
@@ -287,7 +314,36 @@ func New(c Store, opts Options) *Server {
 			s.hot = cluster.NewHotCache(opts.HotCacheBytes, opts.HotCacheTTL)
 		}
 	}
+	if opts.Overload != nil {
+		cfg := *opts.Overload
+		inner := cfg.OnTierChange
+		cfg.OnTierChange = func(tier int) {
+			// Leaving TierNormal flips the cluster into degraded mode:
+			// no hedging, halved retry budgets — a shedding node must
+			// not amplify its load onto peers.
+			if s.peers != nil {
+				s.peers.SetDegraded(tier >= overload.TierStrained)
+			}
+			if inner != nil {
+				inner(tier)
+			}
+		}
+		s.ctrl = overload.New(cfg)
+	}
 	return s
+}
+
+// Overload returns the admission controller, or nil when overload control is
+// disabled.
+func (s *Server) Overload() *overload.Controller { return s.ctrl }
+
+// overloadTier is the current pressure tier (TierNormal when overload
+// control is off).
+func (s *Server) overloadTier() int {
+	if s.ctrl == nil {
+		return overload.TierNormal
+	}
+	return s.ctrl.Tier()
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -383,6 +439,9 @@ func (s *Server) Stats() Stats {
 		BackendTimeouts: s.st.backendTimeouts.Load(),
 		BackendFailures: s.st.backendFailures.Load(),
 		StaleServes:     s.st.staleServes.Load(),
+		Sheds:           s.st.sheds.Load(),
+		FetchSheds:      s.st.fetchSheds.Load(),
+		PeerSheds:       s.st.peerSheds.Load(),
 		PeerForwards:    s.st.peerForwards.Load(),
 		PeerHits:        s.st.peerHits.Load(),
 		PeerErrors:      s.st.peerErrors.Load(),
@@ -448,6 +507,12 @@ func (s *Server) Shutdown() {
 		conns = append(conns, conn)
 	}
 	s.mu.Unlock()
+
+	// Flush the admission queue: waiters are shed (their connections get a
+	// shed reply and drain), in-flight requests finish normally.
+	if s.ctrl != nil {
+		s.ctrl.Close()
+	}
 
 	// Wake handlers blocked waiting for a request: an expired read
 	// deadline unblocks them, they notice the drain and exit after
@@ -553,7 +618,7 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		lats = append(lats[:0], pending{famOf(cmd.Name), time.Now()})
-		out = s.dispatch(out[:0], cmd)
+		out = s.serve(out[:0], cmd)
 		quit := cmd.Name == "quit"
 		batch := 1
 
@@ -575,7 +640,7 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			lats = append(lats, pending{famOf(cmd.Name), time.Now()})
-			out = s.dispatch(out, cmd)
+			out = s.serve(out, cmd)
 			batch++
 			quit = cmd.Name == "quit"
 		}
@@ -671,6 +736,68 @@ func clientMsg(err error) string {
 	return err.Error()
 }
 
+// admissible reports whether a command is subject to admission control.
+// Administrative commands (stats, version, flush_all, quit) always pass — an
+// operator must be able to observe a server precisely when it is overloaded.
+func admissible(name string) bool {
+	switch name {
+	case "get", "gets", "set", "add", "replace", "cas", "incr", "decr", "delete", "touch":
+		return true
+	}
+	return false
+}
+
+// classify maps a parsed command to the shed policy's (op, penalty subclass):
+// reads vs writes, and the key's backend miss penalty bucketed into the
+// paper's subclasses. A multi-key get takes its most expensive key — shedding
+// the command sheds every key in it, so it is priced at the worst loss.
+// Without a backend every key prices at penalty.DefaultUnknown.
+func (s *Server) classify(cmd *proto.Command) (overload.Op, int) {
+	op := overload.OpWrite
+	if cmd.Name == "get" || cmd.Name == "gets" {
+		op = overload.OpRead
+	}
+	pen := penalty.DefaultUnknown
+	if b := s.opts.Backend; b != nil {
+		pen = 0
+		for _, k := range cmd.Keys {
+			if p := b.PenaltyOf(k); p > pen {
+				pen = p
+			}
+		}
+	}
+	return op, penalty.SubclassFor(pen, penalty.SubclassBounds)
+}
+
+// subclassOf buckets a key's backend miss penalty into its penalty subclass
+// (requires Options.Backend).
+func (s *Server) subclassOf(key string) int {
+	return penalty.SubclassFor(s.opts.Backend.PenaltyOf(key), penalty.SubclassBounds)
+}
+
+// serve admits one request through the overload controller (when configured)
+// and dispatches it, feeding the observed service time back to the limiter.
+// A shed request is answered SERVER_ERROR busy (shed) without touching the
+// engine.
+func (s *Server) serve(out []byte, cmd *proto.Command) []byte {
+	if s.ctrl == nil || !admissible(cmd.Name) {
+		return s.dispatch(out, cmd)
+	}
+	op, sub := s.classify(cmd)
+	ok, _, release := s.ctrl.Acquire(op, sub)
+	if !ok {
+		s.st.sheds.Add(1)
+		if cmd.NoReply {
+			return out
+		}
+		return proto.AppendShed(out)
+	}
+	start := time.Now()
+	out = s.dispatch(out, cmd)
+	release(time.Since(start))
+	return out
+}
+
 func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
 	if s.peers != nil {
 		switch cmd.Name {
@@ -756,6 +883,11 @@ func (s *Server) forward(out []byte, cmd *proto.Command, owner string) []byte {
 		s.st.serverErrors.Add(1)
 		return proto.AppendLine(out, "SERVER_ERROR peer "+owner+" unavailable")
 	}
+	if proto.IsShedResponse(resp) {
+		// The owner refused under overload; the shed relays verbatim so
+		// the client sees the same signal a local shed would send.
+		s.st.peerSheds.Add(1)
+	}
 	if cmd.NoReply {
 		return out
 	}
@@ -768,6 +900,9 @@ type peerValue struct {
 	flags uint32
 	cas   uint64
 	hit   bool
+	// shed marks a deliberate overload refusal from the owner — served as
+	// a miss, never retried against the local backend.
+	shed bool
 }
 
 // peerGet serves one GET key owned by a remote peer: hot cache (plain GETs
@@ -805,6 +940,10 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 			return nil, err
 		}
 		var pv peerValue
+		if proto.IsShedResponse(resp) {
+			pv.shed = true
+			return pv, nil
+		}
 		for _, val := range resp.Values {
 			if val.Key == key {
 				pv = peerValue{val: val.Data, flags: val.Flags, cas: val.CAS, hit: true}
@@ -815,6 +954,13 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 	})
 	if err == nil {
 		pv := v.(peerValue)
+		if pv.shed {
+			// The owner refused under overload. Treat it as a miss and
+			// do NOT regenerate from the local backend — that would
+			// amplify exactly the load the owner just shed.
+			s.st.peerSheds.Add(1)
+			return out
+		}
 		if !pv.hit {
 			// Authoritative miss from the owner.
 			return out
@@ -823,7 +969,9 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 		if withCAS {
 			return proto.AppendValueCAS(out, key, pv.flags, pv.val, pv.cas)
 		}
-		if s.hot != nil {
+		if s.hot != nil && s.overloadTier() < overload.TierStrained {
+			// Hot-cache backfill stops under pressure: copying bytes
+			// into the mini-cache is work the strained node can skip.
 			s.hot.Put(key, pv.flags, pv.val)
 		}
 		return proto.AppendValue(out, key, pv.flags, pv.val)
@@ -843,7 +991,7 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 	if withCAS {
 		return proto.AppendValueCAS(out, key, 0, body, 0)
 	}
-	if s.hot != nil {
+	if s.hot != nil && s.overloadTier() < overload.TierStrained {
 		s.hot.Put(key, 0, body)
 	}
 	return proto.AppendValue(out, key, 0, body)
@@ -884,14 +1032,20 @@ func (s *Server) fetchOnce(key string) (size int, pen float64, body []byte, err 
 }
 
 // fetchBackend runs a bounded retry-with-backoff chain of fetch attempts.
+// While the overload tier is shedding, the retry budget halves: retries
+// amplify backend load exactly when there is least capacity to spare.
 func (s *Server) fetchBackend(key string) (size int, pen float64, body []byte, err error) {
 	backoff := s.opts.FetchBackoff
+	retries := s.opts.FetchRetries
+	if s.overloadTier() >= overload.TierShedding {
+		retries /= 2
+	}
 	for attempt := 0; ; attempt++ {
 		size, pen, body, err = s.fetchOnce(key)
 		if err == nil {
 			return size, pen, body, nil
 		}
-		if attempt >= s.opts.FetchRetries || s.draining() {
+		if attempt >= retries || s.draining() {
 			break
 		}
 		s.st.backendRetries.Add(1)
@@ -921,6 +1075,24 @@ func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 			val, flags, cas, hit = s.c.GetWithCAS(key, nil)
 		} else {
 			val, flags, hit = s.c.Get(key, 0, 0, nil)
+		}
+		if !hit && s.opts.Backend != nil {
+			tier := s.overloadTier()
+			if tier >= overload.TierStrained && s.opts.ServeStale {
+				// Tier 1+: prefer a resident stale copy to paying a
+				// backend fetch at all — freshness is the first thing
+				// traded away under pressure.
+				if sval, sflags, ok := s.c.GetStale(key, nil); ok {
+					s.st.staleServes.Add(1)
+					val, flags, cas, hit = sval, sflags, 0, true
+				}
+			}
+			if !hit && tier >= overload.TierShedding && s.ctrl.ShedFetch(s.subclassOf(key)) {
+				// Tier 2+: a cheap-penalty miss is not worth a backend
+				// fetch while the queue is filling; serve the miss.
+				s.st.fetchSheds.Add(1)
+				continue
+			}
 		}
 		if !hit && s.opts.Backend != nil {
 			size, pen, body, ferr := s.fetchBackend(key)
@@ -1054,6 +1226,18 @@ func (s *Server) doStats(out []byte) []byte {
 	out = proto.AppendStat(out, "backend_timeouts", ss.BackendTimeouts)
 	out = proto.AppendStat(out, "backend_failures", ss.BackendFailures)
 	out = proto.AppendStat(out, "stale_serves", ss.StaleServes)
+	if s.ctrl != nil {
+		os := s.ctrl.Stats()
+		out = proto.AppendStat(out, "overload_tier", os.Tier)
+		out = proto.AppendStat(out, "overload_limit", os.Limit)
+		out = proto.AppendStat(out, "overload_inflight", os.Inflight)
+		out = proto.AppendStat(out, "overload_queued", os.Queued)
+		out = proto.AppendStat(out, "overload_peak_inflight", os.PeakInflight)
+		out = proto.AppendStat(out, "overload_admitted", os.Admitted)
+		out = proto.AppendStat(out, "sheds", ss.Sheds)
+		out = proto.AppendStat(out, "shed_fetches", ss.FetchSheds)
+		out = proto.AppendStat(out, "peer_sheds", ss.PeerSheds)
+	}
 	if s.peers != nil {
 		out = proto.AppendStat(out, "peer_forwards", ss.PeerForwards)
 		out = proto.AppendStat(out, "peer_hits", ss.PeerHits)

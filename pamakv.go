@@ -34,6 +34,7 @@ import (
 	"pamakv/internal/core"
 	"pamakv/internal/gds"
 	"pamakv/internal/kv"
+	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/policy"
 	"pamakv/internal/server"
@@ -295,6 +296,35 @@ func NewClusterSelector(kind string, members []string, vnodes int) (ClusterSelec
 // DefaultHedgePolicy returns the penalty-aware hedge schedule: cheap keys
 // never hedge; expensive keys hedge after a few milliseconds.
 func DefaultHedgePolicy() HedgePolicy { return cluster.DefaultHedgePolicy() }
+
+// Overload control: penalty-aware admission, adaptive concurrency limiting,
+// and load shedding (ServerOptions.Overload).
+type (
+	// OverloadConfig tunes the admission controller: hard in-flight
+	// ceiling, adaptive AIMD limit vs. a latency target, bounded pending
+	// queue with a sojourn cutoff, and the penalty subclasses shed first
+	// under pressure.
+	OverloadConfig = overload.Config
+	// OverloadController is the admission controller a server runs when
+	// ServerOptions.Overload is set (Server.Overload exposes it).
+	OverloadController = overload.Controller
+	// OverloadStats snapshot the controller: current limit, occupancy,
+	// pressure tier, and shed counts by reason and penalty subclass.
+	OverloadStats = overload.Stats
+)
+
+// Pressure tiers of the overload controller, escalating from unconstrained
+// service to shedding cheap reads and all writes.
+const (
+	TierNormal   = overload.TierNormal
+	TierStrained = overload.TierStrained
+	TierShedding = overload.TierShedding
+	TierCritical = overload.TierCritical
+)
+
+// NewOverloadController builds a standalone admission controller (servers
+// build their own from ServerOptions.Overload).
+func NewOverloadController(cfg OverloadConfig) *OverloadController { return overload.New(cfg) }
 
 // HashKey returns the 64-bit hash the engine uses for key — the argument
 // backend sizers receive.
