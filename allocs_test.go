@@ -6,11 +6,16 @@ package pamakv
 // request it measures.
 
 import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
 	"testing"
 
 	"pamakv/internal/cache"
 	"pamakv/internal/core"
 	"pamakv/internal/kv"
+	"pamakv/internal/server"
 )
 
 // TestEngineGetHitAllocs pins the metadata-mode GET-hit path at zero
@@ -39,5 +44,123 @@ func TestEngineGetHitAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("GET hit allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// liveServer boots a value-storing engine behind a real TCP listener and
+// returns a connected client socket. Options{} disables read/write deadlines
+// so the measurement sees only the serving path, not timer churn.
+func liveServer(t *testing.T) (*server.Server, net.Conn) {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 24,
+		StoreValues: true,
+		WindowLen:   1 << 40,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(c, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return srv, conn
+}
+
+// TestServedPipelinedGetHitAllocs is the tentpole's end-to-end gate: a
+// pipelined batch of GET hits over live TCP — request parse, engine hit,
+// response render, flush — must not allocate on the server side. The client
+// side of the loop is itself allocation-free (prebuilt request bytes, exact
+// preallocated response buffer), so AllocsPerRun's process-wide malloc count
+// is the server's budget.
+func TestServedPipelinedGetHitAllocs(t *testing.T) {
+	const depth = 64
+	_, conn := liveServer(t)
+	body := strings.Repeat("v", 100)
+
+	// Preload over the wire so the whole path under test is the public one.
+	var fill []byte
+	keys := make([]string, depth)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%03d", i)
+		fill = append(fill, fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", keys[i], len(body), body)...)
+	}
+	if _, err := conn.Write(fill); err != nil {
+		t.Fatal(err)
+	}
+	stored := make([]byte, depth*len("STORED\r\n"))
+	if _, err := io.ReadFull(conn, stored); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(stored), "STORED\r\n") {
+		t.Fatalf("preload reply %q", stored[:16])
+	}
+
+	var req, want []byte
+	for _, k := range keys {
+		req = append(req, "get "+k+"\r\n"...)
+		want = append(want, fmt.Sprintf("VALUE %s 0 %d\r\n%s\r\nEND\r\n", k, len(body), body)...)
+	}
+	resp := make([]byte, len(want))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if string(resp) != string(want) {
+		t.Fatalf("response diverged from expectation:\n%q", resp[:80])
+	}
+	perOp := allocs / depth
+	if perOp > 0.25 {
+		t.Fatalf("pipelined GET hit allocates %.3f objects per request end to end, want 0", perOp)
+	}
+}
+
+// TestServedPipelinedSetAllocs gates the store path end to end: overwrite
+// SETs of resident keys ride pooled parse buffers and reuse the slab slot, so
+// the only per-request allocation left is the key clone handed to the engine.
+func TestServedPipelinedSetAllocs(t *testing.T) {
+	const depth = 64
+	_, conn := liveServer(t)
+	body := strings.Repeat("w", 100)
+
+	var req []byte
+	for i := 0; i < depth; i++ {
+		req = append(req, fmt.Sprintf("set key%03d 0 0 %d\r\n%s\r\n", i, len(body), body)...)
+	}
+	resp := make([]byte, depth*len("STORED\r\n"))
+	// First batch both preloads the keys and warms the connection scratch.
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.HasSuffix(string(resp), "STORED\r\n") {
+		t.Fatalf("reply tail %q", resp[len(resp)-16:])
+	}
+	perOp := allocs / depth
+	if perOp > 2.5 {
+		t.Fatalf("pipelined overwrite SET allocates %.2f objects per request end to end, want ~1 (key clone)", perOp)
 	}
 }

@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 
 	"pamakv/internal/kv"
@@ -178,8 +179,8 @@ func (c *Cache) Delta(key string, delta uint64, decr bool) (uint64, error) {
 	if it == nil || c.expired(it) {
 		return 0, ErrNotStored
 	}
-	cur, err := strconv.ParseUint(string(it.Value), 10, 64)
-	if err != nil {
+	cur, ok := parseUintValue(it.Value)
+	if !ok {
 		return 0, ErrNotNumeric
 	}
 	var next uint64
@@ -194,4 +195,26 @@ func (c *Cache) Delta(key string, delta uint64, decr bool) (uint64, error) {
 	}
 	it.Value = strconv.AppendUint(it.Value[:0], next, 10)
 	return next, nil
+}
+
+// parseUintValue parses an ASCII unsigned decimal directly from the value
+// bytes — the incr/decr hot path must not materialize a string per request.
+// Semantics match strconv.ParseUint(string(b), 10, 64): empty, signed,
+// non-digit, and overflowing inputs are rejected.
+func parseUintValue(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
 }

@@ -206,3 +206,35 @@ func TestDeltaWraps(t *testing.T) {
 		t.Fatalf("incr should wrap: %d %v", v, err)
 	}
 }
+
+// TestDeltaAllocs pins the incr/decr hot path at zero heap allocations: the
+// value is parsed directly from its resident bytes and rewritten in place.
+// The delta alternates so the digit width never changes and the rewrite
+// always fits the value's existing capacity.
+func TestDeltaAllocs(t *testing.T) {
+	c := newOpsCache(t)
+	c.Set("n", 10, 0.01, 0, []byte("500"))
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, err := c.Delta("n", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Delta("n", 1, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("Delta allocates %.2f objects per incr/decr pair, want 0", allocs)
+	}
+}
+
+// TestDeltaParseEdges pins parseUintValue against strconv semantics: signs,
+// blanks, and overflow are ErrNotNumeric, exact MaxUint64 is accepted.
+func TestDeltaParseEdges(t *testing.T) {
+	c := newOpsCache(t)
+	for _, bad := range []string{"", " 1", "+1", "-1", "1 ", "1x", "18446744073709551616"} {
+		c.Set("e", 30, 0.01, 0, []byte(bad))
+		if _, err := c.Delta("e", 1, false); !errors.Is(err, ErrNotNumeric) {
+			t.Fatalf("Delta on %q: %v, want ErrNotNumeric", bad, err)
+		}
+	}
+}

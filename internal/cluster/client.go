@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pamakv/internal/bufpool"
 	"pamakv/internal/obs"
 	"pamakv/internal/penalty"
 	"pamakv/internal/proto"
@@ -256,10 +257,22 @@ func (c *Client) Get(key string, withCAS bool, hedge time.Duration) (*proto.Resp
 	if withCAS {
 		verb = "gets"
 	}
-	req := append(append(append([]byte(verb), ' '), key...), '\r', '\n')
 	if hedge <= 0 {
-		return c.Do(req)
+		// Non-hedged requests finish before Get returns, so the rendered
+		// request can live in a pooled buffer. The hedged path below must
+		// not: the losing attempt's goroutine may still be writing req to
+		// its connection after the winner has returned, so recycling the
+		// buffer would hand its bytes to an unrelated request mid-write.
+		reqBuf := bufpool.Get(0)
+		b := append((*reqBuf)[:0], verb...)
+		b = append(b, ' ')
+		b = append(b, key...)
+		*reqBuf = append(b, '\r', '\n')
+		resp, err := c.Do(*reqBuf)
+		bufpool.Put(reqBuf)
+		return resp, err
 	}
+	req := append(append(append([]byte(verb), ' '), key...), '\r', '\n')
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}

@@ -1,0 +1,97 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// benchRequestStream is a pipelined mix approximating serving traffic: mostly
+// single-key gets, some multi-key gets, a store, and a counter bump.
+var benchRequestStream, benchStreamCmds = func() ([]byte, int) {
+	var b []byte
+	body := strings.Repeat("v", 100)
+	n := 0
+	for i := 0; i < 16; i++ {
+		b = append(b, fmt.Sprintf("get key%d\r\n", i)...)
+		b = append(b, fmt.Sprintf("get otherkey%d\r\n", i)...)
+		b = append(b, fmt.Sprintf("gets key%d key%d key%d\r\n", i, i+1, i+2)...)
+		b = append(b, fmt.Sprintf("set key%d 0 60 %d\r\n%s\r\n", i, len(body), body)...)
+		b = append(b, "incr counter 1\r\n"...)
+		b = append(b, "delete stale noreply\r\n"...)
+		n += 6
+	}
+	return b, n
+}()
+
+// BenchmarkParserReadCommand measures the in-place hot-path parser over the
+// mixed pipelined stream. One op is one full pass over the stream
+// (benchStreamCmds commands).
+func BenchmarkParserReadCommand(b *testing.B) {
+	src := bytes.NewReader(benchRequestStream)
+	br := bufio.NewReaderSize(src, 1<<14)
+	p := NewParser(br)
+	defer p.Close()
+	b.SetBytes(int64(len(benchRequestStream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(benchRequestStream)
+		br.Reset(src)
+		for {
+			if _, err := p.ReadCommand(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReadCommandReference measures the allocating reference parser over
+// the same stream, for the ratio the perf gate enforces.
+func BenchmarkReadCommandReference(b *testing.B) {
+	src := bytes.NewReader(benchRequestStream)
+	br := bufio.NewReaderSize(src, 1<<14)
+	b.SetBytes(int64(len(benchRequestStream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(benchRequestStream)
+		br.Reset(src)
+		for {
+			if _, err := ReadCommand(br); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestParserAllocAdvantage is the perf gate on the parser rewrite: over the
+// mixed stream the in-place parser must allocate at most half the bytes and
+// objects per op of the reference parser. It runs the two benchmarks under
+// the test binary, so a regression fails `go test` — not just a human reading
+// benchmark output.
+func TestParserAllocAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed gate skipped in -short mode")
+	}
+	ref := testing.Benchmark(BenchmarkReadCommandReference)
+	inplace := testing.Benchmark(BenchmarkParserReadCommand)
+	refB, newB := ref.AllocedBytesPerOp(), inplace.AllocedBytesPerOp()
+	refN, newN := ref.AllocsPerOp(), inplace.AllocsPerOp()
+	t.Logf("reference: %d B/op %d allocs/op; in-place: %d B/op %d allocs/op", refB, refN, newB, newN)
+	if newB*2 > refB {
+		t.Fatalf("in-place parser allocates %d B/op, want <= half of reference's %d B/op", newB, refB)
+	}
+	if newN*2 > refN {
+		t.Fatalf("in-place parser allocates %d allocs/op, want <= half of reference's %d allocs/op", newN, refN)
+	}
+}

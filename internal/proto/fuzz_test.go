@@ -48,40 +48,117 @@ var requestSeeds = []string{
 	"get k\nget j\n",                 // bare-LF lines
 	"\x00\x80\xff\r\n",
 	strings.Repeat("a", MaxLineLen+10) + "\r\n",
+	// Pipelined mixed traffic: the steady-state shape the in-place parser
+	// is optimized for.
+	"get a\r\nget b\r\nset k 0 0 3\r\nabc\r\nget c\r\n",
+	"incr n 1\r\ndecr n 1\r\ntouch k 5\r\ndelete k\r\nstats\r\n",
+	// Boundary-length lines around MaxLineLen (the +-1 neighbors come from
+	// mutation).
+	"get " + strings.Repeat(" ", MaxLineLen-4-250) + strings.Repeat("k", 250) + "\r\n",
+	strings.Repeat("g", MaxLineLen) + "\r\n",
+	strings.Repeat("g", MaxLineLen+1) + "\r\n",
+	// A valid multi-key get longer than the default bufio buffer: the
+	// in-place parser must spill and still agree with the reference.
+	"get " + strings.Repeat(strings.Repeat("k", 200)+" ", 25) + "\r\nget a\r\n",
+	// Tokenizer edges: tabs are token bytes, space runs collapse, verbs
+	// match case-insensitively, trailing CRs are trimmed.
+	"get\ta\r\n",
+	"get   a   b\r\n",
+	"SET K 0 0 2\r\nhi\r\n",
+	"GeT k\r\n",
+	"get k\r\r\n",
+	"get " + strings.Repeat("k", 250) + "\r\n",
+	"set k +0 +0 +1\r\nx\r\n",
 }
 
+// errKind buckets parser errors into the classes the differential harness
+// compares: the two parsers must fail the same way, not with the same prose.
+type errKind int
+
+const (
+	errNone errKind = iota
+	errClient
+	errEOF
+	errTooLong
+	errOther
+)
+
+func classifyErr(err error) errKind {
+	var ce *ClientError
+	switch {
+	case err == nil:
+		return errNone
+	case errors.As(err, &ce):
+		return errClient
+	case errors.Is(err, io.EOF):
+		return errEOF
+	case errors.Is(err, ErrLineTooLong):
+		return errTooLong
+	default:
+		return errOther
+	}
+}
+
+// FuzzParseRequest is a differential harness: the allocating reference
+// parser (the executable spec) and the in-place hot-path Parser consume the
+// same byte stream through same-sized readers and must agree at every step —
+// same error class or a field-for-field identical Command. A ClientError
+// leaves both parsers resynchronized at the same stream offset (both consume
+// exactly the offending frame), so the comparison continues past it.
 func FuzzParseRequest(f *testing.F) {
 	for _, s := range requestSeeds {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := bufio.NewReader(bytes.NewReader(data))
+		r1 := bufio.NewReaderSize(bytes.NewReader(data), 4096)
+		r2 := bufio.NewReaderSize(bytes.NewReader(data), 4096)
+		p := NewParser(r2)
+		defer p.Close()
 		for i := 0; i < 64; i++ {
-			cmd, err := ReadCommand(r)
-			if err != nil {
-				var ce *ClientError
-				switch {
-				case errors.As(err, &ce):
-					continue // recoverable: the parser resynchronized
-				case errors.Is(err, io.EOF), errors.Is(err, ErrLineTooLong):
-					return
-				default:
-					t.Fatalf("unexpected error class: %v", err)
+			c1, err1 := ReadCommand(r1)
+			c2, err2 := p.ReadCommand()
+			k1, k2 := classifyErr(err1), classifyErr(err2)
+			if k1 != k2 {
+				t.Fatalf("step %d: parsers disagree on error class: reference %v, in-place %v", i, err1, err2)
+			}
+			switch k1 {
+			case errClient:
+				continue // both resynchronized identically
+			case errEOF, errTooLong:
+				return // framing is gone; servers close the connection here
+			case errOther:
+				t.Fatalf("step %d: unexpected error class: %v", i, err1)
+			}
+			if c1.Name != c2.Name || c1.Flags != c2.Flags || c1.Exptime != c2.Exptime ||
+				c1.Bytes != c2.Bytes || c1.CasID != c2.CasID || c1.Delta != c2.Delta ||
+				c1.NoReply != c2.NoReply {
+				t.Fatalf("step %d: commands disagree:\nreference %+v\nin-place  %+v", i, c1, c2)
+			}
+			if len(c1.Keys) != len(c2.Keys) {
+				t.Fatalf("step %d: key counts disagree: %v vs %v", i, c1.Keys, c2.Keys)
+			}
+			for j := range c1.Keys {
+				if c1.Keys[j] != c2.Keys[j] {
+					t.Fatalf("step %d: key %d disagrees: %q vs %q", i, j, c1.Keys[j], c2.Keys[j])
 				}
 			}
-			if cmd.Name == "" {
+			if !bytes.Equal(c1.Data, c2.Data) {
+				t.Fatalf("step %d: data disagrees: %q vs %q", i, c1.Data, c2.Data)
+			}
+			// Shared invariants, checked once (the parsers already agree).
+			if c1.Name == "" {
 				t.Fatal("parsed command with empty name")
 			}
-			for _, k := range cmd.Keys {
+			for _, k := range c1.Keys {
 				if len(k) == 0 || len(k) > MaxKeyLen {
 					t.Fatalf("accepted key of length %d", len(k))
 				}
 			}
-			if cmd.Bytes < 0 || cmd.Bytes > MaxDataLen {
-				t.Fatalf("accepted data length %d", cmd.Bytes)
+			if c1.Bytes < 0 || c1.Bytes > MaxDataLen {
+				t.Fatalf("accepted data length %d", c1.Bytes)
 			}
-			if len(cmd.Data) != cmd.Bytes {
-				t.Fatalf("data length %d disagrees with bytes operand %d", len(cmd.Data), cmd.Bytes)
+			if len(c1.Data) != c1.Bytes {
+				t.Fatalf("data length %d disagrees with bytes operand %d", len(c1.Data), c1.Bytes)
 			}
 		}
 	})

@@ -1,0 +1,394 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"pamakv/internal/bufpool"
+)
+
+// Parser is the hot-path request parser: it tokenizes command lines in
+// place over the bufio.Reader's buffer, parses integer operands directly
+// from the byte tokens, copies keys into a reusable per-parser buffer, and
+// reads SET data blocks into pooled, slab-class-sized buffers. One Parser
+// serves one connection; it is not safe for concurrent use.
+//
+// In steady state ReadCommand performs zero heap allocations for line
+// commands (get, delete, incr, ...) and one pooled buffer acquisition for
+// storage commands, returned to the pool automatically on the next
+// ReadCommand (or Close).
+//
+// Ownership rules — the price of zero-copy:
+//
+//   - The returned *Command and everything it references (Name excepted —
+//     verbs are canonical package-level constants) are valid only until the
+//     next ReadCommand or Close call.
+//   - Keys alias the parser's internal key buffer. A caller that stores a
+//     key beyond the current request (cache insert, hot-cache fill) must
+//     clone it first (strings.Clone); passing one to a map lookup, hash, or
+//     comparison is safe.
+//   - Data aliases a pooled buffer. Callers must copy the bytes they keep;
+//     the buffer returns to the pool on the next ReadCommand.
+//
+// ReadCommand (the package function) remains the allocating reference
+// implementation; the fuzz harness drives both over identical streams and
+// requires agreement on every input.
+type Parser struct {
+	r *bufio.Reader
+
+	cmd  Command
+	keys []string // backing for cmd.Keys, reused across commands
+	toks [][]byte // token views into the current line, reused
+
+	// keybuf holds the current command's key bytes; Keys are unsafe
+	// strings over it. Reset (not freed) per command — it is bounded by
+	// MaxLineLen, so retaining it costs at most a few KiB per connection.
+	keybuf []byte
+
+	// linebuf is the spill buffer for lines straddling the bufio buffer
+	// (only reachable with readers smaller than MaxLineLen).
+	linebuf []byte
+
+	// data is the pooled buffer holding the current command's data block,
+	// nil when the command has none. Returned to the pool on the next
+	// ReadCommand or Close.
+	data *[]byte
+}
+
+// NewParser returns a Parser reading from r.
+func NewParser(r *bufio.Reader) *Parser { return &Parser{r: r} }
+
+// Close releases the parser's pooled resources. The last returned Command
+// is invalid afterwards.
+func (p *Parser) Close() { p.releaseData() }
+
+func (p *Parser) releaseData() {
+	if p.data != nil {
+		bufpool.Put(p.data)
+		p.data = nil
+	}
+	p.cmd.Data = nil
+}
+
+// Canonical verbs: matching a wire token against this vocabulary both
+// validates it and yields an interned name, so cmd.Name never materializes
+// a string from the wire bytes.
+var verbs = [...]string{
+	"get", "gets", "set", "add", "replace", "cas",
+	"delete", "incr", "decr", "touch",
+	"stats", "flush_all", "version", "quit",
+}
+
+// internVerb matches tok case-insensitively (ASCII) against the verb
+// vocabulary.
+func internVerb(tok []byte) (string, bool) {
+next:
+	for _, v := range verbs {
+		if len(tok) != len(v) {
+			continue
+		}
+		for i := 0; i < len(v); i++ {
+			c := tok[i]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != v[i] {
+				continue next
+			}
+		}
+		return v, true
+	}
+	return "", false
+}
+
+var noreplyToken = []byte("noreply")
+
+// ReadCommand parses the next command from the stream. io.EOF is returned
+// verbatim on a cleanly closed connection. See the Parser doc for the
+// lifetime of the returned Command.
+func (p *Parser) ReadCommand() (*Command, error) {
+	p.releaseData()
+	cmd := &p.cmd
+	*cmd = Command{}
+	p.keys = p.keys[:0]
+	p.keybuf = p.keybuf[:0]
+
+	line, err := p.readLine()
+	if err != nil {
+		return nil, err
+	}
+	p.toks = splitTokens(line, p.toks[:0])
+	if len(p.toks) == 0 {
+		return nil, clientErrf("empty command")
+	}
+	name, known := internVerb(p.toks[0])
+	if !known {
+		return nil, clientErrf("unknown command %q", p.toks[0])
+	}
+	cmd.Name = name
+	args := p.toks[1:]
+	switch name {
+	case "get", "gets":
+		if len(args) == 0 {
+			return nil, clientErrf("get requires at least one key")
+		}
+		for _, k := range args {
+			if err := checkKey(k); err != nil {
+				return nil, err
+			}
+		}
+		for _, k := range args {
+			p.keys = append(p.keys, p.internKey(k))
+		}
+		cmd.Keys = p.keys
+	case "set", "add", "replace", "cas":
+		want := 4
+		if name == "cas" {
+			want = 5
+		}
+		if len(args) != want && !(len(args) == want+1 && bytes.Equal(args[want], noreplyToken)) {
+			extra := ""
+			if name == "cas" {
+				extra = " <cas>"
+			}
+			return nil, clientErrf("%s requires <key> <flags> <exptime> <bytes>%s [noreply]", name, extra)
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		p.keys = append(p.keys, p.internKey(args[0]))
+		cmd.Keys = p.keys
+		flags, ok := parseUintB(args[1], 32)
+		if !ok {
+			return nil, clientErrf("bad flags %q", args[1])
+		}
+		cmd.Flags = uint32(flags)
+		exp, ok := parseIntB(args[2])
+		if !ok {
+			return nil, clientErrf("bad exptime %q", args[2])
+		}
+		cmd.Exptime = exp
+		n, ok := parseIntB(args[3])
+		if !ok || n < 0 || n > MaxDataLen {
+			return nil, clientErrf("bad bytes %q", args[3])
+		}
+		cmd.Bytes = int(n)
+		if name == "cas" {
+			id, ok := parseUintB(args[4], 64)
+			if !ok {
+				return nil, clientErrf("bad cas token %q", args[4])
+			}
+			cmd.CasID = id
+		}
+		cmd.NoReply = len(args) == want+1
+		// Past this point the line (and p.toks) is dead: readData refills
+		// the bufio buffer. Everything line-derived was extracted above.
+		if err := p.readData(int(n)); err != nil {
+			return nil, err
+		}
+	case "delete":
+		if len(args) != 1 && !(len(args) == 2 && bytes.Equal(args[1], noreplyToken)) {
+			return nil, clientErrf("delete requires <key> [noreply]")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		p.keys = append(p.keys, p.internKey(args[0]))
+		cmd.Keys = p.keys
+		cmd.NoReply = len(args) == 2
+	case "incr", "decr":
+		if len(args) != 2 && !(len(args) == 3 && bytes.Equal(args[2], noreplyToken)) {
+			return nil, clientErrf("%s requires <key> <delta> [noreply]", name)
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		p.keys = append(p.keys, p.internKey(args[0]))
+		cmd.Keys = p.keys
+		d, ok := parseUintB(args[1], 64)
+		if !ok {
+			return nil, clientErrf("bad delta %q", args[1])
+		}
+		cmd.Delta = d
+		cmd.NoReply = len(args) == 3
+	case "touch":
+		if len(args) != 2 && !(len(args) == 3 && bytes.Equal(args[2], noreplyToken)) {
+			return nil, clientErrf("touch requires <key> <exptime> [noreply]")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return nil, err
+		}
+		p.keys = append(p.keys, p.internKey(args[0]))
+		cmd.Keys = p.keys
+		exp, ok := parseIntB(args[1])
+		if !ok {
+			return nil, clientErrf("bad exptime %q", args[1])
+		}
+		cmd.Exptime = exp
+		cmd.NoReply = len(args) == 3
+	default:
+		// stats, flush_all, version, quit: no operands used.
+	}
+	return cmd, nil
+}
+
+// internKey copies tok into the parser's key buffer and returns a string
+// view over the copy (valid until the next ReadCommand). The copy is
+// mandatory even for line-only commands: the token aliases the bufio
+// buffer, which the next read overwrites.
+func (p *Parser) internKey(tok []byte) string {
+	off := len(p.keybuf)
+	p.keybuf = append(p.keybuf, tok...)
+	return unsafe.String(unsafe.SliceData(p.keybuf[off:]), len(tok))
+}
+
+// readData consumes an n-byte data block plus its CRLF terminator into a
+// pooled buffer owned by the parser.
+func (p *Parser) readData(n int) error {
+	p.data = bufpool.Get(n + 2)
+	buf := *p.data
+	if _, err := io.ReadFull(p.r, buf); err != nil {
+		return &ClientError{Msg: fmt.Sprintf("short data block: %v", err), Err: err}
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return clientErrf("data block not terminated by CRLF")
+	}
+	p.cmd.Data = buf[:n]
+	return nil
+}
+
+// readLine returns the next CRLF- (or LF-) terminated line without its
+// terminator. The fast path returns a view into the bufio buffer (valid
+// until the next read); lines straddling the buffer spill into a reusable
+// scratch buffer. Semantics mirror the reference readLine exactly.
+func (p *Parser) readLine() ([]byte, error) {
+	chunk, err := p.r.ReadSlice('\n')
+	if err == nil {
+		if len(chunk) > MaxLineLen+2 { // +2 allows the CRLF terminator itself
+			return nil, ErrLineTooLong
+		}
+		return trimCRLF(chunk), nil
+	}
+	if err != bufio.ErrBufferFull {
+		if err == io.EOF && len(chunk) == 0 {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	// Slow path: the line straddles the reader's buffer.
+	line := append(p.linebuf[:0], chunk...)
+	for {
+		if len(line) > MaxLineLen {
+			p.linebuf = line
+			return nil, ErrLineTooLong
+		}
+		chunk, err = p.r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			p.linebuf = line
+			return nil, err
+		}
+		break
+	}
+	p.linebuf = line
+	if len(line) > MaxLineLen+2 {
+		return nil, ErrLineTooLong
+	}
+	return trimCRLF(line), nil
+}
+
+// trimCRLF strips all trailing CR and LF bytes (matching the reference
+// parser's bytes.TrimRight(line, "\r\n")).
+func trimCRLF(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// splitTokens splits line on runs of ASCII spaces into views over line,
+// appending to toks. The space byte is the protocol's only separator: a tab
+// stays part of its token (and fails verb or key validation), exactly as in
+// fieldsSpace.
+func splitTokens(line []byte, toks [][]byte) [][]byte {
+	for i := 0; i < len(line); {
+		if line[i] == ' ' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		toks = append(toks, line[i:j])
+		i = j
+	}
+	return toks
+}
+
+// parseUintB parses an unsigned base-10 integer of the given bit size from
+// b, matching strconv.ParseUint(string(b), 10, bits): no sign, no empty
+// token, overflow rejected.
+func parseUintB(b []byte, bits int) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	max := uint64(math.MaxUint64)
+	if bits < 64 {
+		max = 1<<uint(bits) - 1
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (max-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// parseIntB parses a signed base-10 64-bit integer from b, matching
+// strconv.ParseInt(string(b), 10, 64): optional +/- sign, overflow
+// rejected.
+func parseIntB(b []byte) (int64, bool) {
+	neg := false
+	i := 0
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	cutoff := uint64(math.MaxInt64)
+	if neg {
+		cutoff = uint64(math.MaxInt64) + 1
+	}
+	var n uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (cutoff-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
+}

@@ -1,0 +1,282 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newTestParser(input string) *Parser {
+	return NewParser(bufio.NewReader(strings.NewReader(input)))
+}
+
+// TestParserPipelinedSequence drives one parser over a pipelined stream
+// mixing every command family and checks each parsed command in order.
+func TestParserPipelinedSequence(t *testing.T) {
+	p := newTestParser("get a\r\n" +
+		"gets a b c\r\n" +
+		"set k 7 30 5\r\nhello\r\n" +
+		"cas k 0 0 2 42 noreply\r\nhi\r\n" +
+		"delete k noreply\r\n" +
+		"incr n 18446744073709551615\r\n" +
+		"decr n 2\r\n" +
+		"touch k -1\r\n" +
+		"version\r\n" +
+		"quit\r\n")
+	defer p.Close()
+
+	steps := []func(c *Command){
+		func(c *Command) {
+			if c.Name != "get" || len(c.Keys) != 1 || c.Keys[0] != "a" {
+				t.Fatalf("get: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "gets" || len(c.Keys) != 3 || c.Keys[0] != "a" || c.Keys[1] != "b" || c.Keys[2] != "c" {
+				t.Fatalf("gets: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "set" || c.Keys[0] != "k" || c.Flags != 7 || c.Exptime != 30 ||
+				c.Bytes != 5 || string(c.Data) != "hello" || c.NoReply {
+				t.Fatalf("set: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "cas" || c.CasID != 42 || string(c.Data) != "hi" || !c.NoReply {
+				t.Fatalf("cas: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "delete" || c.Keys[0] != "k" || !c.NoReply {
+				t.Fatalf("delete: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "incr" || c.Delta != 18446744073709551615 {
+				t.Fatalf("incr: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "decr" || c.Delta != 2 {
+				t.Fatalf("decr: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "touch" || c.Exptime != -1 {
+				t.Fatalf("touch: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "version" {
+				t.Fatalf("version: %+v", c)
+			}
+		},
+		func(c *Command) {
+			if c.Name != "quit" {
+				t.Fatalf("quit: %+v", c)
+			}
+		},
+	}
+	for i, check := range steps {
+		cmd, err := p.ReadCommand()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		check(cmd)
+	}
+	if _, err := p.ReadCommand(); err != io.EOF {
+		t.Fatalf("want io.EOF at end of stream, got %v", err)
+	}
+}
+
+// TestParserTokenizing pins the tokenizer's byte-level behavior: space runs
+// collapse, tabs are token bytes (and fail key validation), trailing CRs are
+// stripped with the line terminator, and verbs match case-insensitively.
+func TestParserTokenizing(t *testing.T) {
+	cases := []struct {
+		in      string
+		name    string
+		keys    []string
+		wantErr bool
+	}{
+		{in: "get   a   b\r\n", name: "get", keys: []string{"a", "b"}},
+		{in: "  get a\r\n", name: "get", keys: []string{"a"}},
+		{in: "GET a\r\n", name: "get", keys: []string{"a"}},
+		{in: "GeT a\r\n", name: "get", keys: []string{"a"}},
+		{in: "get a\n", name: "get", keys: []string{"a"}},
+		{in: "get a\r\r\n", name: "get", keys: []string{"a"}}, // trailing CRs trimmed
+		{in: "get\ta\r\n", wantErr: true},                     // tab is not a separator
+		{in: "get a\tb\r\n", wantErr: true},                   // tab inside a key
+		{in: "get " + strings.Repeat("k", MaxKeyLen) + "\r\n", name: "get",
+			keys: []string{strings.Repeat("k", MaxKeyLen)}},
+		{in: "get " + strings.Repeat("k", MaxKeyLen+1) + "\r\n", wantErr: true},
+		{in: "\r\n", wantErr: true},
+		{in: "set k 99999999999 0 2\r\nhi\r\n", wantErr: true}, // flags overflow uint32
+	}
+	for _, tc := range cases {
+		p := newTestParser(tc.in)
+		cmd, err := p.ReadCommand()
+		if tc.wantErr {
+			var ce *ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%q: want ClientError, got cmd=%+v err=%v", tc.in, cmd, err)
+			}
+			p.Close()
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if cmd.Name != tc.name || len(cmd.Keys) != len(tc.keys) {
+			t.Fatalf("%q: got %+v", tc.in, cmd)
+		}
+		for i := range tc.keys {
+			if cmd.Keys[i] != tc.keys[i] {
+				t.Fatalf("%q: key %d = %q, want %q", tc.in, i, cmd.Keys[i], tc.keys[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestParserCommandLifetime verifies the documented ownership rule: a
+// command's Keys and Data are valid until the next ReadCommand, and the next
+// command does not inherit stale state from the previous one.
+func TestParserCommandLifetime(t *testing.T) {
+	p := newTestParser("set k1 1 2 3\r\nabc\r\nget other\r\n")
+	defer p.Close()
+	c1, err := p.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1 := strings.Clone(c1.Keys[0])
+	data1 := bytes.Clone(c1.Data)
+	c2, err := p.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Name != "get" || c2.Keys[0] != "other" {
+		t.Fatalf("second command: %+v", c2)
+	}
+	if c2.Data != nil || c2.Bytes != 0 || c2.Flags != 0 || c2.NoReply {
+		t.Fatalf("second command inherited storage state: %+v", c2)
+	}
+	if key1 != "k1" || string(data1) != "abc" {
+		t.Fatalf("first command's cloned operands corrupted: %q %q", key1, data1)
+	}
+}
+
+// TestParserLineSpill exercises the slow path where a line straddles the
+// bufio buffer: a tiny reader forces the spill buffer on a multi-key get.
+func TestParserLineSpill(t *testing.T) {
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = strings.Repeat("k", 100)
+	}
+	line := "get " + strings.Join(keys, " ") + "\r\n" // ~4 KiB line
+	p := NewParser(bufio.NewReaderSize(strings.NewReader(line+"get a\r\n"), 16))
+	defer p.Close()
+	cmd, err := p.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd.Keys) != len(keys) {
+		t.Fatalf("got %d keys, want %d", len(cmd.Keys), len(keys))
+	}
+	for _, k := range cmd.Keys {
+		if k != keys[0] {
+			t.Fatalf("corrupted key %q", k)
+		}
+	}
+	cmd, err = p.ReadCommand()
+	if err != nil || cmd.Keys[0] != "a" {
+		t.Fatalf("command after spill: %+v, %v", cmd, err)
+	}
+}
+
+// TestParserLineTooLongBoundary pins the exact cutoff: a command line of
+// MaxLineLen bytes parses; one byte more is ErrLineTooLong. Padding with
+// spaces keeps the key legal while controlling the line length precisely.
+func TestParserLineTooLongBoundary(t *testing.T) {
+	build := func(lineLen int) string {
+		key := strings.Repeat("k", MaxKeyLen)
+		pad := lineLen - len("get ") - len(key)
+		return "get " + strings.Repeat(" ", pad) + key + "\r\n"
+	}
+	p := newTestParser(build(MaxLineLen))
+	cmd, err := p.ReadCommand()
+	if err != nil {
+		t.Fatalf("line of exactly MaxLineLen: %v", err)
+	}
+	if len(cmd.Keys) != 1 || len(cmd.Keys[0]) != MaxKeyLen {
+		t.Fatalf("boundary line parsed wrong: %+v", cmd)
+	}
+	p.Close()
+
+	p = newTestParser(build(MaxLineLen + 1))
+	if _, err := p.ReadCommand(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("line of MaxLineLen+1: want ErrLineTooLong, got %v", err)
+	}
+	p.Close()
+}
+
+// TestParserGetAllocs gates the tentpole claim at the parser layer: a warm
+// parser reads line commands with zero heap allocations per command.
+func TestParserGetAllocs(t *testing.T) {
+	stream := []byte(strings.Repeat("get somekey012345\r\ngets a b\r\nincr ctr 7\r\ndelete d noreply\r\n", 25))
+	src := bytes.NewReader(stream)
+	br := bufio.NewReaderSize(src, 1<<14)
+	p := NewParser(br)
+	defer p.Close()
+	allocs := testing.AllocsPerRun(50, func() {
+		src.Reset(stream)
+		br.Reset(src)
+		for {
+			if _, err := p.ReadCommand(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				t.Fatal(err)
+			}
+		}
+	})
+	// 100 commands per run; anything above rounding noise means a per-command
+	// allocation crept in.
+	if allocs > 0.5 {
+		t.Fatalf("line commands allocate %.2f objects per 100-command run, want 0", allocs)
+	}
+}
+
+// TestParserSetAllocs gates the storage path: a warm parser reads SETs with
+// only pooled buffer traffic — no net heap growth per command. A stray GC can
+// empty the pool mid-run, so the gate tolerates a refill, not a per-command
+// allocation.
+func TestParserSetAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; the pooled-buffer gate cannot hold")
+	}
+	stream := []byte(strings.Repeat("set k 0 0 100\r\n"+strings.Repeat("v", 100)+"\r\n", 50))
+	src := bytes.NewReader(stream)
+	br := bufio.NewReaderSize(src, 1<<14)
+	p := NewParser(br)
+	defer p.Close()
+	allocs := testing.AllocsPerRun(50, func() {
+		src.Reset(stream)
+		br.Reset(src)
+		for {
+			if _, err := p.ReadCommand(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("SETs allocate %.2f objects per 50-command run, want ~0 (pool refills only)", allocs)
+	}
+}

@@ -74,12 +74,19 @@ func clientErrf(format string, args ...any) error {
 
 // ReadCommand parses the next command from r, including set's data block.
 // io.EOF is returned verbatim on a cleanly closed connection.
+//
+// This is the allocating reference parser: every token becomes its own
+// string and every data block a fresh slice, so callers own everything the
+// Command references. The serving path uses Parser, which tokenizes in
+// place over the reader's buffer; the fuzz harness drives both over
+// identical streams and requires agreement on every input, keeping this
+// implementation the executable spec of the protocol.
 func ReadCommand(r *bufio.Reader) (*Command, error) {
 	line, err := readLine(r)
 	if err != nil {
 		return nil, err
 	}
-	fields := strings.Fields(string(line))
+	fields := fieldsSpace(string(line))
 	if len(fields) == 0 {
 		return nil, clientErrf("empty command")
 	}
@@ -196,7 +203,9 @@ func readData(r *bufio.Reader, n int) ([]byte, error) {
 	return data[:n], nil
 }
 
-func checkKey(k string) error {
+// checkKey validates one key operand; it accepts both the reference
+// parser's string tokens and the in-place parser's byte views.
+func checkKey[T ~string | ~[]byte](k T) error {
 	if len(k) == 0 || len(k) > MaxKeyLen {
 		return clientErrf("key length %d outside (0,%d]", len(k), MaxKeyLen)
 	}
@@ -206,6 +215,27 @@ func checkKey(k string) error {
 		}
 	}
 	return nil
+}
+
+// fieldsSpace splits s on runs of ASCII spaces — the protocol's only token
+// separator. Unlike strings.Fields, a tab (or any other whitespace byte) is
+// part of its token and will fail verb or key validation, matching the
+// in-place tokenizer byte for byte so the two parsers agree on every input.
+func fieldsSpace(s string) []string {
+	var out []string
+	for i := 0; i < len(s); {
+		if s[i] == ' ' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	return out
 }
 
 // readLine reads one CRLF- (or LF-) terminated line without the terminator,
@@ -269,6 +299,12 @@ func AppendValueCAS(dst []byte, key string, flags uint32, data []byte, cas uint6
 
 // AppendEnd terminates a get or stats response.
 func AppendEnd(dst []byte) []byte { return append(dst, "END\r\n"...) }
+
+// AppendNumberLine renders an incr/decr result line without allocating.
+func AppendNumberLine(dst []byte, n uint64) []byte {
+	dst = strconv.AppendUint(dst, n, 10)
+	return append(dst, '\r', '\n')
+}
 
 // AppendLine appends s + CRLF.
 func AppendLine(dst []byte, s string) []byte {

@@ -1,0 +1,8 @@
+//go:build race
+
+package proto
+
+// raceEnabled reports that the race detector is active: sync.Pool drops a
+// random quarter of Puts under race to widen interleavings, so pool-backed
+// zero-allocation gates cannot hold and are skipped.
+const raceEnabled = true

@@ -49,7 +49,7 @@ func ReadResponse(r *bufio.Reader) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		fields := strings.Fields(string(line))
+		fields := fieldsSpace(string(line))
 		if len(fields) == 0 {
 			return nil, clientErrf("empty response line")
 		}

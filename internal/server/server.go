@@ -34,11 +34,13 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pamakv/internal/backend"
+	"pamakv/internal/bufpool"
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
 	"pamakv/internal/obs"
@@ -90,6 +92,43 @@ const (
 	DefaultMaxPipeline  = 64
 	DefaultDrainTimeout = 5 * time.Second
 )
+
+// Per-connection scratch sizing. Buffers start small and grow to the
+// workload; after each flush any buffer that outgrew maxRetainedScratch is
+// released, so one 1 MiB value does not pin a megabyte on every idle
+// connection for the rest of its life.
+const (
+	initialScratch     = 4 << 10
+	maxRetainedScratch = 64 << 10
+)
+
+// pending records one pipelined request awaiting its batch flush: latency
+// is observed once the shared flush lands.
+type pending struct {
+	fam   uint8
+	start time.Time
+}
+
+// connScratch is a connection's reusable serving state. Together with the
+// proto.Parser it makes the request→response path allocation-free in steady
+// state: the response accumulates in out, engine values are copied into
+// val, and both buffers live for the connection (capacity-capped after each
+// flush).
+type connScratch struct {
+	out  []byte    // response batch buffer
+	val  []byte    // engine value copy target (Get/GetWithCAS/GetStale)
+	lats []pending // per-batch latency records, preallocated at MaxPipeline
+}
+
+// capScratch releases oversized buffers after a flush.
+func (sc *connScratch) capScratch() {
+	if cap(sc.out) > maxRetainedScratch {
+		sc.out = make([]byte, 0, initialScratch)
+	}
+	if cap(sc.val) > maxRetainedScratch {
+		sc.val = nil
+	}
+}
 
 // ErrFetchTimeout reports a backend fetch attempt cut off by
 // Options.FetchTimeout.
@@ -591,34 +630,35 @@ func (s *Server) handle(conn net.Conn) {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxPipeline
 	}
-	var out []byte
-	// pending holds (family, parse time) for every request in the current
-	// batch; latency is observed once the shared flush lands. Preallocated
-	// at the batch cap so the hot loop never allocates.
-	type pending struct {
-		fam   uint8
-		start time.Time
+	// The parser and scratch are the connection's reusable hot-path state:
+	// commands tokenize in place, data blocks land in pooled buffers, and
+	// responses accumulate in one buffer reused across every batch of the
+	// connection's life (capacity-capped after each flush).
+	p := proto.NewParser(r)
+	defer p.Close()
+	sc := &connScratch{
+		out:  make([]byte, 0, initialScratch),
+		lats: make([]pending, 0, maxBatch),
 	}
-	lats := make([]pending, 0, maxBatch)
 	for {
 		// Block for the next request under the idle deadline.
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 		}
-		cmd, err := proto.ReadCommand(r)
+		cmd, err := p.ReadCommand()
 		if err != nil {
 			if fatal := s.readError(conn, w, err); fatal {
 				return
 			}
 			// Recoverable protocol error: reply and keep serving.
-			out = proto.AppendLine(out[:0], "CLIENT_ERROR "+clientMsg(err))
-			if !s.flush(conn, w, out) {
+			sc.out = proto.AppendLine(sc.out[:0], "CLIENT_ERROR "+clientMsg(err))
+			if !s.flush(conn, w, sc.out) {
 				return
 			}
 			continue
 		}
-		lats = append(lats[:0], pending{famOf(cmd.Name), time.Now()})
-		out = s.serve(out[:0], cmd)
+		sc.lats = append(sc.lats[:0], pending{famOf(cmd.Name), time.Now()})
+		sc.out = s.serve(sc, sc.out[:0], cmd)
 		quit := cmd.Name == "quit"
 		batch := 1
 
@@ -628,32 +668,33 @@ func (s *Server) handle(conn net.Conn) {
 		// buffering.
 		var batchErr error
 		for !quit && batch < maxBatch && r.Buffered() > 0 {
-			cmd, err = proto.ReadCommand(r)
+			cmd, err = p.ReadCommand()
 			if err != nil {
 				var ce *proto.ClientError
 				if errors.As(err, &ce) && !errors.Is(err, os.ErrDeadlineExceeded) {
 					s.st.clientErrors.Add(1)
-					out = proto.AppendLine(out, "CLIENT_ERROR "+ce.Msg)
+					sc.out = proto.AppendLine(sc.out, "CLIENT_ERROR "+ce.Msg)
 					continue
 				}
 				batchErr = err
 				break
 			}
-			lats = append(lats, pending{famOf(cmd.Name), time.Now()})
-			out = s.serve(out, cmd)
+			sc.lats = append(sc.lats, pending{famOf(cmd.Name), time.Now()})
+			sc.out = s.serve(sc, sc.out, cmd)
 			batch++
 			quit = cmd.Name == "quit"
 		}
 		s.st.batches.Add(1)
 		s.st.batchedCmds.Add(uint64(batch))
-		if !s.flush(conn, w, out) {
+		if !s.flush(conn, w, sc.out) {
 			return
 		}
+		sc.capScratch()
 		// The flush is the moment the whole batch became visible to the
 		// client; observe every request against it.
 		now := time.Now()
-		for _, p := range lats {
-			s.lat[p.fam].Observe(now.Sub(p.start).Seconds())
+		for _, pd := range sc.lats {
+			s.lat[pd.fam].Observe(now.Sub(pd.start).Seconds())
 		}
 		if quit {
 			return
@@ -662,8 +703,8 @@ func (s *Server) handle(conn net.Conn) {
 			if fatal := s.readError(conn, w, batchErr); fatal {
 				return
 			}
-			out = proto.AppendLine(out[:0], "CLIENT_ERROR "+clientMsg(batchErr))
-			if !s.flush(conn, w, out) {
+			sc.out = proto.AppendLine(sc.out[:0], "CLIENT_ERROR "+clientMsg(batchErr))
+			if !s.flush(conn, w, sc.out) {
 				return
 			}
 		}
@@ -779,9 +820,9 @@ func (s *Server) subclassOf(key string) int {
 // and dispatches it, feeding the observed service time back to the limiter.
 // A shed request is answered SERVER_ERROR busy (shed) without touching the
 // engine.
-func (s *Server) serve(out []byte, cmd *proto.Command) []byte {
+func (s *Server) serve(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	if s.ctrl == nil || !admissible(cmd.Name) {
-		return s.dispatch(out, cmd)
+		return s.dispatch(sc, out, cmd)
 	}
 	op, sub := s.classify(cmd)
 	ok, _, release := s.ctrl.Acquire(op, sub)
@@ -793,12 +834,16 @@ func (s *Server) serve(out []byte, cmd *proto.Command) []byte {
 		return proto.AppendShed(out)
 	}
 	start := time.Now()
-	out = s.dispatch(out, cmd)
+	out = s.dispatch(sc, out, cmd)
 	release(time.Since(start))
 	return out
 }
 
-func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
+// dispatch routes one parsed command. cmd and everything it references obey
+// the proto.Parser ownership rules: keys and data alias per-connection
+// scratch, so any path that retains a key beyond this call (engine insert,
+// hot-cache fill) clones it first.
+func (s *Server) dispatch(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	if s.peers != nil {
 		switch cmd.Name {
 		case "set", "add", "replace", "cas", "delete", "touch", "incr", "decr":
@@ -813,7 +858,7 @@ func (s *Server) dispatch(out []byte, cmd *proto.Command) []byte {
 	}
 	switch cmd.Name {
 	case "get", "gets":
-		return s.doGet(out, cmd)
+		return s.doGet(sc, out, cmd)
 	case "set", "add", "replace", "cas":
 		return s.doSet(out, cmd)
 	case "incr", "decr":
@@ -871,10 +916,15 @@ func (s *Server) forward(out []byte, cmd *proto.Command, owner string) []byte {
 		return proto.AppendLine(out, "SERVER_ERROR no client for peer "+owner)
 	}
 	// Forward without noreply so the owner's outcome is observable here,
-	// then honor the client's noreply on the relay side.
+	// then honor the client's noreply on the relay side. The rendered
+	// request rides a pooled buffer: Do is synchronous, so the buffer can
+	// return to the pool as soon as it answers.
 	fwd := *cmd
 	fwd.NoReply = false
-	resp, err := cl.Do(proto.AppendCommand(nil, &fwd))
+	reqBuf := bufpool.Get(0)
+	*reqBuf = proto.AppendCommand((*reqBuf)[:0], &fwd)
+	resp, err := cl.Do(*reqBuf)
+	bufpool.Put(reqBuf)
 	if err != nil {
 		s.st.peerErrors.Add(1)
 		if cmd.NoReply {
@@ -972,7 +1022,9 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 		if s.hot != nil && s.overloadTier() < overload.TierStrained {
 			// Hot-cache backfill stops under pressure: copying bytes
 			// into the mini-cache is work the strained node can skip.
-			s.hot.Put(key, pv.flags, pv.val)
+			// The hot cache retains the key, so the parser-owned key
+			// must be cloned.
+			s.hot.Put(strings.Clone(key), pv.flags, pv.val)
 		}
 		return proto.AppendValue(out, key, pv.flags, pv.val)
 	}
@@ -992,7 +1044,7 @@ func (s *Server) peerGet(out []byte, key, owner string, withCAS bool) []byte {
 		return proto.AppendValueCAS(out, key, 0, body, 0)
 	}
 	if s.hot != nil && s.overloadTier() < overload.TierStrained {
-		s.hot.Put(key, 0, body)
+		s.hot.Put(strings.Clone(key), 0, body)
 	}
 	return proto.AppendValue(out, key, 0, body)
 }
@@ -1058,7 +1110,7 @@ func (s *Server) fetchBackend(key string) (size int, pen float64, body []byte, e
 	return 0, 0, nil, err
 }
 
-func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
+func (s *Server) doGet(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	withCAS := cmd.Name == "gets"
 	for _, key := range cmd.Keys {
 		if s.peers != nil {
@@ -1067,24 +1119,29 @@ func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 				continue
 			}
 		}
+		// The engine copies the value into the connection's scratch
+		// buffer — the one allocation the old path paid per hit, now
+		// amortized over the connection's life.
 		var val []byte
 		var flags uint32
 		var cas uint64
 		var hit bool
 		if withCAS {
-			val, flags, cas, hit = s.c.GetWithCAS(key, nil)
+			val, flags, cas, hit = s.c.GetWithCAS(key, sc.val[:0])
 		} else {
-			val, flags, hit = s.c.Get(key, 0, 0, nil)
+			val, flags, hit = s.c.Get(key, 0, 0, sc.val[:0])
 		}
+		sc.val = val[:0]
 		if !hit && s.opts.Backend != nil {
 			tier := s.overloadTier()
 			if tier >= overload.TierStrained && s.opts.ServeStale {
 				// Tier 1+: prefer a resident stale copy to paying a
 				// backend fetch at all — freshness is the first thing
 				// traded away under pressure.
-				if sval, sflags, ok := s.c.GetStale(key, nil); ok {
+				if sval, sflags, ok := s.c.GetStale(key, sc.val[:0]); ok {
 					s.st.staleServes.Add(1)
 					val, flags, cas, hit = sval, sflags, 0, true
+					sc.val = sval[:0]
 				}
 			}
 			if !hit && tier >= overload.TierShedding && s.ctrl.ShedFetch(s.subclassOf(key)) {
@@ -1098,7 +1155,10 @@ func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 			size, pen, body, ferr := s.fetchBackend(key)
 			switch {
 			case ferr == nil:
-				if err := s.c.Set(key, size+len(key)+itemOverhead, pen, 0, body); err == nil {
+				// The engine retains the key of an inserted item, and
+				// cmd's keys alias parser scratch — clone for the fill.
+				skey := strings.Clone(key)
+				if err := s.c.Set(skey, size+len(skey)+itemOverhead, pen, 0, body); err == nil {
 					val, flags, hit = body, 0, true
 					if withCAS {
 						_, _, cas, _ = s.c.GetWithCAS(key, nil)
@@ -1114,9 +1174,10 @@ func (s *Server) doGet(out []byte, cmd *proto.Command) []byte {
 				// Backend down: degrade to the engine's retained
 				// stale copy, if any. The reply carries no CAS
 				// token (a stale value must not win a cas race).
-				if sval, sflags, ok := s.c.GetStale(key, nil); ok {
+				if sval, sflags, ok := s.c.GetStale(key, sc.val[:0]); ok {
 					s.st.staleServes.Add(1)
 					val, flags, cas, hit = sval, sflags, 0, true
+					sc.val = sval[:0]
 				}
 			}
 		}
@@ -1146,11 +1207,15 @@ func (s *Server) doDelta(out []byte, cmd *proto.Command) []byte {
 		s.st.serverErrors.Add(1)
 		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
 	}
-	return proto.AppendLine(out, fmt.Sprintf("%d", next))
+	return proto.AppendNumberLine(out, next)
 }
 
 func (s *Server) doSet(out []byte, cmd *proto.Command) []byte {
-	key := cmd.Keys[0]
+	// The engine retains the stored key; the parsed key aliases the
+	// connection's parser scratch, so the fill path clones it — the O(1)
+	// allocation a SET is budgeted (the value itself is copied from the
+	// pooled data buffer into the item's reused slot).
+	key := strings.Clone(cmd.Keys[0])
 	pen := penalty.DefaultUnknown
 	if s.opts.Backend != nil {
 		pen = s.opts.Backend.Penalty(key, len(cmd.Data))
