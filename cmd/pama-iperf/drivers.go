@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"pamakv/internal/client"
+)
+
+// driverFactory maps -protocol to a per-worker Benchmarker constructor.
+//
+//   - pamakv: the repo's internal/client — pooled, pipelined, and (with
+//     several -addrs) client-side sharded. This is the package under test.
+//   - memc-txt: a deliberately minimal hand-rolled Memcached text client on
+//     one connection — the neutral baseline every text-protocol server
+//     (pamakv included) can be driven through.
+//   - redis: a minimal RESP2 client (SET/GET/pipelined GET).
+func driverFactory(cfg config) (factory, error) {
+	switch cfg.protocol {
+	case "pamakv":
+		return func() (Benchmarker, error) { return newPamaBench(cfg) }, nil
+	case "memc-txt":
+		if len(cfg.addrs) != 1 {
+			return nil, fmt.Errorf("memc-txt drives one server (got %d addrs)", len(cfg.addrs))
+		}
+		return func() (Benchmarker, error) { return newMemcText(cfg.addrs[0]) }, nil
+	case "redis":
+		if len(cfg.addrs) != 1 {
+			return nil, fmt.Errorf("redis drives one server (got %d addrs)", len(cfg.addrs))
+		}
+		return func() (Benchmarker, error) { return newRespBench(cfg.addrs[0]) }, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want pamakv, memc-txt, or redis)", cfg.protocol)
+	}
+}
+
+// pamaBench adapts internal/client. Each worker owns a single-connection
+// client so the connection count matches the other drivers; the pipeline
+// rides the package's zero-allocation batch path.
+type pamaBench struct {
+	c *client.Client
+	p *client.Pipeline
+}
+
+func newPamaBench(cfg config) (*pamaBench, error) {
+	c, err := client.New(client.Config{
+		Addrs:    cfg.addrs,
+		Shard:    cfg.shard,
+		VNodes:   cfg.vnodes,
+		PoolSize: 1,
+		Retries:  -1, // a benchmark reports failures, it does not paper over them
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &pamaBench{c: c, p: c.Pipeline()}, nil
+}
+
+func (b *pamaBench) Set(key string, value []byte) error { return b.c.Set(key, 0, 0, value) }
+
+func (b *pamaBench) Get(key string) (bool, error) {
+	_, err := b.c.Get(key)
+	if errors.Is(err, client.ErrCacheMiss) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+func (b *pamaBench) GetBatch(keys []string) (int, error) {
+	for _, k := range keys {
+		b.p.Get(k)
+	}
+	results, err := b.p.Exec()
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	var firstErr error
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			hits++
+		case errors.Is(r.Err, client.ErrCacheMiss):
+		case firstErr == nil:
+			firstErr = r.Err
+		}
+	}
+	return hits, firstErr
+}
+
+func (b *pamaBench) Close() error {
+	b.c.Close()
+	return nil
+}
+
+// memcText is the baseline text-protocol driver: one connection, one bufio
+// pair, the simplest correct parse. It speaks to memcached and pama-server
+// alike.
+type memcText struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+func newMemcText(addr string) (*memcText, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &memcText{nc: nc, r: bufio.NewReaderSize(nc, 1<<16), w: bufio.NewWriterSize(nc, 1<<16)}, nil
+}
+
+func (m *memcText) line() (string, error) {
+	s, err := m.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+func (m *memcText) Set(key string, value []byte) error {
+	fmt.Fprintf(m.w, "set %s 0 0 %d\r\n", key, len(value))
+	m.w.Write(value)
+	m.w.WriteString("\r\n")
+	if err := m.w.Flush(); err != nil {
+		return err
+	}
+	l, err := m.line()
+	if err != nil {
+		return err
+	}
+	if l != "STORED" {
+		return fmt.Errorf("set: %s", l)
+	}
+	return nil
+}
+
+func (m *memcText) Get(key string) (bool, error) {
+	fmt.Fprintf(m.w, "get %s\r\n", key)
+	if err := m.w.Flush(); err != nil {
+		return false, err
+	}
+	return m.readGet()
+}
+
+// readGet consumes one get response: zero or one VALUE block, then END.
+func (m *memcText) readGet() (bool, error) {
+	hit := false
+	for {
+		l, err := m.line()
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case l == "END":
+			return hit, nil
+		case strings.HasPrefix(l, "VALUE "):
+			f := strings.Fields(l)
+			if len(f) < 4 {
+				return false, fmt.Errorf("bad VALUE line %q", l)
+			}
+			n, err := strconv.Atoi(f[3])
+			if err != nil {
+				return false, fmt.Errorf("bad VALUE length %q", l)
+			}
+			if _, err := m.r.Discard(n + 2); err != nil {
+				return false, err
+			}
+			hit = true
+		default:
+			return false, fmt.Errorf("get: %s", l)
+		}
+	}
+}
+
+func (m *memcText) GetBatch(keys []string) (int, error) {
+	for _, k := range keys {
+		m.w.WriteString("get ")
+		m.w.WriteString(k)
+		m.w.WriteString("\r\n")
+	}
+	if err := m.w.Flush(); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for range keys {
+		hit, err := m.readGet()
+		if err != nil {
+			return hits, err
+		}
+		if hit {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+func (m *memcText) Close() error { return m.nc.Close() }
+
+// respBench is a minimal RESP2 client: inline-free, bulk-string SET/GET,
+// pipelined multi-GET. Enough protocol to benchmark redis and
+// redis-compatible servers without pulling in a dependency.
+type respBench struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+func newRespBench(addr string) (*respBench, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &respBench{nc: nc, r: bufio.NewReaderSize(nc, 1<<16), w: bufio.NewWriterSize(nc, 1<<16)}, nil
+}
+
+func (b *respBench) writeCmd(args ...[]byte) {
+	fmt.Fprintf(b.w, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(b.w, "$%d\r\n", len(a))
+		b.w.Write(a)
+		b.w.WriteString("\r\n")
+	}
+}
+
+func (b *respBench) line() (string, error) {
+	s, err := b.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// readReply consumes one RESP reply, reporting whether it was a non-null
+// value.
+func (b *respBench) readReply() (bool, error) {
+	l, err := b.line()
+	if err != nil {
+		return false, err
+	}
+	if l == "" {
+		return false, fmt.Errorf("empty RESP line")
+	}
+	switch l[0] {
+	case '+', ':':
+		return true, nil
+	case '-':
+		return false, fmt.Errorf("redis: %s", l[1:])
+	case '$':
+		n, err := strconv.Atoi(l[1:])
+		if err != nil {
+			return false, fmt.Errorf("bad bulk length %q", l)
+		}
+		if n < 0 {
+			return false, nil // null bulk: a miss
+		}
+		if _, err := b.r.Discard(n + 2); err != nil {
+			return false, err
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("unexpected RESP reply %q", l)
+	}
+}
+
+func (b *respBench) Set(key string, value []byte) error {
+	b.writeCmd([]byte("SET"), []byte(key), value)
+	if err := b.w.Flush(); err != nil {
+		return err
+	}
+	_, err := b.readReply()
+	return err
+}
+
+func (b *respBench) Get(key string) (bool, error) {
+	b.writeCmd([]byte("GET"), []byte(key))
+	if err := b.w.Flush(); err != nil {
+		return false, err
+	}
+	return b.readReply()
+}
+
+func (b *respBench) GetBatch(keys []string) (int, error) {
+	for _, k := range keys {
+		b.writeCmd([]byte("GET"), []byte(k))
+	}
+	if err := b.w.Flush(); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for range keys {
+		hit, err := b.readReply()
+		if err != nil {
+			return hits, err
+		}
+		if hit {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+func (b *respBench) Close() error { return b.nc.Close() }

@@ -148,10 +148,13 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 	return nil
 }
 
-// target is one server's connection within a driver stream.
+// target is one server's connection within a driver stream. Responses come
+// through proto.RespReader — the same pipelined zero-allocation reader
+// internal/client uses — so the load generator exercises the exact parse
+// path it benchmarks instead of a private hand-rolled scanner.
 type target struct {
 	conn net.Conn
-	r    *bufio.Reader
+	rr   *proto.RespReader
 	w    *bufio.Writer
 }
 
@@ -185,7 +188,7 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 		}
 		tg := &target{
 			conn: conn,
-			r:    bufio.NewReaderSize(conn, 1<<16),
+			rr:   proto.NewRespReader(bufio.NewReaderSize(conn, 1<<16)),
 			w:    bufio.NewWriterSize(conn, 1<<16),
 		}
 		targets[addr] = tg
@@ -206,56 +209,44 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 	}
 	keyOf := func(id uint64) string { return fmt.Sprintf("lg:%d", id) }
 
-	shedLine := "SERVER_ERROR " + proto.ShedMsg
 	doSet := func(tg *target, key, val string) error {
 		start := time.Now()
 		fmt.Fprintf(tg.w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
 		if err := tg.w.Flush(); err != nil {
 			return err
 		}
-		line, err := tg.r.ReadString('\n')
+		resp, err := tg.rr.Next()
 		if err != nil {
 			return err
 		}
 		st.lat.Add(time.Since(start).Seconds())
 		st.sets++
-		if strings.HasPrefix(line, shedLine) {
+		switch {
+		case resp.IsShed():
 			st.sheds++
-		} else if !strings.HasPrefix(line, "STORED") && !strings.HasPrefix(line, "SERVER_ERROR") {
+		case resp.Status == proto.StatusStored, resp.Status == proto.StatusServerError:
+			// STORED is success; a non-shed SERVER_ERROR (admission refusal,
+			// allocation failure) is an overload outcome, not a protocol error.
+		default:
 			st.errs++
 		}
 		return nil
 	}
-	// readGetResp consumes one GET response: value lines up to END, or a
-	// single shed/error line.
+	// readGetResp consumes one GET response: a VALUE block terminated by END,
+	// or a single shed/error line.
 	readGetResp := func(tg *target) (hit, shed bool, err error) {
-		for {
-			line, err := tg.r.ReadString('\n')
-			if err != nil {
-				return false, false, err
-			}
-			if strings.HasPrefix(line, "VALUE ") {
-				hit = true
-				// Consume the body plus CRLF.
-				var k string
-				var flags, blen int
-				if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &blen); err != nil {
-					st.errs++
-					continue
-				}
-				if _, err := io.CopyN(io.Discard, tg.r, int64(blen)+2); err != nil {
-					return false, false, err
-				}
-				continue
-			}
-			if strings.HasPrefix(line, "END") {
-				return hit, false, nil
-			}
-			if strings.HasPrefix(line, shedLine) {
-				return false, true, nil
-			}
+		resp, err := tg.rr.Next()
+		if err != nil {
+			return false, false, err
+		}
+		switch {
+		case resp.IsShed():
+			return false, true, nil
+		case resp.Status == proto.StatusEnd:
+			return len(resp.Values) > 0, false, nil
+		default:
 			st.errs++
-			return hit, false, nil
+			return false, false, nil
 		}
 	}
 	doGet := func(tg *target, key string, size int) error {

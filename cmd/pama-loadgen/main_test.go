@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"net"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
 	"pamakv/internal/core"
+	"pamakv/internal/proto"
 	"pamakv/internal/server"
 )
 
@@ -126,6 +128,87 @@ func TestLoadgenStormMode(t *testing.T) {
 	}
 	if !strings.Contains(out, "protocol-errors=0") {
 		t.Fatalf("storm run had protocol errors:\n%s", out)
+	}
+}
+
+// sheddingServer is a scripted overloaded server: every nth GET is answered
+// with the protocol's shed line, the rest miss cleanly. Storm bursts against
+// it interleave sheds mid-pipeline, which is exactly the framing hazard the
+// shared response reader must absorb.
+func sheddingServer(t *testing.T, n int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				r := bufio.NewReaderSize(nc, 1<<14)
+				p := proto.NewParser(r)
+				w := bufio.NewWriterSize(nc, 1<<14)
+				gets := 0
+				var out []byte
+				for {
+					cmd, err := p.ReadCommand()
+					if err != nil {
+						return
+					}
+					out = out[:0]
+					switch cmd.Name {
+					case "get":
+						gets++
+						if gets%n == 0 {
+							out = proto.AppendShed(out)
+						} else {
+							out = proto.AppendEnd(out)
+						}
+					case "set":
+						out = proto.AppendLine(out, "STORED")
+					default:
+						out = proto.AppendLine(out, "ERROR")
+					}
+					w.Write(out)
+					// Flush only when the burst is drained, like a real
+					// pipelining server.
+					if r.Buffered() == 0 {
+						if err := w.Flush(); err != nil {
+							return
+						}
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestLoadgenStormShedMidPipeline: SERVER_ERROR busy replies landing in the
+// middle of a pipelined storm burst must be counted as sheds — not protocol
+// errors — and must not desynchronize the remaining responses of the burst.
+func TestLoadgenStormShedMidPipeline(t *testing.T) {
+	addr := sheddingServer(t, 3)
+	var sb strings.Builder
+	if err := run(&sb, addr, "etc", 3000, 2, 1024, 64, 0, true, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "protocol-errors=0") {
+		t.Fatalf("sheds were miscounted as protocol errors:\n%s", out)
+	}
+	if strings.Contains(out, "sheds=0 ") || !strings.Contains(out, "sheds=") {
+		t.Fatalf("shedding server produced no recorded sheds:\n%s", out)
+	}
+	// Every third GET shed: the ratio must be in that neighborhood, which
+	// only holds if burst framing survived each mid-pipeline shed.
+	if !strings.Contains(out, "shed-ratio=0.33") {
+		t.Fatalf("shed ratio drifted from the scripted 1/3:\n%s", out)
 	}
 }
 

@@ -1,0 +1,57 @@
+package client_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pamakv/internal/client"
+	"pamakv/internal/server"
+)
+
+// TestPipelinedGetHitAllocs is the client tentpole's alloc gate: a warm
+// pipelined batch of GET hits over live TCP must cost at most one heap
+// allocation per operation — and since the in-process server's own pipelined
+// GET path is separately gated near zero, the budget is effectively the
+// client's. The pipeline arena, result slices, op queue, and the pooled
+// connection's render buffer all reuse their backing arrays once warm.
+func TestPipelinedGetHitAllocs(t *testing.T) {
+	const depth = 64
+	addr := startServer(t, server.Options{})
+	c := newClient(t, client.Config{Addrs: []string{addr}, PoolSize: 1})
+
+	keys := make([]string, depth)
+	body := make([]byte, 100)
+	for i := range body {
+		body[i] = 'v'
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%03d", i)
+		if err := c.Set(keys[i], 0, 0, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := c.Pipeline()
+	batch := func() {
+		for _, k := range keys {
+			p.Get(k)
+		}
+		results, err := p.Exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil || len(r.Value) != len(body) {
+				t.Fatalf("get: %d bytes, %v", len(r.Value), r.Err)
+			}
+		}
+	}
+	// Warm the pool, the pipeline's slices, and the connection's buffers.
+	for i := 0; i < 3; i++ {
+		batch()
+	}
+	allocs := testing.AllocsPerRun(100, batch)
+	if perOp := allocs / depth; perOp > 1 {
+		t.Fatalf("pipelined GET hit allocates %.2f objects per op end to end, want <= 1", perOp)
+	}
+}

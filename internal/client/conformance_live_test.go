@@ -1,0 +1,42 @@
+//go:build memcached
+
+package client_test
+
+// The same conformance matrix, pointed at a real memcached. Build with
+// -tags memcached and set MEMCACHED_ADDR (e.g. 127.0.0.1:11211); the keys
+// are namespaced per run so a shared daemon stays usable. This is the
+// interoperability proof: everything the client promises against
+// pama-server it must also deliver against the protocol's reference
+// implementation.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pamakv/internal/client"
+)
+
+func liveMemcached(t *testing.T) *client.Client {
+	t.Helper()
+	addr := os.Getenv("MEMCACHED_ADDR")
+	if addr == "" {
+		t.Skip("MEMCACHED_ADDR not set")
+	}
+	c := newClient(t, client.Config{Addrs: []string{addr}})
+	if _, err := c.Version(); err != nil {
+		t.Fatalf("memcached at %s unreachable: %v", addr, err)
+	}
+	return c
+}
+
+func runPrefix() string { return fmt.Sprintf("pamakv%d.", time.Now().UnixNano()) }
+
+func TestMemcachedConformanceDirect(t *testing.T) {
+	runMatrixDirect(t, liveMemcached(t), runPrefix())
+}
+
+func TestMemcachedConformancePipelined(t *testing.T) {
+	runMatrixPipelined(t, liveMemcached(t), runPrefix())
+}

@@ -1,0 +1,57 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/server"
+)
+
+// newCache builds a small, store-everything engine for in-process servers.
+func newCache(t testing.TB) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		Geometry:    kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:  1 << 22,
+		StoreValues: true,
+		WindowLen:   10_000,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// startServer runs an in-process pama-server on a fresh port and returns
+// its address.
+func startServer(t testing.TB, opts server.Options) string {
+	t.Helper()
+	addr, _ := startServerOn(t, "127.0.0.1:0", newCache(t), opts)
+	return addr
+}
+
+// startServerOn runs a pama-server over an existing engine on a specific
+// address (pass "127.0.0.1:0" for any). Reusing one engine across
+// start/stop cycles is how the restart tests check that acknowledged writes
+// survive a server bounce.
+func startServerOn(t testing.TB, addr string, c *cache.Cache, opts server.Options) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(c, opts)
+	go srv.Serve(ln)
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			srv.Shutdown()
+		}
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}

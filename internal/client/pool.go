@@ -1,0 +1,219 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pamakv/internal/proto"
+)
+
+// maxRetainedReq caps the per-connection request render buffer kept across
+// batches; a one-off giant pipeline must not pin its buffer on an idle
+// connection forever.
+const maxRetainedReq = 1 << 18
+
+// conn is one pooled connection with its buffered endpoints, response
+// reader, and request render scratch. A conn is owned by exactly one
+// goroutine between pool.get and pool.put.
+type conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	rr *proto.RespReader
+
+	// req is the reusable request render buffer for pipelined batches.
+	req []byte
+	// idleSince is when the conn was last returned to the pool.
+	idleSince time.Time
+	// probe is the scratch byte for liveness probing.
+	probe [1]byte
+}
+
+// healthy reports whether an idle connection is still usable: no bytes may
+// be pending (a response we never asked for means the stream is
+// desynchronized) and a non-blocking read must see an empty-but-open socket.
+// The probe is a raw syscall read, not a deadline-bounded net.Conn read: an
+// expired deadline fails the read before the poller ever looks at the
+// socket, which would report a connection with a queued FIN as alive.
+func (cn *conn) healthy() bool {
+	if cn.br.Buffered() > 0 {
+		return false
+	}
+	sc, ok := cn.nc.(syscall.Conn)
+	if !ok {
+		return true
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	rerr := rc.Read(func(fd uintptr) bool {
+		n, err := syscall.Read(int(fd), cn.probe[:])
+		// EAGAIN means open with nothing pending — the one healthy case.
+		// Readable bytes mean a response nobody asked for (desynchronized
+		// stream); n == 0 with a nil error means EOF; anything else is a
+		// socket error.
+		alive = n < 0 && (errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EWOULDBLOCK))
+		return true // never block: one shot decides
+	})
+	return rerr == nil && alive
+}
+
+// pool is a LIFO idle-connection pool for one server address. LIFO keeps the
+// working set hot: under steady load the same few connections cycle and the
+// rest age toward the idle reaper.
+type pool struct {
+	addr string
+	cfg  *Config
+
+	mu     sync.Mutex
+	idle   []*conn // index 0 is the oldest, the end is the LIFO top
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	dials       atomic.Uint64
+	reaps       atomic.Uint64
+	healthFails atomic.Uint64
+}
+
+// newPool builds the pool and starts its idle reaper (unless reaping is
+// disabled by IdleTimeout < 0).
+func newPool(addr string, cfg *Config) *pool {
+	p := &pool{addr: addr, cfg: cfg, stop: make(chan struct{})}
+	if cfg.IdleTimeout > 0 {
+		p.wg.Add(1)
+		go p.reaper()
+	}
+	return p
+}
+
+// get returns a healthy pooled connection or dials a new one. Stale idle
+// connections (older than HealthCheckAfter) are probed first; dead ones are
+// discarded and the next candidate tried, so one acquire never hands out a
+// connection that is already known broken.
+func (p *pool) get() (*conn, error) {
+	now := time.Now()
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		n := len(p.idle)
+		if n == 0 {
+			p.mu.Unlock()
+			break
+		}
+		cn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		if now.Sub(cn.idleSince) < p.cfg.HealthCheckAfter || cn.healthy() {
+			return cn, nil
+		}
+		p.healthFails.Add(1)
+		cn.nc.Close()
+	}
+	nc, err := net.DialTimeout("tcp", p.addr, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	p.dials.Add(1)
+	br := bufio.NewReaderSize(nc, 1<<14)
+	return &conn{
+		nc: nc,
+		br: br,
+		bw: bufio.NewWriterSize(nc, 1<<14),
+		rr: proto.NewRespReader(br),
+	}, nil
+}
+
+// put returns a connection to the pool, closing it when the pool is full or
+// closed. Only connections with a clean stream (no half-read response) may
+// be returned.
+func (p *pool) put(cn *conn) {
+	cn.idleSince = time.Now()
+	if cap(cn.req) > maxRetainedReq {
+		cn.req = nil
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.cfg.PoolSize {
+		p.mu.Unlock()
+		cn.nc.Close()
+		return
+	}
+	p.idle = append(p.idle, cn)
+	p.mu.Unlock()
+}
+
+// reaper closes idle connections older than IdleTimeout. LIFO ordering means
+// the oldest connections collect at the front of the slice, so under partial
+// load the pool converges down to its working set instead of pinning
+// PoolSize sockets forever.
+func (p *pool) reaper() {
+	defer p.wg.Done()
+	period := p.cfg.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			cut := time.Now().Add(-p.cfg.IdleTimeout)
+			var dead []*conn
+			p.mu.Lock()
+			keep := p.idle[:0]
+			for _, cn := range p.idle {
+				if cn.idleSince.Before(cut) {
+					dead = append(dead, cn)
+				} else {
+					keep = append(keep, cn)
+				}
+			}
+			p.idle = keep
+			p.mu.Unlock()
+			for _, cn := range dead {
+				cn.nc.Close()
+				p.reaps.Add(1)
+			}
+		}
+	}
+}
+
+// idleCount returns the current idle-connection count.
+func (p *pool) idleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// close shuts the pool: idle connections are closed, the reaper exits, and
+// subsequent gets fail with ErrClientClosed. In-flight connections are
+// closed by their owners on put.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	close(p.stop)
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,342 @@
+package client_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pamakv/internal/client"
+	"pamakv/internal/cluster"
+	"pamakv/internal/proto"
+	"pamakv/internal/server"
+)
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestPoolRestartNoLostWrites hammers one server from N goroutines running
+// pipelined mixed ops, bounces the server mid-test (same engine, same
+// address), and then verifies every acknowledged write is still readable:
+// errors during the bounce are expected, silently lost acks are not. Run
+// under -race this also exercises the pool's concurrency.
+func TestPoolRestartNoLostWrites(t *testing.T) {
+	engine := newCache(t)
+	addr, stop := startServerOn(t, "127.0.0.1:0", engine, server.Options{})
+
+	base := runtime.NumGoroutine()
+	c := newClient(t, client.Config{
+		Addrs:            []string{addr},
+		PoolSize:         8,
+		HealthCheckAfter: time.Nanosecond, // always probe idle conns
+		IdleTimeout:      time.Second,
+		Retries:          -1, // pipeline path never retries anyway; keep singles strict too
+	})
+
+	const (
+		workers = 8
+		rounds  = 60
+		batch   = 16
+	)
+	acked := make([]map[string]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acked[w] = make(map[string]string)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := c.Pipeline()
+			for r := 0; r < rounds; r++ {
+				type queued struct{ key, val string }
+				var sets []queued
+				for b := 0; b < batch; b++ {
+					key := fmt.Sprintf("w%d.r%d.b%d", w, r, b)
+					if b%4 == 3 {
+						p.Get(key) // mixes reads into the batch
+						continue
+					}
+					val := fmt.Sprintf("v%d.%d.%d", w, r, b)
+					p.Set(key, uint32(w), 0, []byte(val))
+					sets = append(sets, queued{key, val})
+				}
+				results, err := p.Exec()
+				if err != nil {
+					t.Errorf("worker %d: Exec: %v", w, err)
+					return
+				}
+				// Walk results in queue order, pairing set slots with their
+				// queued keys (gets occupy the b%4==3 slots).
+				si, ri := 0, 0
+				for b := 0; b < batch; b++ {
+					if b%4 == 3 {
+						ri++
+						continue
+					}
+					if results[ri].Err == nil {
+						acked[w][sets[si].key] = sets[si].val
+					}
+					si++
+					ri++
+				}
+				if r == rounds/2 && w == 0 {
+					// Bounce the server mid-test from one worker; the
+					// others keep hammering through the outage.
+					stop()
+					_, _ = startServerOn(t, addr, engine, server.Options{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every acknowledged write must be present with its exact value.
+	verify := newClient(t, client.Config{Addrs: []string{addr}})
+	total, lost := 0, 0
+	for w := range acked {
+		for key, val := range acked[w] {
+			total++
+			it, err := verify.Get(key)
+			if err != nil || string(it.Value) != val {
+				lost++
+				if lost <= 5 {
+					t.Errorf("acked write lost: %s (want %q, got %q, err %v)", key, val, it.Value, err)
+				}
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d acknowledged writes lost across restart", lost, total)
+	}
+	if total == 0 {
+		t.Fatal("no writes acknowledged; test proved nothing")
+	}
+
+	// Pool size converged: idle connections never exceed PoolSize.
+	if idle := c.Stats().Idle; idle > 8 {
+		t.Fatalf("idle pool %d exceeds PoolSize", idle)
+	}
+
+	// No goroutine leaks: closing the clients tears down reapers and leaves
+	// us at (or below) the pre-client baseline.
+	c.Close()
+	verify.Close()
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base
+	})
+}
+
+// TestPoolHealthCheckRecovers kills every pooled connection by bouncing the
+// server and checks the acquire-time liveness probe discards the corpses
+// instead of handing them out.
+func TestPoolHealthCheckRecovers(t *testing.T) {
+	engine := newCache(t)
+	addr, stop := startServerOn(t, "127.0.0.1:0", engine, server.Options{})
+	c := newClient(t, client.Config{
+		Addrs:            []string{addr},
+		HealthCheckAfter: time.Nanosecond,
+	})
+	if err := c.Set("k", 0, 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	_, _ = startServerOn(t, addr, engine, server.Options{})
+	// The pooled connection is dead; the probe must detect it and dial
+	// fresh, making the op succeed without surfacing the stale socket.
+	waitFor(t, "op to succeed after bounce", func() bool {
+		_, err := c.Get("k")
+		return err == nil
+	})
+	if c.Stats().HealthFails == 0 {
+		t.Fatal("no health-check failures recorded; dead conns were not probed out")
+	}
+}
+
+// TestPoolIdleReaping checks a burst's worth of pooled connections decays
+// back to zero once traffic stops.
+func TestPoolIdleReaping(t *testing.T) {
+	addr := startServer(t, server.Options{})
+	c := newClient(t, client.Config{
+		Addrs:       []string{addr},
+		PoolSize:    8,
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Set(fmt.Sprintf("burst%d", i), 0, 0, []byte("v")); err != nil {
+				t.Errorf("set: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if idle := c.Stats().Idle; idle == 0 {
+		t.Fatal("burst left no idle connections; pool is not pooling")
+	}
+	waitFor(t, "idle pool to be reaped", func() bool {
+		s := c.Stats()
+		return s.Idle == 0 && s.Reaps > 0
+	})
+}
+
+// shedEvery starts a fake server that answers storage commands with STORED
+// except every nth op, which it sheds with SERVER_ERROR busy (shed) — the
+// overload controller's mid-pipeline refusal, scripted deterministically.
+func shedEvery(t *testing.T, n int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				p := proto.NewParser(bufio.NewReaderSize(nc, 1<<14))
+				ops := 0
+				var out []byte
+				for {
+					cmd, err := p.ReadCommand()
+					if err != nil {
+						return
+					}
+					ops++
+					out = out[:0]
+					switch cmd.Name {
+					case "set":
+						if ops%n == 0 {
+							out = proto.AppendShed(out)
+						} else {
+							out = proto.AppendLine(out, "STORED")
+						}
+					case "get":
+						out = proto.AppendEnd(out)
+					default:
+						out = proto.AppendLine(out, "ERROR")
+					}
+					if _, err := nc.Write(out); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestPipelineShedMidBatch scripts an overloaded server that sheds every
+// third write and checks the pipeline keeps its framing: shed slots carry
+// ErrServerBusy, every other slot completes, and the connection survives
+// for the next batch.
+func TestPipelineShedMidBatch(t *testing.T) {
+	addr := shedEvery(t, 3)
+	c := newClient(t, client.Config{Addrs: []string{addr}})
+	p := c.Pipeline()
+	for round := 0; round < 3; round++ {
+		const n = 9
+		for i := 0; i < n; i++ {
+			p.Set(fmt.Sprintf("k%d", i), 0, 0, []byte("v"))
+		}
+		results, err := p.Exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shed := 0
+		for i, r := range results {
+			if errors.Is(r.Err, client.ErrServerBusy) {
+				shed++
+			} else if r.Err != nil {
+				t.Fatalf("round %d slot %d: unexpected %v", round, i, r.Err)
+			}
+		}
+		if shed != n/3 {
+			t.Fatalf("round %d: %d shed slots, want %d", round, shed, n/3)
+		}
+	}
+	// One connection served all three batches: sheds are responses, not
+	// transport failures.
+	if dials := c.Stats().Dials; dials != 1 {
+		t.Fatalf("sheds forced %d dials, want 1", dials)
+	}
+}
+
+// TestHedgedGetWinsOnStall stalls the first connection's reads and checks
+// an expensive key's hedged duplicate answers on a second connection well
+// before the stalled primary would.
+func TestHedgedGetWinsOnStall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int32
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			slow := conns.Add(1) == 1
+			go func(nc net.Conn, slow bool) {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if strings.HasPrefix(line, "get ") {
+						if slow {
+							time.Sleep(500 * time.Millisecond)
+						}
+						if _, err := nc.Write([]byte("VALUE k 0 1\r\nv\r\nEND\r\n")); err != nil {
+							return
+						}
+					}
+				}
+			}(nc, slow)
+		}
+	}()
+
+	cfg := client.Config{
+		Addrs:     []string{ln.Addr().String()},
+		PenaltyOf: func(key string) float64 { return 2.0 }, // (1s,5s] subclass
+		Hedge:     cluster.DefaultHedgePolicy(),            // 3ms hedge there
+	}
+	c := newClient(t, cfg)
+	start := time.Now()
+	it, err := c.Get("k")
+	if err != nil || string(it.Value) != "v" {
+		t.Fatalf("hedged get: %q, %v", it.Value, err)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("hedge did not rescue the stalled primary (took %v)", elapsed)
+	}
+	s := c.Stats()
+	if s.Hedges == 0 || s.HedgeWins == 0 {
+		t.Fatalf("hedge counters: %+v", s)
+	}
+}

@@ -69,6 +69,9 @@ var requestSeeds = []string{
 	"get k\r\r\n",
 	"get " + strings.Repeat("k", 250) + "\r\n",
 	"set k +0 +0 +1\r\nx\r\n",
+	"append k 0 0 4\r\ntail\r\n",
+	"prepend k 0 0 4 noreply\r\nhead\r\n",
+	"append k 0 0\r\n",
 }
 
 // errKind buckets parser errors into the classes the differential harness
@@ -194,6 +197,91 @@ var responseSeeds = []string{
 	"",
 	"garbage line\r\n",
 	strings.Repeat("V", MaxLineLen+10) + "\r\n",
+}
+
+// clientRespSeeds extend responseSeeds with the shapes a pipelining client
+// sees: back-to-back responses, truncated and oversized blocks, and END
+// landing inside a data block rather than on a line of its own.
+var clientRespSeeds = []string{
+	// Pipelined mixed traffic: the steady-state shape RespReader serves.
+	"VALUE k 0 5\r\nhello\r\nEND\r\nSTORED\r\nEND\r\n17\r\nDELETED\r\n",
+	"END\r\nEND\r\nEND\r\n",
+	"VALUE k 0 3\r\nab",    // truncated mid-data
+	"VALUE k 0 3\r\nabc\r", // truncated mid-terminator
+	"VALUE k 0 1048577\r\n" + strings.Repeat("x", 64), // oversized block
+	// END as data bytes, interleaved with END terminators: framing must
+	// come from declared lengths, never from scanning for the word.
+	"VALUE a 0 3\r\nEND\r\nVALUE b 0 5\r\nEND\r\n\r\nEND\r\n",
+	"VALUE a 0 2\r\nEN\r\nEND extra tokens\r\n",
+	"STAT a 1\r\nVALUE k 0 2\r\nhi\r\nSTAT b 2 3\r\nEND\r\n", // interleaved STAT/VALUE
+	"VALUE k 1 2 99\r\nhi\r\nEND\r\n",
+	"SERVER_ERROR busy (shed)\r\nEND\r\n",
+	"VERSION 1.6.21  with   runs\r\n",
+	"VALUE " + strings.Repeat("k", 250) + " 0 0\r\n\r\nEND\r\n",
+	"VALUE k 0 +1\r\nx\r\nEND\r\n",
+}
+
+// FuzzClientReadResponse is the response-side differential harness: the
+// allocating ReadResponse (the executable spec) and the in-place pipelined
+// RespReader consume the same byte stream through same-sized readers and
+// must agree at every step — same error class or a field-for-field identical
+// response. A ClientError leaves both at the same stream offset (both
+// consume exactly the offending frame), so the comparison continues past it.
+func FuzzClientReadResponse(f *testing.F) {
+	for _, s := range responseSeeds {
+		f.Add([]byte(s))
+	}
+	for _, s := range clientRespSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r1 := bufio.NewReaderSize(bytes.NewReader(data), 4096)
+		r2 := bufio.NewReaderSize(bytes.NewReader(data), 4096)
+		rr := NewRespReader(r2)
+		for i := 0; i < 64; i++ {
+			ref, err1 := ReadResponse(r1)
+			got, err2 := rr.Next()
+			k1, k2 := classifyErr(err1), classifyErr(err2)
+			if k1 != k2 {
+				t.Fatalf("step %d: readers disagree on error class: reference %v, in-place %v", i, err1, err2)
+			}
+			switch k1 {
+			case errClient:
+				continue // both resynchronized identically
+			case errEOF, errTooLong:
+				return // framing is gone; clients close the connection here
+			case errOther:
+				t.Fatalf("step %d: unexpected error class: %v", i, err1)
+			}
+			if ref.Status != got.Status.String() {
+				t.Fatalf("step %d: status %q vs %q", i, ref.Status, got.Status)
+			}
+			if ref.Message != string(got.Msg) {
+				t.Fatalf("step %d: message %q vs %q", i, ref.Message, got.Msg)
+			}
+			if ref.Number != got.Number {
+				t.Fatalf("step %d: number %d vs %d", i, ref.Number, got.Number)
+			}
+			if len(ref.Values) != len(got.Values) {
+				t.Fatalf("step %d: value counts %d vs %d", i, len(ref.Values), len(got.Values))
+			}
+			for j, v := range ref.Values {
+				g := got.Values[j]
+				if v.Key != string(g.Key) || v.Flags != g.Flags || v.CAS != g.CAS || !bytes.Equal(v.Data, g.Data) {
+					t.Fatalf("step %d: value %d: reference %+v, in-place %+v", i, j, v, g)
+				}
+			}
+			if len(ref.Stats) != len(got.Stats) {
+				t.Fatalf("step %d: stat counts %d vs %d", i, len(ref.Stats), len(got.Stats))
+			}
+			for j, st := range ref.Stats {
+				g := got.Stats[j]
+				if st[0] != string(g[0]) || st[1] != string(g[1]) {
+					t.Fatalf("step %d: stat %d: reference %v, in-place %q/%q", i, j, st, g[0], g[1])
+				}
+			}
+		}
+	})
 }
 
 func FuzzParseResponse(f *testing.F) {

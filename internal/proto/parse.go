@@ -78,7 +78,7 @@ func (p *Parser) releaseData() {
 // validates it and yields an interned name, so cmd.Name never materializes
 // a string from the wire bytes.
 var verbs = [...]string{
-	"get", "gets", "set", "add", "replace", "cas",
+	"get", "gets", "set", "add", "replace", "append", "prepend", "cas",
 	"delete", "incr", "decr", "touch",
 	"stats", "flush_all", "version", "quit",
 }
@@ -145,7 +145,7 @@ func (p *Parser) ReadCommand() (*Command, error) {
 			p.keys = append(p.keys, p.internKey(k))
 		}
 		cmd.Keys = p.keys
-	case "set", "add", "replace", "cas":
+	case "set", "add", "replace", "append", "prepend", "cas":
 		want := 4
 		if name == "cas" {
 			want = 5
@@ -266,42 +266,49 @@ func (p *Parser) readData(n int) error {
 // until the next read); lines straddling the buffer spill into a reusable
 // scratch buffer. Semantics mirror the reference readLine exactly.
 func (p *Parser) readLine() ([]byte, error) {
-	chunk, err := p.r.ReadSlice('\n')
+	line, spill, err := readLineFrom(p.r, p.linebuf)
+	p.linebuf = spill
+	return line, err
+}
+
+// readLineFrom is the in-place line reader shared by Parser and RespReader:
+// the fast path is a view into r's buffer; lines straddling the buffer spill
+// into spill (grown as needed and returned for reuse). Semantics mirror the
+// reference readLine exactly — the differential fuzz harnesses depend on it.
+func readLineFrom(r *bufio.Reader, spill []byte) (line, newSpill []byte, err error) {
+	chunk, err := r.ReadSlice('\n')
 	if err == nil {
 		if len(chunk) > MaxLineLen+2 { // +2 allows the CRLF terminator itself
-			return nil, ErrLineTooLong
+			return nil, spill, ErrLineTooLong
 		}
-		return trimCRLF(chunk), nil
+		return trimCRLF(chunk), spill, nil
 	}
 	if err != bufio.ErrBufferFull {
 		if err == io.EOF && len(chunk) == 0 {
-			return nil, io.EOF
+			return nil, spill, io.EOF
 		}
-		return nil, err
+		return nil, spill, err
 	}
 	// Slow path: the line straddles the reader's buffer.
-	line := append(p.linebuf[:0], chunk...)
+	line = append(spill[:0], chunk...)
 	for {
 		if len(line) > MaxLineLen {
-			p.linebuf = line
-			return nil, ErrLineTooLong
+			return nil, line, ErrLineTooLong
 		}
-		chunk, err = p.r.ReadSlice('\n')
+		chunk, err = r.ReadSlice('\n')
 		line = append(line, chunk...)
 		if err == bufio.ErrBufferFull {
 			continue
 		}
 		if err != nil {
-			p.linebuf = line
-			return nil, err
+			return nil, line, err
 		}
 		break
 	}
-	p.linebuf = line
 	if len(line) > MaxLineLen+2 {
-		return nil, ErrLineTooLong
+		return nil, line, ErrLineTooLong
 	}
-	return trimCRLF(line), nil
+	return trimCRLF(line), line, nil
 }
 
 // trimCRLF strips all trailing CR and LF bytes (matching the reference

@@ -1,7 +1,9 @@
 // Package proto implements the subset of the Memcached ASCII protocol the
-// pama-server speaks: get/gets, set, delete, stats, flush_all, version, and
-// quit. It contains only framing — command parsing and response rendering —
-// so both the server and test clients share one codec.
+// pama-server speaks: get/gets, the storage commands (set, add, replace,
+// append, prepend, cas), delete, incr/decr, touch, stats, flush_all,
+// version, and quit. It contains only framing — command parsing and
+// response rendering — so the server, the client package, and test clients
+// share one codec.
 package proto
 
 import (
@@ -103,7 +105,7 @@ func ReadCommand(r *bufio.Reader) (*Command, error) {
 			}
 		}
 		cmd.Keys = args
-	case "set", "add", "replace", "cas":
+	case "set", "add", "replace", "append", "prepend", "cas":
 		// Storage commands share the grammar; cas carries one extra
 		// token operand before the optional noreply.
 		want := 4
@@ -202,6 +204,12 @@ func readData(r *bufio.Reader, n int) ([]byte, error) {
 	}
 	return data[:n], nil
 }
+
+// CheckKey validates a key against the protocol's constraints — non-empty,
+// at most MaxKeyLen bytes, no space or control bytes. Clients call it before
+// rendering a request: a key with an embedded space or newline would not
+// just be rejected, it would desynchronize the connection's framing.
+func CheckKey(key string) error { return checkKey(key) }
 
 // checkKey validates one key operand; it accepts both the reference
 // parser's string tokens and the in-place parser's byte views.

@@ -20,7 +20,7 @@ func AppendCommand(dst []byte, cmd *Command) []byte {
 			dst = append(dst, k...)
 		}
 		return append(dst, '\r', '\n')
-	case "set", "add", "replace", "cas":
+	case "set", "add", "replace", "append", "prepend", "cas":
 		dst = append(dst, ' ')
 		dst = append(dst, cmd.Keys[0]...)
 		dst = append(dst, ' ')

@@ -18,6 +18,8 @@ func TestAppendCommandRoundTrip(t *testing.T) {
 		{Name: "set", Keys: []string{"k"}, Flags: 0, Exptime: 0, Data: []byte{}, NoReply: true},
 		{Name: "add", Keys: []string{"k"}, Flags: 1, Exptime: 2, Data: []byte("v")},
 		{Name: "replace", Keys: []string{"k"}, Data: []byte("vv")},
+		{Name: "append", Keys: []string{"k"}, Data: []byte("tail")},
+		{Name: "prepend", Keys: []string{"k"}, Data: []byte("head"), NoReply: true},
 		{Name: "cas", Keys: []string{"k"}, Flags: 3, Exptime: 9, CasID: 12345, Data: []byte("w")},
 		{Name: "delete", Keys: []string{"k"}},
 		{Name: "delete", Keys: []string{"k"}, NoReply: true},

@@ -1,0 +1,119 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRespReaderPipelined walks one connection's worth of back-to-back
+// responses and checks every field, including that scratch reuse between
+// Next calls does not bleed one response into the next.
+func TestRespReaderPipelined(t *testing.T) {
+	wire := "VALUE k 7 5 42\r\nhello\r\nVALUE kk 0 0\r\n\r\nEND\r\n" +
+		"STORED\r\n" +
+		"END\r\n" +
+		"123\r\n" +
+		"SERVER_ERROR " + ShedMsg + "\r\n" +
+		"CLIENT_ERROR bad  input\r\n" +
+		"VERSION pamakv/1.0\r\n" +
+		"STAT cmd_get 10\r\nSTAT policy pama lru\r\nEND\r\n"
+	rr := NewRespReader(bufio.NewReader(strings.NewReader(wire)))
+
+	r, err := rr.Next()
+	if err != nil || r.Status != StatusEnd || len(r.Values) != 2 {
+		t.Fatalf("get reply: %+v, %v", r, err)
+	}
+	if string(r.Values[0].Key) != "k" || r.Values[0].Flags != 7 || r.Values[0].CAS != 42 ||
+		string(r.Values[0].Data) != "hello" {
+		t.Fatalf("value 0: %+v", r.Values[0])
+	}
+	if string(r.Values[1].Key) != "kk" || len(r.Values[1].Data) != 0 || r.Values[1].CAS != 0 {
+		t.Fatalf("value 1: %+v", r.Values[1])
+	}
+
+	if r, err = rr.Next(); err != nil || r.Status != StatusStored {
+		t.Fatalf("stored: %+v, %v", r, err)
+	}
+	if r, err = rr.Next(); err != nil || r.Status != StatusEnd || len(r.Values) != 0 {
+		t.Fatalf("miss must not inherit previous values: %+v, %v", r, err)
+	}
+	if r, err = rr.Next(); err != nil || r.Status != StatusNumber || r.Number != 123 {
+		t.Fatalf("number: %+v, %v", r, err)
+	}
+	if r, err = rr.Next(); err != nil || !r.IsShed() {
+		t.Fatalf("shed: %+v, %v", r, err)
+	}
+	if r, err = rr.Next(); err != nil || r.Status != StatusClientError || string(r.Msg) != "bad input" {
+		t.Fatalf("client error (space runs collapse in the join): %+v, %v", r, err)
+	}
+	if r, err = rr.Next(); err != nil || r.Status != StatusVersion || string(r.Msg) != "pamakv/1.0" {
+		t.Fatalf("version: %+v, %v", r, err)
+	}
+	r, err = rr.Next()
+	if err != nil || r.Status != StatusEnd || len(r.Stats) != 2 {
+		t.Fatalf("stats: %+v, %v", r, err)
+	}
+	if string(r.Stats[1][0]) != "policy" || string(r.Stats[1][1]) != "pama lru" {
+		t.Fatalf("stat join: %q %q", r.Stats[1][0], r.Stats[1][1])
+	}
+}
+
+// TestRespReaderStatusWords pins every Status String to the reference
+// parser's vocabulary, so client error mapping and the differential fuzz
+// comparison stay meaningful.
+func TestRespReaderStatusWords(t *testing.T) {
+	for st := StatusEnd; st <= StatusNumber; st++ {
+		if st == StatusNumber {
+			continue // never on the wire as a word
+		}
+		wire := st.String() + " tail words\r\n"
+		r, err := NewRespReader(bufio.NewReader(strings.NewReader(wire))).Next()
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if r.Status != st {
+			t.Fatalf("%q parsed as %v", wire, r.Status)
+		}
+	}
+}
+
+// BenchmarkRespReaderNext measures the pipelined GET-hit read path the
+// client package rides, against the allocating reference.
+func BenchmarkRespReaderNext(b *testing.B) {
+	one := AppendEnd(AppendValue(nil, "key000", 0, bytes.Repeat([]byte("v"), 100)))
+	wire := bytes.Repeat(one, 64)
+	br := bufio.NewReaderSize(nil, 1<<14)
+	rr := NewRespReader(br)
+	b.SetBytes(int64(len(one)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			br.Reset(bytes.NewReader(wire))
+		}
+		r, err := rr.Next()
+		if err != nil || len(r.Values) != 1 {
+			b.Fatalf("%+v, %v", r, err)
+		}
+	}
+}
+
+func BenchmarkReadResponseReference(b *testing.B) {
+	one := AppendEnd(AppendValue(nil, "key000", 0, bytes.Repeat([]byte("v"), 100)))
+	wire := bytes.Repeat(one, 64)
+	br := bufio.NewReaderSize(nil, 1<<14)
+	b.SetBytes(int64(len(one)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			br.Reset(bytes.NewReader(wire))
+		}
+		r, err := ReadResponse(br)
+		if err != nil || len(r.Values) != 1 {
+			b.Fatalf("%+v, %v", r, err)
+		}
+	}
+}

@@ -70,7 +70,7 @@ func famOf(name string) uint8 {
 	switch name {
 	case "get", "gets":
 		return famGet
-	case "set", "add", "replace", "cas":
+	case "set", "add", "replace", "append", "prepend", "cas":
 		return famSet
 	case "delete":
 		return famDelete
@@ -782,7 +782,7 @@ func clientMsg(err error) string {
 // operator must be able to observe a server precisely when it is overloaded.
 func admissible(name string) bool {
 	switch name {
-	case "get", "gets", "set", "add", "replace", "cas", "incr", "decr", "delete", "touch":
+	case "get", "gets", "set", "add", "replace", "append", "prepend", "cas", "incr", "decr", "delete", "touch":
 		return true
 	}
 	return false
@@ -846,7 +846,7 @@ func (s *Server) serve(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 func (s *Server) dispatch(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	if s.peers != nil {
 		switch cmd.Name {
-		case "set", "add", "replace", "cas", "delete", "touch", "incr", "decr":
+		case "set", "add", "replace", "append", "prepend", "cas", "delete", "touch", "incr", "decr":
 			// Single-owner writes: mutations of a key this node does
 			// not own are relayed to the owner, so one authoritative
 			// copy exists cluster-wide. (GETs route per key inside
@@ -861,6 +861,8 @@ func (s *Server) dispatch(sc *connScratch, out []byte, cmd *proto.Command) []byt
 		return s.doGet(sc, out, cmd)
 	case "set", "add", "replace", "cas":
 		return s.doSet(out, cmd)
+	case "append", "prepend":
+		return s.doConcat(sc, out, cmd)
 	case "incr", "decr":
 		return s.doDelta(out, cmd)
 	case "touch":
@@ -1247,6 +1249,76 @@ func (s *Server) doSet(out []byte, cmd *proto.Command) []byte {
 		s.st.serverErrors.Add(1)
 		return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
 	}
+}
+
+// concatRetries bounds the optimistic-concurrency loop in doConcat. Eight
+// consecutive CAS losses on one key means a hotter writer owns it; give up
+// rather than spin.
+const concatRetries = 8
+
+// doConcat implements append and prepend as a CAS loop over the engine's
+// existing primitives: read the resident value with its CAS token, build the
+// concatenation, and store it back with ModeCAS so a racing writer makes the
+// store miss and the loop re-reads. Memcached semantics are preserved where
+// the engine allows: a missing key answers NOT_STORED, flags are carried
+// over from the resident item, and the operands' flags/exptime are ignored.
+// One deliberate divergence: the rewritten item's expiry resets to "never",
+// because the engine does not expose the resident deadline for re-arming.
+func (s *Server) doConcat(sc *connScratch, out []byte, cmd *proto.Command) []byte {
+	key := strings.Clone(cmd.Keys[0])
+	for try := 0; try < concatRetries; try++ {
+		val, flags, cas, hit := s.c.GetWithCAS(key, sc.val[:0])
+		sc.val = val[:0]
+		if !hit {
+			if cmd.NoReply {
+				return out
+			}
+			return proto.AppendLine(out, "NOT_STORED")
+		}
+		var combined []byte
+		if cmd.Name == "append" {
+			// val aliases sc.val's backing array; appending may grow it in
+			// place or reallocate — either way SetMode copies it out before
+			// the scratch is reused.
+			combined = append(val, cmd.Data...)
+		} else {
+			combined = make([]byte, 0, len(cmd.Data)+len(val))
+			combined = append(combined, cmd.Data...)
+			combined = append(combined, val...)
+		}
+		pen := penalty.DefaultUnknown
+		if s.opts.Backend != nil {
+			pen = s.opts.Backend.Penalty(key, len(combined))
+		}
+		size := len(key) + len(combined) + itemOverhead
+		err := s.c.SetMode(key, cache.ModeCAS, cas, size, pen, flags, 0, combined)
+		switch {
+		case err == nil:
+			if cmd.NoReply {
+				return out
+			}
+			return proto.AppendLine(out, "STORED")
+		case errors.Is(err, cache.ErrCASMismatch):
+			continue // racing writer; re-read and retry
+		case errors.Is(err, cache.ErrNotStored):
+			// The item vanished between the read and the store.
+			if cmd.NoReply {
+				return out
+			}
+			return proto.AppendLine(out, "NOT_STORED")
+		default:
+			s.st.serverErrors.Add(1)
+			if cmd.NoReply {
+				return out
+			}
+			return proto.AppendLine(out, fmt.Sprintf("SERVER_ERROR %v", err))
+		}
+	}
+	s.st.serverErrors.Add(1)
+	if cmd.NoReply {
+		return out
+	}
+	return proto.AppendLine(out, "SERVER_ERROR concat contention")
 }
 
 // expireAt converts Memcached exptime semantics to a unix deadline: 0 means

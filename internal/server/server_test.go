@@ -326,6 +326,69 @@ func TestAddReplaceProtocol(t *testing.T) {
 	}
 }
 
+func TestAppendPrependProtocol(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+
+	// Concat on a missing key is NOT_STORED and must not create the item.
+	cl.send(t, "append ghost 0 0 3\r\nxyz\r\n")
+	if got := cl.line(t); got != "NOT_STORED" {
+		t.Fatalf("append missing -> %q", got)
+	}
+	cl.send(t, "get ghost\r\n")
+	if got := cl.line(t); got != "END" {
+		t.Fatalf("append must not create: %q", got)
+	}
+
+	cl.send(t, "set k 7 0 3\r\nbar\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("set -> %q", got)
+	}
+	// append concatenates on the right; the operand's flags are ignored and
+	// the resident flags survive the rewrite.
+	cl.send(t, "append k 999 0 3\r\nbaz\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("append -> %q", got)
+	}
+	cl.send(t, "get k\r\n")
+	if got := cl.line(t); got != "VALUE k 7 6" {
+		t.Fatalf("get header after append -> %q", got)
+	}
+	if got := cl.line(t); got != "barbaz" {
+		t.Fatalf("get body after append -> %q", got)
+	}
+	cl.line(t) // END
+
+	// prepend concatenates on the left, noreply stays silent.
+	cl.send(t, "prepend k 0 0 3 noreply\r\nfoo\r\nget k\r\n")
+	if got := cl.line(t); got != "VALUE k 7 9" {
+		t.Fatalf("get header after prepend -> %q", got)
+	}
+	if got := cl.line(t); got != "foobarbaz" {
+		t.Fatalf("get body after prepend -> %q", got)
+	}
+	cl.line(t) // END
+
+	// The rewrite bumps the CAS token: a gets before the append must lose.
+	cl.send(t, "gets k\r\n")
+	header := cl.line(t)
+	var flags, n int
+	var cas uint64
+	if _, err := fmt.Sscanf(header, "VALUE k %d %d %d", &flags, &n, &cas); err != nil {
+		t.Fatalf("gets header %q: %v", header, err)
+	}
+	cl.line(t) // body
+	cl.line(t) // END
+	cl.send(t, "append k 0 0 1\r\n!\r\n")
+	if got := cl.line(t); got != "STORED" {
+		t.Fatalf("append -> %q", got)
+	}
+	cl.send(t, fmt.Sprintf("cas k 0 0 1 %d\r\nZ\r\n", cas))
+	if got := cl.line(t); got != "EXISTS" {
+		t.Fatalf("stale cas after append -> %q", got)
+	}
+}
+
 func TestIncrDecrProtocol(t *testing.T) {
 	_, addr := startServer(t, Options{})
 	cl := dial(t, addr)
