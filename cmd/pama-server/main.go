@@ -36,6 +36,7 @@ import (
 	"pamakv/internal/backend"
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
+	"pamakv/internal/geom"
 	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/server"
@@ -49,6 +50,7 @@ type options struct {
 	addr         string
 	cacheMiB     int64
 	policyKind   string
+	adaptiveGeom bool
 	readthrough  bool
 	penaltyScale float64
 	shards       int
@@ -94,7 +96,8 @@ func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:11211", "listen address")
 	flag.Int64Var(&o.cacheMiB, "cache", 256, "cache size in MiB")
-	flag.StringVar(&o.policyKind, "policy", "pama", "policy: memcached, psa, pama, pre-pama, twemcache, facebook-age, mrc-hit, mrc-time, lama-hit, lama-time")
+	flag.StringVar(&o.policyKind, "policy", "pama", "policy: memcached, psa, pama, pre-pama, twemcache, facebook-age, mrc-hit, mrc-time, lama-hit, lama-time, camp, size-aware")
+	flag.BoolVar(&o.adaptiveGeom, "adaptive-geometry", false, "learn slab-class boundaries online from observed sizes and re-slab live")
 	flag.BoolVar(&o.readthrough, "readthrough", false, "serve GET misses from a simulated back end")
 	flag.Float64Var(&o.penaltyScale, "penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
 	flag.IntVar(&o.shards, "shards", 1, "hash shards (rounded up to a power of two)")
@@ -151,6 +154,9 @@ func run(o options) error {
 		CacheBytes:  o.cacheMiB << 20,
 		StoreValues: true,
 		WindowLen:   100_000,
+	}
+	if o.adaptiveGeom {
+		cfg.Adaptive = &geom.Config{} // Normalize picks the defaults
 	}
 	if o.serveStale {
 		cfg.StaleValues = true

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"pamakv/internal/geom"
 	"pamakv/internal/hashtable"
 	"pamakv/internal/kv"
 	"pamakv/internal/lru"
@@ -73,6 +74,10 @@ type Config struct {
 	// StaleBytes bounds the stale buffer (keys + values + overhead);
 	// 0 with StaleValues on defaults to 1 MiB.
 	StaleBytes int64
+	// Adaptive, when non-nil, turns on the online slab-geometry learner
+	// (package geom): the engine feeds it item sizes and applies proposed
+	// slot tables through a live re-slab transition (see reslab.go).
+	Adaptive *geom.Config
 }
 
 // Stats are engine-level counters; all monotonically increasing.
@@ -89,6 +94,10 @@ type Stats struct {
 	// SlabMigrations counts cross-class slab moves, whatever policy
 	// performed them.
 	SlabMigrations uint64
+	// Reslabs counts live geometry transitions started; ReslabMoved counts
+	// items re-slotted from the outgoing into the target geometry.
+	Reslabs     uint64
+	ReslabMoved uint64
 }
 
 // Policy is an allocation scheme plugged into the engine. Implementations
@@ -172,6 +181,25 @@ type Cache struct {
 	// casCounter issues unique CAS tokens; incremented per store.
 	casCounter uint64
 
+	// holes[cl] is the current era's internal fragmentation: bytes of slot
+	// capacity occupied by resident items but unused (slot size − item
+	// size, summed). The "memory holes" the adaptive geometry attacks.
+	holes []int64
+	// totalBudget pins the slab budget from New; during a re-slab
+	// transition it is split between the two eras' managers but their sum
+	// never changes.
+	totalBudget int
+	// gen is the geometry generation; items with Gen != gen while old is
+	// non-nil still live in the outgoing era (see reslab.go).
+	gen uint32
+	// old is the outgoing era of a live re-slab transition; nil when no
+	// transition is active.
+	old *oldEra
+	// learner proposes better slot tables from observed sizes (nil when
+	// Config.Adaptive is off); stepItems bounds migration work per op.
+	learner   *geom.Learner
+	stepItems int
+
 	// Stale buffer (see stale.go); staleIdx nil when disabled.
 	staleIdx  *hashtable.Table
 	staleLst  lru.List
@@ -183,7 +211,7 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	if pol == nil {
 		return nil, errors.New("cache: nil policy")
 	}
-	if cfg.Geometry == (kv.Geometry{}) {
+	if cfg.Geometry.IsZero() {
 		cfg.Geometry = kv.DefaultGeometry()
 	}
 	if cfg.WindowLen == 0 {
@@ -212,17 +240,38 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	if nsub == 0 {
 		nsub = 1
 	}
-	nseg := pol.Segments()
-	gseg := pol.GhostSegments()
-	c.classes = make([]class, c.geom.NumClasses)
-	for ci := range c.classes {
-		cl := &c.classes[ci]
-		cl.spc = c.geom.SlotsPerSlab(ci)
+	c.classes = buildClasses(c.geom, nsub, pol.Segments(), pol.GhostSegments(), cfg.Tracker, true)
+	c.resetAttribution(nsub)
+	c.holes = make([]int64, c.geom.NumClasses)
+	c.totalBudget = mgr.TotalSlabs()
+	if cfg.StaleValues {
+		c.staleIdx = hashtable.New(1 << 8)
+	}
+	if cfg.Adaptive != nil {
+		acfg := cfg.Adaptive.Normalize()
+		c.learner = geom.NewLearner(acfg, c.geom.MaxItemSize())
+		c.stepItems = acfg.StepItems
+	} else {
+		c.stepItems = 64
+	}
+	pol.Attach(c)
+	return c, nil
+}
+
+// buildClasses constructs the per-class subclass stacks for a geometry.
+// withTrackers=false defers segment trackers (a re-slab transition's target
+// era runs tracker-less until finishReslabLocked rebuilds them, because the
+// exact tracker's rank order only stays valid for MRU-end insertions).
+func buildClasses(g kv.Geometry, nsub, nseg, gseg int, tracker TrackerKind, withTrackers bool) []class {
+	classes := make([]class, g.NumClasses)
+	for ci := range classes {
+		cl := &classes[ci]
+		cl.spc = g.SlotsPerSlab(ci)
 		cl.subs = make([]subclass, nsub)
 		for si := range cl.subs {
 			s := &cl.subs[si]
-			if nseg > 0 {
-				switch cfg.Tracker {
+			if nseg > 0 && withTrackers {
+				switch tracker {
 				case TrackerBloom:
 					s.tr = segment.NewBloom(&s.list, cl.spc, nseg)
 				default:
@@ -235,21 +284,23 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 			}
 		}
 	}
-	c.winReqs = make([]uint64, c.geom.NumClasses)
-	c.winMiss = make([]uint64, c.geom.NumClasses)
-	c.subHits = make([][]uint64, c.geom.NumClasses)
-	c.subMiss = make([][]uint64, c.geom.NumClasses)
-	c.moves = make([][]uint64, c.geom.NumClasses)
+	return classes
+}
+
+// resetAttribution (re)allocates the window counters and attribution
+// matrices for the current geometry's dimensions.
+func (c *Cache) resetAttribution(nsub int) {
+	nc := c.geom.NumClasses
+	c.winReqs = make([]uint64, nc)
+	c.winMiss = make([]uint64, nc)
+	c.subHits = make([][]uint64, nc)
+	c.subMiss = make([][]uint64, nc)
+	c.moves = make([][]uint64, nc)
 	for ci := range c.subHits {
 		c.subHits[ci] = make([]uint64, nsub)
 		c.subMiss[ci] = make([]uint64, nsub)
-		c.moves[ci] = make([]uint64, c.geom.NumClasses)
+		c.moves[ci] = make([]uint64, nc)
 	}
-	if cfg.StaleValues {
-		c.staleIdx = hashtable.New(1 << 8)
-	}
-	pol.Attach(c)
-	return c, nil
 }
 
 // ---- Public request API ----
@@ -274,19 +325,12 @@ func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val 
 		c.stats.Expired++
 	}
 	if it := c.index.Get(h, key); it != nil {
-		cl := it.Class
-		s := &c.classes[cl].subs[it.Sub]
-		seg := -1
-		if s.tr != nil {
-			seg = s.tr.Touch(it)
-		} else {
-			s.list.MoveToFront(it)
-		}
+		seg, acl := c.touchResident(it)
 		it.LastAccess = c.clock
-		c.winReqs[cl]++
+		c.winReqs[acl]++
 		c.stats.Hits++
-		c.subHits[cl][it.Sub]++
-		c.policy.OnHit(it, seg)
+		c.subHits[acl][it.Sub]++
+		c.polOnHit(it, seg)
 		if c.cfg.StoreValues {
 			buf = append(buf, it.Value...)
 		}
@@ -311,7 +355,7 @@ func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val 
 			c.subMiss[clHint][subHint]++
 		}
 	}
-	c.policy.OnMiss(clHint, subHint, g, gseg)
+	c.polOnMiss(clHint, subHint, g, gseg)
 	return buf, 0, false
 }
 
@@ -352,6 +396,13 @@ func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 		if c.slabs.FreeSlabs() > 0 {
 			// Growth phase: grant a free slab, as Memcached does.
 			_ = c.slabs.AllocSlab(cl)
+		} else if c.old != nil {
+			// Mid-transition the policy is quiesced; free budget by
+			// draining the outgoing era instead.
+			c.reclaimOldForSpaceLocked()
+			if c.slabs.FreeSlabs() > 0 {
+				_ = c.slabs.AllocSlab(cl)
+			}
 		} else {
 			c.policy.MakeRoom(cl, sub)
 		}
@@ -384,13 +435,23 @@ func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 	if c.cfg.StoreValues {
 		it.Value = append(it.Value[:0], value...)
 	}
+	it.Gen = c.gen
+	c.holes[cl] += int64(c.geom.SlotSize(cl) - size)
 	c.index.Put(it)
 	s := &c.classes[cl].subs[sub]
 	s.list.PushFront(it)
 	if s.tr != nil {
 		s.tr.Insert(it)
 	}
-	c.policy.OnInsert(it)
+	c.polOnInsert(it)
+	if c.learner != nil {
+		c.learner.Observe(size)
+		if c.old == nil {
+			if g, ok := c.learner.Propose(c.geom); ok {
+				_ = c.beginReslabLocked(g)
+			}
+		}
+	}
 	return nil
 }
 
@@ -431,6 +492,7 @@ func (c *Cache) Flush() {
 				}
 				c.index.Delete(it.Hash, it.Key)
 				_ = c.slabs.FreeSlot(ci)
+				c.polOnRemove(it)
 				c.release(it)
 			}
 			if s.gcap > 0 {
@@ -441,6 +503,25 @@ func (c *Cache) Flush() {
 				}
 			}
 		}
+		c.holes[ci] = 0
+	}
+	if c.old != nil {
+		// A flush ends any transition instantly: drop the outgoing era's
+		// items too, then hand its whole budget over and finish.
+		o := c.old
+		for ci := range o.classes {
+			for si := range o.classes[ci].subs {
+				s := &o.classes[ci].subs[si]
+				for it := s.list.PopFront(); it != nil; it = s.list.PopFront() {
+					c.index.Delete(it.Hash, it.Key)
+					_ = o.mgr.FreeSlot(ci)
+					c.release(it)
+				}
+			}
+			o.holes[ci] = 0
+		}
+		o.items = 0
+		c.finishReslabLocked()
 	}
 	c.flushStaleLocked()
 }
@@ -598,14 +679,60 @@ func (c *Cache) CheckInvariants() error {
 	total := 0
 	for ci := range c.classes {
 		n := 0
+		var holes int64
 		for si := range c.classes[ci].subs {
-			n += c.classes[ci].subs[si].list.Len()
+			l := &c.classes[ci].subs[si].list
+			n += l.Len()
+			l.AscendFromBack(func(it *kv.Item) bool {
+				holes += int64(c.geom.SlotSize(ci) - it.Size)
+				return true
+			})
 		}
 		if n != c.slabs.Used(ci) {
 			return fmt.Errorf("cache: class %d lists hold %d items, slab accounting says %d",
 				ci, n, c.slabs.Used(ci))
 		}
+		if holes != c.holes[ci] {
+			return fmt.Errorf("cache: class %d holes gauge %d, lists say %d",
+				ci, c.holes[ci], holes)
+		}
 		total += n
+	}
+	budget := c.slabs.TotalSlabs()
+	if o := c.old; o != nil {
+		if err := o.mgr.CheckInvariants(); err != nil {
+			return err
+		}
+		budget += o.mgr.TotalSlabs()
+		oldTotal := 0
+		for ci := range o.classes {
+			n := 0
+			var holes int64
+			for si := range o.classes[ci].subs {
+				l := &o.classes[ci].subs[si].list
+				n += l.Len()
+				l.AscendFromBack(func(it *kv.Item) bool {
+					holes += int64(o.geom.SlotSize(ci) - it.Size)
+					return true
+				})
+			}
+			if n != o.mgr.Used(ci) {
+				return fmt.Errorf("cache: old-era class %d lists hold %d items, slab accounting says %d",
+					ci, n, o.mgr.Used(ci))
+			}
+			if holes != o.holes[ci] {
+				return fmt.Errorf("cache: old-era class %d holes gauge %d, lists say %d",
+					ci, o.holes[ci], holes)
+			}
+			oldTotal += n
+		}
+		if oldTotal != o.items {
+			return fmt.Errorf("cache: old era holds %d items, counter says %d", oldTotal, o.items)
+		}
+		total += oldTotal
+	}
+	if budget != c.totalBudget {
+		return fmt.Errorf("cache: era budgets sum to %d slabs, cache owns %d", budget, c.totalBudget)
 	}
 	if total != c.index.Len() {
 		return fmt.Errorf("cache: lists hold %d items, index holds %d", total, c.index.Len())
@@ -646,10 +773,17 @@ func (c *Cache) subclassFor(pen float64) int {
 
 func (c *Cache) tick() {
 	c.clock++
+	if c.old != nil {
+		// Pump the live re-slab transition: a bounded slice of migration
+		// work per operation, Redis-rehash style.
+		c.reslabStepLocked(c.stepItems)
+	}
 	c.winTick++
 	if c.winTick >= c.cfg.WindowLen {
 		c.stats.WindowRollovers++
-		c.policy.OnWindow()
+		if c.old == nil {
+			c.policy.OnWindow()
+		}
 		for ci := range c.classes {
 			for si := range c.classes[ci].subs {
 				if tr := c.classes[ci].subs[si].tr; tr != nil {
@@ -664,15 +798,26 @@ func (c *Cache) tick() {
 }
 
 // unlinkResident detaches a resident item from list, tracker, index, and
-// slot accounting, without ghost bookkeeping.
+// slot accounting, without ghost bookkeeping. It handles items in either
+// era of a live re-slab transition and notifies a RemovalObserver policy.
 func (c *Cache) unlinkResident(it *kv.Item) {
-	s := &c.classes[it.Class].subs[it.Sub]
+	e := c.eraFor(it)
+	s := &e.classes[it.Class].subs[it.Sub]
 	if s.tr != nil {
 		s.tr.Remove(it)
 	}
 	s.list.Remove(it)
 	c.index.Delete(it.Hash, it.Key)
-	_ = c.slabs.FreeSlot(it.Class)
+	_ = e.mgr.FreeSlot(it.Class)
+	e.holes[it.Class] -= int64(e.geom.SlotSize(it.Class) - it.Size)
+	c.polOnRemove(it)
+	if e.old {
+		c.old.items--
+		if c.old.items == 0 {
+			c.harvestOldLocked()
+			c.finishReslabLocked()
+		}
+	}
 }
 
 func (c *Cache) evictBottomLocked(class, sub int) *kv.Item {
@@ -681,17 +826,24 @@ func (c *Cache) evictBottomLocked(class, sub int) *kv.Item {
 	if it == nil {
 		return nil
 	}
+	c.evictResidentLocked(it, s)
+	return it
+}
+
+// evictResidentLocked performs full eviction bookkeeping for a current-era
+// resident: stale push, unlink, stats, policy notification, ghost entry.
+func (c *Cache) evictResidentLocked(it *kv.Item, s *subclass) {
 	c.pushStaleLocked(it)
 	if s.tr != nil {
 		s.tr.Remove(it)
 	}
 	s.list.Remove(it)
 	c.index.Delete(it.Hash, it.Key)
-	_ = c.slabs.FreeSlot(class)
+	_ = c.slabs.FreeSlot(it.Class)
+	c.holes[it.Class] -= int64(c.geom.SlotSize(it.Class) - it.Size)
 	c.stats.Evictions++
-	c.policy.OnEvict(it)
+	c.polOnEvict(it)
 	c.pushGhost(it)
-	return it
 }
 
 func (c *Cache) evictOneInClassLocked(class int) bool {

@@ -65,7 +65,7 @@ func TestNewDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Geometry() != kv.DefaultGeometry() {
+	if !c.Geometry().Equal(kv.DefaultGeometry()) {
 		t.Fatal("zero geometry should default")
 	}
 	if c.NumSubclasses() != 1 {

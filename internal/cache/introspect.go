@@ -97,6 +97,16 @@ type Introspection struct {
 	// receiver class, whatever policy performed them.
 	SlabMoves [][]uint64 `json:"slab_moves"`
 
+	// BytesHoles is per-class internal fragmentation — bytes of slot
+	// capacity occupied by residents but unused (the memory-holes gauge).
+	BytesHoles []int64 `json:"bytes_holes"`
+
+	// ReslabActive reports a live geometry transition in progress;
+	// ReslabOldItems counts residents still awaiting migration out of the
+	// outgoing era (0 when inactive).
+	ReslabActive   bool `json:"reslab_active,omitempty"`
+	ReslabOldItems int  `json:"reslab_old_items,omitempty"`
+
 	// Items is the resident item count; Stats the engine counters.
 	Items int   `json:"items"`
 	Stats Stats `json:"stats"`
@@ -127,10 +137,16 @@ func (c *Cache) Introspect() Introspection {
 		SubHits:        make([][]uint64, nc),
 		SubMisses:      make([][]uint64, nc),
 		SlabMoves:      make([][]uint64, nc),
+		BytesHoles:     append([]int64(nil), c.holes...),
 		Items:          c.index.Len(),
 		Stats:          c.stats,
 	}
 	in.Stats.SlabMigrations = c.slabs.Migrations
+	if c.old != nil {
+		in.ReslabActive = true
+		in.ReslabOldItems = c.old.items
+		in.Stats.SlabMigrations += c.old.mgr.Migrations
+	}
 	for ci := 0; ci < nc; ci++ {
 		in.SlotSizes[ci] = c.geom.SlotSize(ci)
 		in.UsedSlots[ci] = c.slabs.Used(ci)
@@ -172,6 +188,13 @@ func (in *Introspection) Merge(other Introspection) {
 	}
 	addInts(in.Slabs, other.Slabs)
 	addInts(in.UsedSlots, other.UsedSlots)
+	for i := range other.BytesHoles {
+		if i < len(in.BytesHoles) {
+			in.BytesHoles[i] += other.BytesHoles[i]
+		}
+	}
+	in.ReslabActive = in.ReslabActive || other.ReslabActive
+	in.ReslabOldItems += other.ReslabOldItems
 	for ci := range other.SubLens {
 		if ci >= len(in.SubLens) {
 			break
@@ -204,6 +227,8 @@ func addStats(a, b Stats) Stats {
 		FallbackEvicts:  a.FallbackEvicts + b.FallbackEvicts,
 		WindowRollovers: a.WindowRollovers + b.WindowRollovers,
 		SlabMigrations:  a.SlabMigrations + b.SlabMigrations,
+		Reslabs:         a.Reslabs + b.Reslabs,
+		ReslabMoved:     a.ReslabMoved + b.ReslabMoved,
 	}
 }
 

@@ -57,21 +57,15 @@ func (c *Cache) GetWithCAS(key string, buf []byte) (val []byte, flags uint32, ca
 			c.stats.GhostHits++
 			gseg = c.ghostSeg(g)
 		}
-		c.policy.OnMiss(-1, -1, g, gseg)
+		c.polOnMiss(-1, -1, g, gseg)
 		return buf, 0, 0, false
 	}
-	s := &c.classes[it.Class].subs[it.Sub]
-	seg := -1
-	if s.tr != nil {
-		seg = s.tr.Touch(it)
-	} else {
-		s.list.MoveToFront(it)
-	}
+	seg, acl := c.touchResident(it)
 	it.LastAccess = c.clock
-	c.winReqs[it.Class]++
+	c.winReqs[acl]++
 	c.stats.Hits++
-	c.subHits[it.Class][it.Sub]++
-	c.policy.OnHit(it, seg)
+	c.subHits[acl][it.Sub]++
+	c.polOnHit(it, seg)
 	if c.cfg.StoreValues {
 		buf = append(buf, it.Value...)
 	}

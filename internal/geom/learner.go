@@ -1,0 +1,99 @@
+package geom
+
+import "pamakv/internal/kv"
+
+// Config parameterizes the online boundary Learner. The zero value is
+// usable: Normalize fills defaults.
+type Config struct {
+	// Classes is the class-count budget for proposed geometries. 0 means
+	// "same as the current geometry" at Propose time.
+	Classes int
+	// MinSamples is the minimum number of observed sizes before the
+	// learner will propose anything.
+	MinSamples uint64
+	// Every is the observation cadence between proposals; Propose returns
+	// nothing until this many new observations arrived since the last
+	// proposal (or since start).
+	Every uint64
+	// MinGain is the fractional predicted-waste reduction a candidate
+	// geometry must achieve over the current one to be proposed
+	// (hysteresis against flapping). 0.10 means "10% fewer hole bytes
+	// per item".
+	MinGain float64
+	// StepItems bounds how many items a single re-slab pump step migrates;
+	// the cache uses it to spread transition work across operations.
+	StepItems int
+}
+
+// Normalize fills zero fields with defaults tuned for the simulator scale.
+func (c Config) Normalize() Config {
+	if c.MinSamples == 0 {
+		c.MinSamples = 4096
+	}
+	if c.Every == 0 {
+		c.Every = 65536
+	}
+	if c.MinGain == 0 {
+		c.MinGain = 0.10
+	}
+	if c.StepItems == 0 {
+		c.StepItems = 64
+	}
+	return c
+}
+
+// Learner observes item sizes and periodically proposes a better slot-size
+// table. It has no locking of its own; the cache engine calls it under the
+// engine lock.
+type Learner struct {
+	cfg  Config
+	hist *Histogram
+	// sinceProposal counts observations since the last Propose attempt.
+	sinceProposal uint64
+}
+
+// NewLearner builds a learner whose histogram covers 1..maxItem (typically
+// Geometry.MaxItemSize()).
+func NewLearner(cfg Config, maxItem int) *Learner {
+	return &Learner{cfg: cfg.Normalize(), hist: NewHistogram(maxItem)}
+}
+
+// Config returns the normalized configuration.
+func (l *Learner) Config() Config { return l.cfg }
+
+// Histogram exposes the underlying histogram (for gauges and tests).
+func (l *Learner) Histogram() *Histogram { return l.hist }
+
+// Observe records one stored item's size.
+func (l *Learner) Observe(size int) {
+	l.hist.Observe(size)
+	l.sinceProposal++
+}
+
+// Propose returns a geometry strictly better than cur — predicted waste at
+// least MinGain lower — or ok == false when it is not yet time, there is
+// not enough data, or no candidate clears the bar. A successful or failed
+// attempt both reset the cadence and decay the histogram so the learner
+// keeps tracking the live size mix.
+func (l *Learner) Propose(cur kv.Geometry) (g kv.Geometry, ok bool) {
+	if l.sinceProposal < l.cfg.Every || l.hist.Total() < l.cfg.MinSamples {
+		return kv.Geometry{}, false
+	}
+	l.sinceProposal = 0
+	defer l.hist.Decay()
+
+	classes := l.cfg.Classes
+	if classes <= 0 {
+		classes = cur.NumClasses
+	}
+	cand, err := l.hist.Solve(classes, cur.SlabSize, cur.MaxItemSize())
+	if err != nil || cand.Equal(cur) {
+		return kv.Geometry{}, false
+	}
+	curWaste := l.hist.PredictedWaste(cur)
+	newWaste := l.hist.PredictedWaste(cand)
+	if curWaste <= 0 || newWaste > curWaste*(1-l.cfg.MinGain) {
+		return kv.Geometry{}, false
+	}
+	return cand, true
+}

@@ -73,8 +73,15 @@ type Item struct {
 	// it, as Memcached does.
 	ExpireAt int64
 	// Seq is the rank-ring sequence assigned by the segment tracker; it is
-	// owned by package rank.
+	// owned by package rank. Policies that disable segment tracking
+	// (Segments() == 0) may repurpose it as per-item scratch (policy.CAMP
+	// stores its insertion-time clock here).
 	Seq uint64
+	// Gen is the cache geometry generation the item was slotted under;
+	// during a live re-slab transition it distinguishes items still in the
+	// outgoing era from items already in the target era. Owned by package
+	// cache.
+	Gen uint32
 	// CAS is the compare-and-set token, changed on every store of the
 	// key (Memcached cas semantics).
 	CAS uint64
@@ -95,17 +102,29 @@ func (it *Item) Reset() {
 	}
 }
 
-// Geometry describes the slab-class layout: class i holds items of size at
-// most Base << i, up to NumClasses classes, each slab being SlabSize bytes.
-// The zero Geometry is not valid; use DefaultGeometry or fill all fields.
+// Geometry describes the slab-class layout. In the default (power-of-two)
+// law, class i holds items of size at most Base << i; when Slots is set it
+// overrides the law with an arbitrary strictly increasing slot-size table
+// (learned geometries, package geom). Either way there are NumClasses
+// classes and each slab is SlabSize bytes.
+//
+// The zero Geometry is not valid; use DefaultGeometry, NewTableGeometry, or
+// fill all fields. Geometry contains a slice, so compare with Equal/IsZero,
+// never ==.
 type Geometry struct {
 	// SlabSize is the size of one slab in bytes (Memcached default 1 MiB).
 	SlabSize int
-	// Base is the slot size of class 0 in bytes (paper: 64).
+	// Base is the slot size of class 0 in bytes (paper: 64). Ignored when
+	// Slots is set.
 	Base int
-	// NumClasses is the number of size classes. The largest class slot is
-	// Base << (NumClasses-1), which must not exceed SlabSize.
+	// NumClasses is the number of size classes. Under the power-of-two law
+	// the largest class slot is Base << (NumClasses-1), which must not
+	// exceed SlabSize; with Slots set, NumClasses must equal len(Slots).
 	NumClasses int
+	// Slots, when non-nil, is the slot size of each class: strictly
+	// increasing, with Slots[len-1] <= SlabSize. nil selects the
+	// power-of-two law (all seed behavior).
+	Slots []int
 }
 
 // DefaultGeometry mirrors the paper's setup: 1 MiB slabs, class 0 at 64 B,
@@ -114,15 +133,75 @@ func DefaultGeometry() Geometry {
 	return Geometry{SlabSize: 1 << 20, Base: 64, NumClasses: 15}
 }
 
+// NewTableGeometry builds a table-driven geometry from an explicit slot-size
+// list, validating it.
+func NewTableGeometry(slabSize int, slots []int) (Geometry, error) {
+	g := Geometry{
+		SlabSize:   slabSize,
+		NumClasses: len(slots),
+		Slots:      append([]int(nil), slots...),
+	}
+	if len(slots) > 0 {
+		g.Base = slots[0]
+	}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// IsZero reports whether g is the zero Geometry (meaning "use the default").
+func (g Geometry) IsZero() bool {
+	return g.SlabSize == 0 && g.Base == 0 && g.NumClasses == 0 && g.Slots == nil
+}
+
+// Equal reports whether two geometries describe the same layout: same slab
+// size, same class count, and the same slot size for every class (a table
+// geometry equals a power-of-two geometry when the tables coincide).
+func (g Geometry) Equal(o Geometry) bool {
+	if g.SlabSize != o.SlabSize || g.NumClasses != o.NumClasses {
+		return false
+	}
+	for c := 0; c < g.NumClasses; c++ {
+		if g.SlotSize(c) != o.SlotSize(c) {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate reports whether the geometry is internally consistent.
 func (g Geometry) Validate() error {
 	switch {
 	case g.SlabSize <= 0:
 		return fmt.Errorf("kv: slab size %d must be positive", g.SlabSize)
-	case g.Base <= 0:
-		return fmt.Errorf("kv: base slot size %d must be positive", g.Base)
 	case g.NumClasses <= 0:
 		return fmt.Errorf("kv: class count %d must be positive", g.NumClasses)
+	}
+	if g.Slots != nil {
+		if len(g.Slots) != g.NumClasses {
+			return fmt.Errorf("kv: slot table holds %d entries for %d classes",
+				len(g.Slots), g.NumClasses)
+		}
+		prev := 0
+		for c, s := range g.Slots {
+			if s <= prev {
+				return fmt.Errorf("kv: slot table not strictly increasing at class %d (%d after %d)",
+					c, s, prev)
+			}
+			prev = s
+		}
+		if g.Slots[len(g.Slots)-1] > g.SlabSize {
+			return fmt.Errorf("kv: largest slot %d exceeds slab size %d",
+				g.Slots[len(g.Slots)-1], g.SlabSize)
+		}
+		return nil
+	}
+	switch {
+	case g.Base <= 0:
+		return fmt.Errorf("kv: base slot size %d must be positive", g.Base)
+	case g.NumClasses > 62:
+		return fmt.Errorf("kv: class count %d overflows the power-of-two law", g.NumClasses)
 	case g.SlotSize(g.NumClasses-1) > g.SlabSize:
 		return fmt.Errorf("kv: largest slot %d exceeds slab size %d",
 			g.SlotSize(g.NumClasses-1), g.SlabSize)
@@ -131,7 +210,12 @@ func (g Geometry) Validate() error {
 }
 
 // SlotSize returns the slot size of class c in bytes.
-func (g Geometry) SlotSize(c int) int { return g.Base << uint(c) }
+func (g Geometry) SlotSize(c int) int {
+	if g.Slots != nil {
+		return g.Slots[c]
+	}
+	return g.Base << uint(c)
+}
 
 // SlotsPerSlab returns how many slots one slab yields in class c.
 func (g Geometry) SlotsPerSlab(c int) int { return g.SlabSize / g.SlotSize(c) }
@@ -144,6 +228,22 @@ func (g Geometry) MaxItemSize() int { return g.SlotSize(g.NumClasses - 1) }
 func (g Geometry) ClassFor(size int) int {
 	if size <= 0 {
 		size = 1
+	}
+	if g.Slots != nil {
+		if size > g.Slots[len(g.Slots)-1] {
+			return -1
+		}
+		// Binary search for the first slot >= size.
+		lo, hi := 0, len(g.Slots)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if size <= g.Slots[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
 	}
 	s := g.Base
 	for c := 0; c < g.NumClasses; c++ {

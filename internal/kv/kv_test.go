@@ -66,6 +66,102 @@ func TestClassForFitsSlot(t *testing.T) {
 	}
 }
 
+func TestTableGeometry(t *testing.T) {
+	g, err := NewTableGeometry(4096, []int{80, 200, 1000, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClasses != 4 || g.MaxItemSize() != 4096 {
+		t.Fatalf("geometry shape wrong: %+v", g)
+	}
+	cases := []struct{ size, want int }{
+		{0, 0}, {1, 0}, {80, 0}, {81, 1}, {200, 1}, {201, 2},
+		{1000, 2}, {1001, 3}, {4096, 3}, {4097, -1},
+	}
+	for _, c := range cases {
+		if got := g.ClassFor(c.size); got != c.want {
+			t.Errorf("ClassFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	if got := g.SlotsPerSlab(0); got != 4096/80 {
+		t.Errorf("SlotsPerSlab(0) = %d, want %d", got, 4096/80)
+	}
+}
+
+func TestTableGeometryRejects(t *testing.T) {
+	cases := []struct {
+		slab  int
+		slots []int
+	}{
+		{4096, nil},                 // empty table
+		{4096, []int{}},             // empty table
+		{4096, []int{64, 64}},       // not strictly increasing
+		{4096, []int{128, 64}},      // decreasing
+		{4096, []int{0, 64}},        // non-positive slot
+		{4096, []int{64, 8192}},     // slot exceeds slab
+		{0, []int{64}},              // bad slab size
+		{4096, []int{-1, 64, 4096}}, // negative slot
+	}
+	for i, c := range cases {
+		if _, err := NewTableGeometry(c.slab, c.slots); err == nil {
+			t.Errorf("case %d: NewTableGeometry(%d, %v) accepted", i, c.slab, c.slots)
+		}
+	}
+	// Mismatched NumClasses vs table length is rejected too.
+	g := Geometry{SlabSize: 4096, NumClasses: 3, Slots: []int{64, 128}}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted NumClasses != len(Slots)")
+	}
+}
+
+func TestTableGeometryEqualsPowerOfTwo(t *testing.T) {
+	p2 := Geometry{SlabSize: 4096, Base: 64, NumClasses: 4}
+	tab, err := NewTableGeometry(4096, []int{64, 128, 256, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(p2) || !p2.Equal(tab) {
+		t.Fatal("table geometry with power-of-two slots should Equal the law form")
+	}
+	tab2, _ := NewTableGeometry(4096, []int{64, 128, 256, 1024})
+	if tab2.Equal(p2) {
+		t.Fatal("different slot tables must not be Equal")
+	}
+	if !p2.Equal(p2) || p2.IsZero() {
+		t.Fatal("self-equality / IsZero broken")
+	}
+	if !(Geometry{}).IsZero() {
+		t.Fatal("zero Geometry must report IsZero")
+	}
+}
+
+func TestTableClassForFitsSlot(t *testing.T) {
+	g, err := NewTableGeometry(1<<20, []int{48, 100, 333, 1024, 5000, 65536, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(size uint32) bool {
+		s := int(size % uint32(g.MaxItemSize()+2))
+		c := g.ClassFor(s)
+		if s > g.MaxItemSize() {
+			return c == -1
+		}
+		if c < 0 || c >= g.NumClasses {
+			return false
+		}
+		if s > g.SlotSize(c) {
+			return false
+		}
+		return c == 0 || s > g.SlotSize(c-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSlotsPerSlab(t *testing.T) {
 	g := DefaultGeometry()
 	if got := g.SlotsPerSlab(0); got != 16384 {

@@ -350,6 +350,23 @@ func (a *Admin) writeIntrospection(p *obs.PromWriter, in cache.Introspection) {
 		p.Value("pamakv_used_slots", `class="`+strconv.Itoa(cl)+`"`, float64(n))
 	}
 
+	p.Header("pamakv_holes_bytes", "Internal fragmentation per size class: slot bytes occupied by residents but unused.", "gauge")
+	var holesTotal int64
+	for cl, n := range in.BytesHoles {
+		holesTotal += n
+		if n != 0 {
+			p.Value("pamakv_holes_bytes", `class="`+strconv.Itoa(cl)+`"`, float64(n))
+		}
+	}
+	p.Gauge("pamakv_holes_bytes_total", "Internal fragmentation across all classes.", float64(holesTotal))
+	p.Counter("pamakv_reslabs_total", "Live geometry transitions begun.", in.Stats.Reslabs)
+	p.Counter("pamakv_reslab_moved_total", "Items migrated across geometry transitions.", in.Stats.ReslabMoved)
+	reslabActive := 0.0
+	if in.ReslabActive {
+		reslabActive = 1
+	}
+	p.Gauge("pamakv_reslab_active", "1 while a geometry transition is draining the outgoing era.", reslabActive)
+
 	p.Header("pamakv_subclass_items", "Resident items per (class, penalty subclass) LRU stack.", "gauge")
 	for cl, row := range in.SubLens {
 		for sub, n := range row {

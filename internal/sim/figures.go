@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"pamakv/internal/geom"
 	"pamakv/internal/kv"
 	"pamakv/internal/metrics"
 	"pamakv/internal/workload"
@@ -100,13 +101,16 @@ func FigureByID(id string, scale float64) (*Figure, error) {
 		return figure9(scale), nil
 	case "10":
 		return figure10(scale), nil
+	case "holes":
+		return figureHoles(scale), nil
 	default:
-		return nil, fmt.Errorf("sim: unknown figure %q (have 3,4,5,6,7,8,9,10)", id)
+		return nil, fmt.Errorf("sim: unknown figure %q (have 3,4,5,6,7,8,9,10,holes)", id)
 	}
 }
 
-// AllFigureIDs lists the figures FigureByID accepts, in paper order.
-func AllFigureIDs() []string { return []string{"3", "4", "5", "6", "7", "8", "9", "10"} }
+// AllFigureIDs lists the figures FigureByID accepts, in paper order plus
+// the repository's own ablations.
+func AllFigureIDs() []string { return []string{"3", "4", "5", "6", "7", "8", "9", "10", "holes"} }
 
 func baseSpec(wl workload.Config, cacheBytes int64, reqs uint64, kind string) Spec {
 	return Spec{
@@ -271,6 +275,72 @@ func figure10(scale float64) *Figure {
 		return renderGrouped(w, res, len(ms))
 	}
 	return f
+}
+
+// HolesAdaptiveConfig is the learner tuning the memory-holes ablation (and
+// its CI gate) uses: proposal cadence short enough to converge within a
+// scaled run, default gain hysteresis.
+func HolesAdaptiveConfig() *geom.Config {
+	return &geom.Config{MinSamples: 8192, Every: 16384, StepItems: 128}
+}
+
+// figureHoles is the repository's memory-holes ablation: the same
+// mixed-size trace through identical caches, one on the static power-of-two
+// geometry and one with the online boundary learner re-slabbing live. The
+// rendered table is results/fig_holes.tsv.
+func figureHoles(scale float64) *Figure {
+	reqs := scaled(2_000_000, scale)
+	wl := workload.MixedSize()
+	cacheBytes := int64(32) << 20
+	f := &Figure{
+		ID:    "holes",
+		Title: "Memory holes: power-of-two vs learned slab geometry (MIXED workload)",
+	}
+	s := baseSpec(wl, cacheBytes, reqs, "memcached")
+	s.Name = "po2"
+	f.Specs = append(f.Specs, s)
+	a := baseSpec(wl, cacheBytes, reqs, "memcached")
+	a.Name = "learned"
+	a.Adaptive = HolesAdaptiveConfig()
+	f.Specs = append(f.Specs, a)
+	f.Render = RenderHoles
+	return f
+}
+
+// RenderHoles writes the memory-holes comparison: one summary row per run
+// (holes in absolute bytes and per resident item, alongside hit ratio so
+// the fragmentation win is shown at equal service quality), then each
+// run's final slot table with per-class holes.
+func RenderHoles(w io.Writer, res []*Result) error {
+	fmt.Fprintln(w, "name\tmean_hit\titems\tholes_bytes\tholes_per_item\treslabs\treslab_moved\tmiss_penalty_s")
+	for _, r := range res {
+		if r == nil {
+			continue
+		}
+		perItem := 0.0
+		if r.Items > 0 {
+			perItem = float64(r.HolesBytes) / float64(r.Items)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			r.Spec.Name, r.Series.MeanHitRatio(), r.Items, r.HolesBytes, perItem,
+			r.Stats.Reslabs, r.Stats.ReslabMoved, r.MissPenalty); err != nil {
+			return err
+		}
+	}
+	for _, r := range res {
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(w, "\n# final geometry: %s\nclass\tslot_bytes\tholes_bytes\n", r.Spec.Name)
+		for cl, slot := range r.SlotSizes {
+			holes := int64(0)
+			if cl < len(r.BytesHoles) {
+				holes = r.BytesHoles[cl]
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\n", cl, slot, holes)
+		}
+	}
+	return nil
 }
 
 // renderGrouped prints results in groups of groupSize series side by side,

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHolesAblationGate is the memory-holes gate: on the mixed-size trace
+// the learned geometry must waste at least 20% fewer bytes to internal
+// fragmentation than the power-of-two baseline, without giving up hit
+// ratio. CI runs this at this reduced scale; results/fig_holes.tsv records
+// the full-scale run.
+func TestHolesAblationGate(t *testing.T) {
+	f, err := FigureByID("holes", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMatrix(f.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po2, learned := res[0], res[1]
+	if po2 == nil || learned == nil {
+		t.Fatal("missing results")
+	}
+	t.Logf("po2: holes=%d items=%d hit=%.4f", po2.HolesBytes, po2.Items, po2.Series.MeanHitRatio())
+	t.Logf("learned: holes=%d items=%d hit=%.4f reslabs=%d moved=%d slots=%v",
+		learned.HolesBytes, learned.Items, learned.Series.MeanHitRatio(),
+		learned.Stats.Reslabs, learned.Stats.ReslabMoved, learned.SlotSizes)
+	if learned.Stats.Reslabs == 0 {
+		t.Fatal("learner never re-slabbed; ablation exercised nothing")
+	}
+	// Holes are compared per resident item: under memory pressure the two
+	// geometries hold different item counts, and per-item waste is what
+	// the boundary solver minimizes.
+	po2PerItem := float64(po2.HolesBytes) / float64(po2.Items)
+	learnedPerItem := float64(learned.HolesBytes) / float64(learned.Items)
+	if learnedPerItem > 0.80*po2PerItem {
+		t.Fatalf("learned geometry wastes %.1f bytes/item vs po2 %.1f — less than the required 20%% reduction",
+			learnedPerItem, po2PerItem)
+	}
+	if learned.Series.MeanHitRatio() < po2.Series.MeanHitRatio()-0.01 {
+		t.Fatalf("learned hit ratio %.4f fell more than a point below po2 %.4f",
+			learned.Series.MeanHitRatio(), po2.Series.MeanHitRatio())
+	}
+	var sb strings.Builder
+	if err := RenderHoles(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "holes_per_item") || !strings.Contains(sb.String(), "# final geometry: learned") {
+		t.Fatalf("RenderHoles output malformed:\n%s", sb.String())
+	}
+}

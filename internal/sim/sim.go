@@ -20,6 +20,7 @@ import (
 	"pamakv/internal/cache"
 	"pamakv/internal/core"
 	"pamakv/internal/gds"
+	"pamakv/internal/geom"
 	"pamakv/internal/kv"
 	"pamakv/internal/metrics"
 	"pamakv/internal/penalty"
@@ -32,8 +33,9 @@ import (
 type PolicySpec struct {
 	// Kind is one of "memcached", "psa", "pama", "pre-pama",
 	// "twemcache", "facebook-age", "mrc-hit", "mrc-time", "lama-hit",
-	// "lama-time" — or "gdsf", which selects the item-granularity
-	// GreedyDual-Size-Frequency engine instead of a slab policy.
+	// "lama-time", "camp", "size-aware" — or "gdsf", which selects the
+	// item-granularity GreedyDual-Size-Frequency engine instead of a
+	// slab policy.
 	Kind string
 	// PAMA configures pama/pre-pama. The zero value selects paper
 	// defaults; to run PAMA with a custom M (including M=0, Fig. 10),
@@ -80,6 +82,10 @@ func (p PolicySpec) Build() (cache.Policy, error) {
 		return policy.NewLAMA(policy.ObjectiveMissRatio), nil
 	case "lama-time":
 		return policy.NewLAMA(policy.ObjectiveAvgTime), nil
+	case "camp":
+		return policy.NewCAMP(), nil
+	case "size-aware":
+		return policy.NewSizeAware(), nil
 	case "gdsf":
 		// GDSF is a whole engine, not a slab policy; Run special-cases
 		// it. Returning a sentinel keeps Build usable for validation.
@@ -158,6 +164,9 @@ type Spec struct {
 	Policy PolicySpec
 	// Tracker selects segment tracking (PAMA only).
 	Tracker cache.TrackerKind
+	// Adaptive enables the online slab-geometry learner (nil = static
+	// geometry). Ignored by the gdsf engine.
+	Adaptive *geom.Config
 	// Burst optionally injects the cold flood.
 	Burst *BurstSpec
 	// SampleSubClass records per-subclass slab shares of this class in
@@ -167,7 +176,7 @@ type Spec struct {
 
 // withDefaults fills unset fields.
 func (s Spec) withDefaults() Spec {
-	if s.Geometry == (kv.Geometry{}) {
+	if s.Geometry.IsZero() {
 		s.Geometry = kv.DefaultGeometry()
 	}
 	if s.Requests == 0 {
@@ -208,7 +217,19 @@ type Result struct {
 	Decisions *core.Decisions
 	// ServiceHist is the log-histogram of GET service times.
 	ServiceHist *metrics.Histogram
-	Elapsed     time.Duration
+	// MissPenalty is the summed miss penalty of every GET miss — the
+	// penalty-weighted miss cost the cost-aware baselines optimize.
+	MissPenalty float64
+	// BytesHoles is the final per-class internal fragmentation (slab
+	// engines only; nil for gdsf); HolesBytes is its sum and Items the
+	// final resident count, for normalizing holes per item.
+	BytesHoles []int64
+	HolesBytes int64
+	Items      int
+	// SlotSizes is the final slot table — under Adaptive this is the
+	// learned geometry, not the configured one.
+	SlotSizes []int
+	Elapsed   time.Duration
 }
 
 // Run executes one experiment.
@@ -231,6 +252,7 @@ func Run(spec Spec) (*Result, error) {
 			CacheBytes: spec.CacheBytes,
 			WindowLen:  spec.EngineWindow,
 			Tracker:    spec.Tracker,
+			Adaptive:   spec.Adaptive,
 		}, pol)
 		if err != nil {
 			return nil, err
@@ -295,6 +317,7 @@ func Run(spec Spec) (*Result, error) {
 				svc := spec.HitTime
 				if !hit {
 					svc = pen
+					res.MissPenalty += pen
 					// GET-miss → backend fetch → SET refill,
 					// the pattern penalties are estimated from.
 					if err := c.Set(key, size, pen, 0, nil); err != nil &&
@@ -321,6 +344,18 @@ func Run(spec Spec) (*Result, error) {
 	}
 	if win.Gets > 0 {
 		snapshot()
+	}
+	if eng, ok := c.(*cache.Cache); ok {
+		// Converge any in-flight geometry transition so the final holes
+		// and invariants describe the learned steady state.
+		for eng.ReslabActive() {
+			eng.ReslabStep(4096)
+		}
+		in := eng.Introspect()
+		res.BytesHoles = in.BytesHoles
+		res.HolesBytes = eng.HolesTotal()
+		res.Items = in.Items
+		res.SlotSizes = in.SlotSizes
 	}
 	res.Stats = c.Stats()
 	if p, ok := pol.(*core.PAMA); ok {

@@ -247,7 +247,7 @@ func TestRunMatrixReportsErrors(t *testing.T) {
 
 func TestSpecDefaults(t *testing.T) {
 	s := Spec{Policy: PolicySpec{Kind: "pama"}}.withDefaults()
-	if s.Geometry != kv.DefaultGeometry() {
+	if !s.Geometry.Equal(kv.DefaultGeometry()) {
 		t.Fatal("geometry default missing")
 	}
 	if s.Requests == 0 || s.MetricsWindow == 0 || s.EngineWindow == 0 || s.HitTime == 0 {

@@ -43,7 +43,9 @@ func NewManager(geom kv.Geometry, cacheBytes int64) (*Manager, error) {
 	}
 	n := int(cacheBytes / int64(geom.SlabSize))
 	if n < 1 {
-		return nil, fmt.Errorf("slab: cache of %d bytes holds no %d-byte slab", cacheBytes, geom.SlabSize)
+		return nil, fmt.Errorf(
+			"slab: cache of %d bytes holds no %d-byte slab; raise the cache size to at least one slab (%d bytes) or shrink Geometry.SlabSize",
+			cacheBytes, geom.SlabSize, geom.SlabSize)
 	}
 	return &Manager{
 		geom:       geom,
@@ -51,6 +53,42 @@ func NewManager(geom kv.Geometry, cacheBytes int64) (*Manager, error) {
 		freeSlabs:  n,
 		classes:    make([]classState, geom.NumClasses),
 	}, nil
+}
+
+// NewEmpty creates a manager with a zero slab budget. It is the starting
+// state of the incoming era during a live re-slab transition: the outgoing
+// manager hands slabs over one at a time via ShrinkBudget/GrowBudget so the
+// combined budget stays constant.
+func NewEmpty(geom kv.Geometry) (*Manager, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{geom: geom, classes: make([]classState, geom.NumClasses)}, nil
+}
+
+// GrowBudget adds n slabs to the budget and the free pool (the receiving
+// side of a budget transfer).
+func (m *Manager) GrowBudget(n int) error {
+	if n < 0 {
+		return fmt.Errorf("slab: negative budget growth %d", n)
+	}
+	m.totalSlabs += n
+	m.freeSlabs += n
+	return nil
+}
+
+// ShrinkBudget removes n slabs from the budget; they must all be free (the
+// donating side of a budget transfer).
+func (m *Manager) ShrinkBudget(n int) error {
+	if n < 0 {
+		return fmt.Errorf("slab: negative budget shrink %d", n)
+	}
+	if n > m.freeSlabs {
+		return fmt.Errorf("slab: cannot shrink budget by %d, only %d slabs free", n, m.freeSlabs)
+	}
+	m.totalSlabs -= n
+	m.freeSlabs -= n
+	return nil
 }
 
 // Geometry returns the class geometry.

@@ -2,6 +2,7 @@ package slab
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -29,6 +30,96 @@ func TestNewManagerRejects(t *testing.T) {
 	bad := kv.Geometry{SlabSize: 0, Base: 64, NumClasses: 4}
 	if _, err := NewManager(bad, 1<<20); err == nil {
 		t.Fatal("invalid geometry accepted")
+	}
+}
+
+// TestNewManagerBoundaryCapacities pins the rounding rule at every edge:
+// cacheBytes strictly below one slab is a descriptive error, and partial
+// slabs always round down.
+func TestNewManagerBoundaryCapacities(t *testing.T) {
+	g := testGeom() // SlabSize = 64 KiB
+	ss := int64(g.SlabSize)
+	cases := []struct {
+		name       string
+		cacheBytes int64
+		wantSlabs  int
+		wantErr    bool
+	}{
+		{"zero bytes", 0, 0, true},
+		{"negative bytes", -1, 0, true},
+		{"one byte short of a slab", ss - 1, 0, true},
+		{"exactly one slab", ss, 1, false},
+		{"one byte over a slab", ss + 1, 1, false},
+		{"just under two slabs", 2*ss - 1, 1, false},
+		{"exactly two slabs", 2 * ss, 2, false},
+		{"large uneven", 1000*ss + ss/2, 1000, false},
+	}
+	for _, c := range cases {
+		m, err := NewManager(g, c.cacheBytes)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: NewManager(%d bytes) accepted", c.name, c.cacheBytes)
+			} else if !strings.Contains(err.Error(), "raise the cache size") {
+				t.Errorf("%s: error not descriptive: %v", c.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if m.TotalSlabs() != c.wantSlabs {
+			t.Errorf("%s: got %d slabs, want %d", c.name, m.TotalSlabs(), c.wantSlabs)
+		}
+	}
+}
+
+func TestBudgetTransfer(t *testing.T) {
+	g := testGeom()
+	donor := mustManager(t, 4)
+	recv, err := NewEmpty(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recv.TotalSlabs() != 0 || recv.FreeSlabs() != 0 {
+		t.Fatalf("NewEmpty: total=%d free=%d", recv.TotalSlabs(), recv.FreeSlabs())
+	}
+	if err := recv.AllocSlab(0); err == nil {
+		t.Fatal("empty manager allocated a slab")
+	}
+	// Hand over slabs one at a time; the combined budget stays 4.
+	for i := 0; i < 4; i++ {
+		if err := donor.ShrinkBudget(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := recv.GrowBudget(1); err != nil {
+			t.Fatal(err)
+		}
+		if got := donor.TotalSlabs() + recv.TotalSlabs(); got != 4 {
+			t.Fatalf("combined budget %d after transfer %d", got, i+1)
+		}
+		if err := donor.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := recv.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Donor is exhausted; occupied slabs cannot leave.
+	if err := donor.ShrinkBudget(1); err == nil {
+		t.Fatal("shrank an empty budget")
+	}
+	if err := recv.AllocSlab(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.ShrinkBudget(4); err == nil {
+		t.Fatal("shrank past free slabs (one is owned by class 2)")
+	}
+	if err := recv.ShrinkBudget(-1); err == nil {
+		t.Fatal("negative shrink accepted")
+	}
+	if err := recv.GrowBudget(-1); err == nil {
+		t.Fatal("negative growth accepted")
 	}
 }
 

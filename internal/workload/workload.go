@@ -144,6 +144,31 @@ func VAR() Config {
 	}
 }
 
+// MixedSize is the memory-holes ablation trace: item sizes spread across
+// several octaves with substantial mass in every occupied band, while the
+// upper half of the geometry's size range stays empty. Power-of-two slots
+// waste about a quarter of every occupied slot on intra-band spread and
+// strand their class budget on bands no item ever reaches; a learned
+// geometry reclaims both, which is exactly what results/fig_holes.tsv
+// measures.
+func MixedSize() Config {
+	return Config{
+		Name:     "MIXED",
+		Keys:     60_000,
+		ZipfS:    0.80,
+		BaseSize: 64,
+		ClassWeights: []float64{
+			0.25, 0.20, 0.18, 0.14, 0.10, 0.08, 0.05,
+		},
+		ColdFrac:    0.010,
+		SetFrac:     0.050,
+		DelFrac:     0.002,
+		RotateEvery: 4096,
+		Seed:        9,
+		Penalty:     penalty.Default(),
+	}
+}
+
 // ByName resolves a workload model by its lower-case name.
 func ByName(name string) (Config, error) {
 	switch name {
@@ -157,8 +182,10 @@ func ByName(name string) (Config, error) {
 		return SYS(), nil
 	case "var":
 		return VAR(), nil
+	case "mixed-size", "mixed":
+		return MixedSize(), nil
 	default:
-		return Config{}, fmt.Errorf("workload: unknown model %q (etc, app, usr, sys, var)", name)
+		return Config{}, fmt.Errorf("workload: unknown model %q (etc, app, usr, sys, var, mixed-size)", name)
 	}
 }
 

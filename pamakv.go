@@ -33,6 +33,7 @@ import (
 	"pamakv/internal/cluster"
 	"pamakv/internal/core"
 	"pamakv/internal/gds"
+	"pamakv/internal/geom"
 	"pamakv/internal/kv"
 	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
@@ -131,6 +132,24 @@ func NewTwemcache(seed uint64) *policy.Twemcache { return policy.NewTwemcache(se
 
 // NewFacebookAge returns Facebook's LRU-age balancing policy.
 func NewFacebookAge() *policy.FacebookAge { return policy.NewFacebookAge() }
+
+// NewCAMP returns the cost-adaptive multi-queue eviction policy (rounded
+// cost/size ratio queues under a GreedyDual inflation clock).
+func NewCAMP() *policy.CAMP { return policy.NewCAMP() }
+
+// NewSizeAware returns the frequency-per-byte size-aware eviction baseline.
+func NewSizeAware() *policy.SizeAware { return policy.NewSizeAware() }
+
+// NewTableGeometry builds a geometry from an explicit strictly increasing
+// slot-size table, e.g. one produced by the adaptive boundary learner.
+func NewTableGeometry(slabSize int, slots []int) (Geometry, error) {
+	return kv.NewTableGeometry(slabSize, slots)
+}
+
+// AdaptiveConfig tunes the online slab-geometry learner; assign one to
+// Config.Adaptive to let the cache learn slot boundaries from observed
+// sizes and re-slab live. The zero value selects the defaults.
+type AdaptiveConfig = geom.Config
 
 // MRCObjective selects what the MRC/LAMA allocators optimize.
 type MRCObjective = policy.MRCObjective
