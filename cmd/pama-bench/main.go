@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,3,4,5,6,7,8,9,10, 'holes' (memory-holes ablation) or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,3,4,5,6,7,8,9,10, 'holes' (memory-holes ablation), 'tenants' (multi-tenant arbitration vs static partitions) or 'all'")
 	scale := flag.Float64("scale", 1.0, "request-count scale relative to the 1:100-scaled defaults")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	doPlot := flag.Bool("plot", false, "render ASCII charts instead of raw TSV series")
@@ -40,7 +40,9 @@ func main() {
 func run(fig string, scale float64, workers int, doPlot bool) error {
 	ids := []string{fig}
 	if fig == "all" {
-		ids = append([]string{"1"}, sim.AllFigureIDs()...)
+		// "tenants" is not a matrix figure (it compares N partitioned runs
+		// against one arbitrated run), so it rides alongside AllFigureIDs.
+		ids = append(append([]string{"1"}, sim.AllFigureIDs()...), "tenants")
 	}
 	done := map[string]bool{}
 	for _, id := range ids {
@@ -51,6 +53,10 @@ func run(fig string, scale float64, workers int, doPlot bool) error {
 		switch id {
 		case "1":
 			figure1(doPlot)
+		case "tenants":
+			if err := figureTenants(scale); err != nil {
+				return err
+			}
 		case "6":
 			id = "5" // figs 5 and 6 come from the same runs
 			if done[id] {
@@ -86,6 +92,23 @@ func run(fig string, scale float64, workers int, doPlot bool) error {
 			fmt.Printf("# figure %s wall time: %s\n\n", f.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return nil
+}
+
+// figureTenants runs the multi-tenant comparison: three statically
+// partitioned caches against one arbitrated cache at ArbitratedFrac of
+// their combined memory, rendered as the fig_tenants TSV.
+func figureTenants(scale float64) error {
+	fmt.Printf("## Figure tenants: penalty-aware arbitration vs static partitions (scale %.2f)\n", scale)
+	start := time.Now()
+	r, err := sim.RunTenantsFigure(scale)
+	if err != nil {
+		return err
+	}
+	if err := sim.RenderTenants(os.Stdout, r); err != nil {
+		return err
+	}
+	fmt.Printf("# figure tenants wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

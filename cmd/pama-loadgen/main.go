@@ -29,6 +29,8 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,10 +51,16 @@ func main() {
 	keys := flag.Uint64("keys", 65536, "hot keyspace size")
 	valueBytes := flag.Int("value-bytes", 0, "fixed value size (0 = workload sizes, capped at 64 KiB)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the sharding ring (match the servers')")
+	tenants := flag.String("tenants", "", `tag keys with tenant prefixes: "name" or weighted "A:3,B:1" (requests split by weight; pair with pama-server -tenants)`)
 	storm := flag.Bool("storm", false, "storm mode: pipelined GET bursts, no miss refills, shed replies counted separately — drive N× capacity with high -conns")
 	stormBurst := flag.Int("storm-burst", 16, "pipelined GETs per flush in storm mode")
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes, *vnodes, *storm, *stormBurst); err != nil {
+	sched, err := tenantSchedule(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pama-loadgen:", err)
+		os.Exit(1)
+	}
+	if err := run(os.Stdout, *addr, *wl, *n, *conns, *keys, *valueBytes, *vnodes, *storm, *stormBurst, sched); err != nil {
 		fmt.Fprintln(os.Stderr, "pama-loadgen:", err)
 		os.Exit(1)
 	}
@@ -64,9 +72,45 @@ type connStats struct {
 	sheds            uint64
 	errs             uint64
 	lat              *metrics.Histogram
+	// tenGets/tenHits break GETs down by tenant tag (tenant mode only).
+	tenGets, tenHits map[string]uint64
 }
 
-func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes, vnodes int, storm bool, stormBurst int) error {
+// tenantSchedule expands "A:3,B:1" into a round-robin tag schedule whose
+// composition matches the weights ("" means untagged single-tenant mode).
+func tenantSchedule(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var sched []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 || w > 1000 {
+				return nil, fmt.Errorf("tenant %q: weight must be an integer in [1,1000]", part)
+			}
+			weight = w
+		}
+		if name == "" || strings.ContainsRune(name, '/') {
+			return nil, fmt.Errorf("bad tenant name %q", name)
+		}
+		for i := 0; i < weight; i++ {
+			sched = append(sched, name)
+		}
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("empty -tenants spec")
+	}
+	return sched, nil
+}
+
+func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBytes, vnodes int, storm bool, stormBurst int, tenants []string) error {
 	if conns < 1 {
 		conns = 1
 	}
@@ -109,13 +153,14 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 			c := cfg
 			c.Seed = cfg.Seed + uint64(i)*1e9
 			stats[i] = &connStats{lat: metrics.NewHistogram(1e-6, 6)}
-			errs[i] = drive(addrs, sel, c, perConn, valueBytes, storm, stormBurst, stats[i])
+			errs[i] = drive(addrs, sel, c, perConn, valueBytes, storm, stormBurst, tenants, stats[i])
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	total := &connStats{lat: metrics.NewHistogram(1e-6, 6)}
+	total.tenGets, total.tenHits = map[string]uint64{}, map[string]uint64{}
 	for i, s := range stats {
 		if errs[i] != nil {
 			return fmt.Errorf("connection %d: %w", i, errs[i])
@@ -126,6 +171,10 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 		total.sheds += s.sheds
 		total.errs += s.errs
 		total.lat.Merge(s.lat)
+		for t, g := range s.tenGets {
+			total.tenGets[t] += g
+			total.tenHits[t] += s.tenHits[t]
+		}
 	}
 	ops := total.gets + total.sets
 	fmt.Fprintf(w, "loadgen: %d ops over %d conns in %s (%.0f ops/s)\n",
@@ -142,6 +191,20 @@ func run(w io.Writer, addr, wl string, n uint64, conns int, keys uint64, valueBy
 			shedRatio = float64(total.sheds) / float64(ops)
 		}
 		fmt.Fprintf(w, "sheds=%d shed-ratio=%.4f\n", total.sheds, shedRatio)
+	}
+	if len(total.tenGets) > 0 {
+		names := make([]string, 0, len(total.tenGets))
+		for t := range total.tenGets {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			hr := 0.0
+			if g := total.tenGets[t]; g > 0 {
+				hr = float64(total.tenHits[t]) / float64(g)
+			}
+			fmt.Fprintf(w, "tenant %s: gets=%d hit-ratio=%.4f\n", t, total.tenGets[t], hr)
+		}
 	}
 	fmt.Fprintf(w, "client latency: p50<=%.1fus p99<=%.1fus mean=%.1fus\n",
 		1e6*total.lat.Quantile(0.50), 1e6*total.lat.Quantile(0.99), 1e6*total.lat.Mean())
@@ -163,7 +226,7 @@ type target struct {
 // connection per member); otherwise everything goes to addrs[0]. In storm
 // mode every request becomes a GET, issued in pipelined bursts with no miss
 // refills — raw read pressure, the way a stampede actually arrives.
-func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, valueBytes int, storm bool, stormBurst int, st *connStats) error {
+func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, valueBytes int, storm bool, stormBurst int, tenants []string, st *connStats) error {
 	gen, err := workload.New(cfg)
 	if err != nil {
 		return err
@@ -207,7 +270,22 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 		}
 		return strings.Repeat("v", size)
 	}
-	keyOf := func(id uint64) string { return fmt.Sprintf("lg:%d", id) }
+	// In tenant mode each request carries a tenant prefix drawn round-robin
+	// from the weighted schedule; each tenant therefore sees the same key
+	// distribution over its own namespace, at its weighted share of the
+	// request rate.
+	st.tenGets, st.tenHits = map[string]uint64{}, map[string]uint64{}
+	var reqNo uint64
+	curTag := ""
+	keyOf := func(id uint64) string {
+		if len(tenants) == 0 {
+			curTag = ""
+			return fmt.Sprintf("lg:%d", id)
+		}
+		curTag = tenants[reqNo%uint64(len(tenants))]
+		reqNo++
+		return fmt.Sprintf("%s/lg:%d", curTag, id)
+	}
 
 	doSet := func(tg *target, key, val string) error {
 		start := time.Now()
@@ -261,6 +339,12 @@ func drive(addrs []string, sel cluster.Selector, cfg workload.Config, n uint64, 
 		}
 		st.lat.Add(time.Since(start).Seconds())
 		st.gets++
+		if curTag != "" {
+			st.tenGets[curTag]++
+			if hit {
+				st.tenHits[curTag]++
+			}
+		}
 		switch {
 		case shed:
 			st.sheds++

@@ -11,6 +11,7 @@ import (
 	"pamakv/internal/core"
 	"pamakv/internal/proto"
 	"pamakv/internal/server"
+	"pamakv/internal/tenant"
 )
 
 func startTestServer(t *testing.T) string {
@@ -36,7 +37,7 @@ func startTestServer(t *testing.T) string {
 func TestLoadgenAgainstLiveServer(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
-	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128, 0, false, 0); err != nil {
+	if err := run(&sb, addr, "etc", 4000, 2, 2048, 128, 0, false, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -55,7 +56,7 @@ func TestLoadgenWorkloadSizes(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
 	// value-bytes 0: use (capped) workload sizes.
-	if err := run(&sb, addr, "sys", 1000, 1, 512, 0, 0, false, 0); err != nil {
+	if err := run(&sb, addr, "sys", 1000, 1, 512, 0, 0, false, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -95,7 +96,7 @@ func TestLoadgenShardsAcrossCluster(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if err := run(&sb, addrs[0]+","+addrs[1], "etc", 4000, 2, 2048, 128, vnodes, false, 0); err != nil {
+	if err := run(&sb, addrs[0]+","+addrs[1], "etc", 4000, 2, 2048, 128, vnodes, false, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	if out := sb.String(); !strings.Contains(out, "protocol-errors=0") {
@@ -119,7 +120,7 @@ func TestLoadgenShardsAcrossCluster(t *testing.T) {
 func TestLoadgenStormMode(t *testing.T) {
 	addr := startTestServer(t)
 	var sb strings.Builder
-	if err := run(&sb, addr, "etc", 2000, 2, 1024, 64, 0, true, 8); err != nil {
+	if err := run(&sb, addr, "etc", 2000, 2, 1024, 64, 0, true, 8, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -195,7 +196,7 @@ func sheddingServer(t *testing.T, n int) string {
 func TestLoadgenStormShedMidPipeline(t *testing.T) {
 	addr := sheddingServer(t, 3)
 	var sb strings.Builder
-	if err := run(&sb, addr, "etc", 3000, 2, 1024, 64, 0, true, 8); err != nil {
+	if err := run(&sb, addr, "etc", 3000, 2, 1024, 64, 0, true, 8, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -214,10 +215,101 @@ func TestLoadgenStormShedMidPipeline(t *testing.T) {
 
 func TestLoadgenErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64, 0, false, 0); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "etc", 100, 1, 128, 64, 0, false, 0, nil); err == nil {
 		t.Fatal("unreachable server accepted")
 	}
-	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64, 0, false, 0); err == nil {
+	if err := run(&sb, "127.0.0.1:1", "bogus", 100, 1, 128, 64, 0, false, 0, nil); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTenantSchedule(t *testing.T) {
+	if s, err := tenantSchedule(""); err != nil || s != nil {
+		t.Fatalf("empty spec: %v %v", s, err)
+	}
+	s, err := tenantSchedule("gold:3,bronze:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, n := range s {
+		counts[n]++
+	}
+	if counts["gold"] != 3 || counts["bronze"] != 1 {
+		t.Fatalf("schedule composition %v", counts)
+	}
+	if s, err := tenantSchedule("solo"); err != nil || len(s) != 1 || s[0] != "solo" {
+		t.Fatalf("bare name: %v %v", s, err)
+	}
+	for _, bad := range []string{"a:0", "a:-1", "a:x", "a:1001", "a/b", ":3", ","} {
+		if _, err := tenantSchedule(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenTenantTagging drives a tenant-routed server with a weighted
+// schedule and checks the per-tenant report and the server-side item split.
+func TestLoadgenTenantTagging(t *testing.T) {
+	reg, err := tenant.NewRegistry([]tenant.Config{{Name: "gold", Weight: 3}, {Name: "bronze"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]tenant.Store, reg.Len())
+	members := make([]tenant.Member, reg.Len())
+	for id := 0; id < reg.Len(); id++ {
+		c, err := cache.New(cache.Config{
+			CacheBytes:  16 << 20,
+			StoreValues: true,
+			WindowLen:   50_000,
+			Tenant:      int32(id),
+		}, core.New(core.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[id] = c
+		members[id] = tenant.Member{ID: id, Cfg: reg.Config(id), Engines: []*cache.Cache{c}}
+	}
+	router, err := tenant.NewRouter(reg, stores, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(router, server.Options{Tenants: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+
+	sched, err := tenantSchedule("gold:3,bronze:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, ln.Addr().String(), "etc", 4000, 2, 1024, 64, 0, false, 0, sched); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "tenant gold:") || !strings.Contains(out, "tenant bronze:") {
+		t.Fatalf("report missing per-tenant lines:\n%s", out)
+	}
+	if !strings.Contains(out, "protocol-errors=0") {
+		t.Fatalf("tenant run had protocol errors:\n%s", out)
+	}
+	var gold, bronze int
+	for _, sn := range router.TenantSnapshots() {
+		switch sn.Name {
+		case "gold":
+			gold = sn.Items
+		case "bronze":
+			bronze = sn.Items
+		}
+	}
+	if gold == 0 || bronze == 0 {
+		t.Fatalf("tenant partitions empty: gold=%d bronze=%d", gold, bronze)
+	}
+	if gold <= bronze {
+		t.Fatalf("3:1 weighting left gold (%d items) no larger than bronze (%d)", gold, bronze)
 	}
 }

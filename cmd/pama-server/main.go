@@ -37,11 +37,13 @@ import (
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
 	"pamakv/internal/geom"
+	"pamakv/internal/kv"
 	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/server"
 	"pamakv/internal/shard"
 	"pamakv/internal/sim"
+	"pamakv/internal/tenant"
 	"pamakv/internal/workload"
 )
 
@@ -58,6 +60,9 @@ type options struct {
 
 	adminAddr      string
 	adminSeriesInt time.Duration
+
+	tenants         string
+	arbiterInterval time.Duration
 
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -104,6 +109,8 @@ func main() {
 	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
 	flag.StringVar(&o.adminAddr, "admin-addr", "", "HTTP observability listener (/metrics, /statsz, /series, /debug/pprof); empty disables")
 	flag.DurationVar(&o.adminSeriesInt, "admin-series-interval", 5*time.Second, "sampling window of the admin /series recorder (0 disables the series)")
+	flag.StringVar(&o.tenants, "tenants", "", `multi-tenant mode: comma-separated specs "name[:reservedMiB[:weight[:sloClass]]]", or @path to a spec file; keys route by "tenant/" prefix`)
+	flag.DurationVar(&o.arbiterInterval, "arbiter-interval", 2*time.Second, "period of the tenant slab arbiter (with -tenants; 0 freezes the initial split)")
 
 	flag.DurationVar(&o.readTimeout, "read-timeout", 5*time.Minute, "per-connection idle deadline (0 = none)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "per-flush write deadline (0 = none)")
@@ -165,8 +172,68 @@ func run(o options) error {
 	if o.snapshot != "" && o.shards > 1 {
 		return fmt.Errorf("-snapshot requires a single shard")
 	}
+	var reg *tenant.Registry
+	var arb *tenant.Arbiter
 	var c server.Store
-	if o.shards > 1 {
+	if o.tenants != "" {
+		if o.shards > 1 {
+			return fmt.Errorf("-tenants and -shards are mutually exclusive (each tenant owns one engine)")
+		}
+		if o.snapshot != "" {
+			return fmt.Errorf("-snapshot is not supported with -tenants")
+		}
+		var specs []tenant.Config
+		var err error
+		if strings.HasPrefix(o.tenants, "@") {
+			specs, err = tenant.ParseSpecFile(o.tenants[1:])
+		} else {
+			specs, err = tenant.ParseSpecs(o.tenants)
+		}
+		if err != nil {
+			return err
+		}
+		if reg, err = tenant.NewRegistry(specs); err != nil {
+			return err
+		}
+		shares, err := tenantShares(reg, o.cacheMiB<<20)
+		if err != nil {
+			return err
+		}
+		stores := make([]tenant.Store, reg.Len())
+		members := make([]tenant.Member, reg.Len())
+		for id := 0; id < reg.Len(); id++ {
+			tcfg := cfg
+			tcfg.CacheBytes = shares[id]
+			tcfg.Tenant = int32(id)
+			if cfg.Adaptive != nil {
+				a := *cfg.Adaptive
+				tcfg.Adaptive = &a
+			}
+			pol, _ := (sim.PolicySpec{Kind: o.policyKind}).Build()
+			eng, err := cache.New(tcfg, pol)
+			if err != nil {
+				return fmt.Errorf("tenant %s: %w", reg.Config(id).Name, err)
+			}
+			stores[id] = eng
+			members[id] = tenant.Member{ID: id, Cfg: reg.Config(id), Engines: []*cache.Cache{eng}}
+			log.Printf("pama-server: tenant %s: %d MiB (reserve %d MiB, weight %g, slo %d)",
+				reg.Config(id).Name, shares[id]>>20, reg.Config(id).ReservedBytes>>20,
+				reg.Config(id).Weight, reg.Config(id).SLOClass)
+		}
+		router, err := tenant.NewRouter(reg, stores, members)
+		if err != nil {
+			return err
+		}
+		if arb, err = tenant.NewArbiter(members); err != nil {
+			return err
+		}
+		router.SetArbiter(arb)
+		if o.arbiterInterval > 0 {
+			arb.Start(o.arbiterInterval)
+			defer arb.Stop()
+		}
+		c = router
+	} else if o.shards > 1 {
 		g, err := shard.New(cfg, o.shards, func() cache.Policy {
 			p, _ := (sim.PolicySpec{Kind: o.policyKind}).Build()
 			return p
@@ -197,6 +264,7 @@ func run(o options) error {
 		}
 	}
 	opts := server.Options{
+		Tenants:      reg,
 		Logger:       log.New(os.Stderr, "pama-server: ", log.LstdFlags),
 		ReadTimeout:  o.readTimeout,
 		WriteTimeout: o.writeTimeout,
@@ -325,4 +393,40 @@ func run(o options) error {
 		<-shutdownDone
 	}
 	return err
+}
+
+// tenantShares splits the total cache budget across the registry: every
+// tenant gets its reserve (at least one slab — an engine cannot run on
+// zero), and the remainder is divided by weight. Rounding residue goes to
+// the last tenant (the auto-appended default) so the shares sum exactly to
+// the configured total.
+func tenantShares(reg *tenant.Registry, total int64) ([]int64, error) {
+	slabSize := int64(kv.DefaultGeometry().SlabSize)
+	n := reg.Len()
+	floors := make([]int64, n)
+	var sumW float64
+	var sumFloor int64
+	for i := 0; i < n; i++ {
+		c := reg.Config(i)
+		floors[i] = c.ReservedBytes
+		if floors[i] < slabSize {
+			floors[i] = slabSize
+		}
+		sumFloor += floors[i]
+		sumW += c.Weight
+	}
+	if sumFloor > total {
+		return nil, fmt.Errorf("tenant reserves need %d MiB but -cache grants %d MiB",
+			(sumFloor+(1<<20)-1)>>20, total>>20)
+	}
+	rem := total - sumFloor
+	shares := make([]int64, n)
+	var given int64
+	for i := 0; i < n; i++ {
+		extra := int64(float64(rem) * reg.Config(i).Weight / sumW)
+		shares[i] = floors[i] + extra
+		given += extra
+	}
+	shares[n-1] += rem - given
+	return shares, nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pamakv/internal/server"
+	"pamakv/internal/tenant"
 )
 
 // Reconnect tuning: a failed poll is retried with exponential backoff from
@@ -103,9 +104,35 @@ func runLive(w io.Writer, addr string, interval time.Duration, samples int) erro
 		fmt.Fprintf(w, "%10.0f %10.0f %8s %8.0f %10d %12.3f %12d\n",
 			float64(dGets)/dt, float64(dSets)/dt, hitCell, float64(dEvic)/dt,
 			cur.Items, p99, cur.Engine.SlabMigrations)
+		writeTenantRows(w, prev, cur, dt)
 		prev, prevT = cur, now
 	}
 	return nil
+}
+
+// writeTenantRows prints one indented per-tenant delta row under the main
+// window row. Servers predating multi-tenancy (or run without -tenants)
+// simply have no tenants section in /statsz, and the live view stays the
+// single-tenant one — no flag, no error.
+func writeTenantRows(w io.Writer, prev, cur server.Statsz, dt float64) {
+	if len(cur.Tenants) == 0 {
+		return
+	}
+	prevBy := make(map[string]tenant.Snapshot, len(prev.Tenants))
+	for _, sn := range prev.Tenants {
+		prevBy[sn.Name] = sn
+	}
+	for _, sn := range cur.Tenants {
+		p := prevBy[sn.Name] // zero value across a restart: row is a baseline
+		dGets := sn.Gets - p.Gets
+		hitCell := "-"
+		if dGets > 0 {
+			hitCell = fmt.Sprintf("%.2f", 100*float64(sn.Hits-p.Hits)/float64(dGets))
+		}
+		fmt.Fprintf(w, "  · %-14s %8.0f/s %6s%% %8d items %4d slabs (res %d, +%d/-%d)\n",
+			sn.Name, float64(dGets)/dt, hitCell, sn.Items,
+			sn.Slabs, sn.ReserveSlabs, sn.SlabsIn-p.SlabsIn, sn.SlabsOut-p.SlabsOut)
+	}
 }
 
 // reconnect retries the poll with capped exponential backoff until one

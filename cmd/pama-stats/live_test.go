@@ -14,6 +14,7 @@ import (
 	"pamakv/internal/core"
 	"pamakv/internal/kv"
 	"pamakv/internal/server"
+	"pamakv/internal/tenant"
 )
 
 // newLiveEngine builds a small value-storing engine under the PAMA policy.
@@ -198,5 +199,54 @@ func TestRunLiveAgainstRealAdmin(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "policy=") {
 		t.Fatalf("no banner in:\n%s", buf.String())
+	}
+}
+
+// TestRunLiveTenantRows: a /statsz with a tenants section gets one indented
+// delta row per tenant under each window; a server without the section (the
+// pre-tenant document shape) renders exactly the old single-tenant view.
+func TestRunLiveTenantRows(t *testing.T) {
+	var polls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := polls.Add(1) - 1
+		doc := server.Statsz{
+			Policy: "pama",
+			Engine: cache.Stats{Gets: 1000 * n, Hits: 500 * n},
+			Tenants: []tenant.Snapshot{
+				{Name: "gold", Gets: 800 * n, Hits: 600 * n, Items: 42, Slabs: 6, ReserveSlabs: 2, SlabsIn: n},
+				{Name: "bronze", Gets: 200 * n, Hits: 20 * n, Items: 7, Slabs: 2, ReserveSlabs: 1, SlabsOut: n},
+			},
+		}
+		json.NewEncoder(w).Encode(doc)
+	}))
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	if err := runLive(&buf, ts.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"· gold", "· bronze", "42 items", "(res 2, +1/-0)", "(res 1, +0/-1)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tenant view missing %q:\n%s", want, out)
+		}
+	}
+	// Per-tenant hit% is a window delta: gold 600/800, bronze 20/200.
+	if !strings.Contains(out, "75.00%") || !strings.Contains(out, "10.00%") {
+		t.Fatalf("per-tenant hit ratios wrong:\n%s", out)
+	}
+
+	// Fallback: the same poller against a tenantless document — old layout,
+	// no tenant rows, no errors.
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.Statsz{Policy: "pama"})
+	}))
+	t.Cleanup(old.Close)
+	buf.Reset()
+	if err := runLive(&buf, old.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "·") {
+		t.Fatalf("tenantless server rendered tenant rows:\n%s", buf.String())
 	}
 }

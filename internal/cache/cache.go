@@ -78,6 +78,10 @@ type Config struct {
 	// (package geom): the engine feeds it item sizes and applies proposed
 	// slot tables through a live re-slab transition (see reslab.go).
 	Adaptive *geom.Config
+	// Tenant is the id stamped on every item this engine stores (0 =
+	// default tenant). Under multi-tenant serving each tenant owns its own
+	// engine(s); the tag lets audits prove isolation (see tenant.go).
+	Tenant int32
 }
 
 // Stats are engine-level counters; all monotonically increasing.
@@ -94,6 +98,10 @@ type Stats struct {
 	// SlabMigrations counts cross-class slab moves, whatever policy
 	// performed them.
 	SlabMigrations uint64
+	// SlabDonations and SlabReceipts count budget slabs this engine gave
+	// to and received from other tenants via the arbiter (tenant.go).
+	SlabDonations uint64
+	SlabReceipts  uint64
 	// Reslabs counts live geometry transitions started; ReslabMoved counts
 	// items re-slotted from the outgoing into the target geometry.
 	Reslabs     uint64
@@ -426,6 +434,7 @@ func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 	it.Size = size
 	it.Penalty = pen
 	it.Flags = flags
+	it.Tenant = c.cfg.Tenant
 	it.Class = cl
 	it.Sub = sub
 	it.LastAccess = c.clock
@@ -601,8 +610,18 @@ func (c *Cache) Slabs(cl int) int { return c.slabs.Slabs(cl) }
 // FreeSlabs returns the unassigned slab count.
 func (c *Cache) FreeSlabs() int { return c.slabs.FreeSlabs() }
 
-// TotalSlabsBudget returns the cache's total slab budget.
+// TotalSlabsBudget returns the cache's total slab budget. Like the other
+// accessors here it reads without the lock; concurrent readers (the tenant
+// arbiter, stats paths) must use SlabBudget instead.
 func (c *Cache) TotalSlabsBudget() int { return c.slabs.TotalSlabs() }
+
+// SlabBudget returns the total slab budget under the cache lock — safe to
+// call concurrently with traffic and with slab donations.
+func (c *Cache) SlabBudget() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slabs.TotalSlabs()
+}
 
 // FreeSlots returns unoccupied slots in class cl.
 func (c *Cache) FreeSlots(cl int) int { return c.slabs.FreeSlots(cl) }

@@ -227,6 +227,8 @@ func addStats(a, b Stats) Stats {
 		FallbackEvicts:  a.FallbackEvicts + b.FallbackEvicts,
 		WindowRollovers: a.WindowRollovers + b.WindowRollovers,
 		SlabMigrations:  a.SlabMigrations + b.SlabMigrations,
+		SlabDonations:   a.SlabDonations + b.SlabDonations,
+		SlabReceipts:    a.SlabReceipts + b.SlabReceipts,
 		Reslabs:         a.Reslabs + b.Reslabs,
 		ReslabMoved:     a.ReslabMoved + b.ReslabMoved,
 	}

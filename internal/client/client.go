@@ -37,11 +37,13 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"pamakv/internal/cluster"
 	"pamakv/internal/proto"
+	"pamakv/internal/tenant"
 )
 
 // Defaults for Config fields left zero.
@@ -128,6 +130,11 @@ type Config struct {
 	// PenaltyOf reports a key's backend miss penalty in seconds, enabling
 	// penalty-derived hedged Gets. Nil disables hedging.
 	PenaltyOf func(key string) float64
+	// Tenant namespaces every key as "tenant/key" before validation and
+	// routing, so the client lands in that tenant's partition on a server
+	// run with -tenants. Empty means keys pass through untouched (the
+	// server's default tenant). Responses carry the fully-qualified key.
+	Tenant string
 }
 
 func (cfg Config) withDefaults() Config {
@@ -189,6 +196,14 @@ func New(cfg Config) (*Client, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("client: no server addresses")
 	}
+	if cfg.Tenant != "" {
+		if strings.ContainsRune(cfg.Tenant, tenant.Separator) {
+			return nil, errors.New("client: tenant name must not contain '/'")
+		}
+		if err := proto.CheckKey(cfg.Tenant + string(tenant.Separator) + "k"); err != nil {
+			return nil, fmt.Errorf("client: bad tenant name %q: %w", cfg.Tenant, err)
+		}
+	}
 	cfg = cfg.withDefaults()
 	c := &Client{cfg: cfg}
 	members := cfg.Addrs
@@ -230,6 +245,16 @@ func (c *Client) Addrs() []string {
 		addrs[i] = p.addr
 	}
 	return addrs
+}
+
+// qual applies the configured tenant namespace to a key. It runs before
+// CheckKey and before pool routing, so validation and sharding both see the
+// key the server will see.
+func (c *Client) qual(key string) string {
+	if c.cfg.Tenant == "" {
+		return key
+	}
+	return c.cfg.Tenant + string(tenant.Separator) + key
 }
 
 // poolFor routes a key to its owning server's pool.
@@ -319,6 +344,7 @@ func (c *Client) Get(key string) (Item, error) { return c.get(key, false) }
 func (c *Client) Gets(key string) (Item, error) { return c.get(key, true) }
 
 func (c *Client) get(key string, withCAS bool) (Item, error) {
+	key = c.qual(key)
 	if err := proto.CheckKey(key); err != nil {
 		return Item{}, err
 	}
@@ -446,6 +472,7 @@ func (c *Client) CompareAndSwap(key string, flags uint32, exptime int64, value [
 }
 
 func (c *Client) store(verb, key string, flags uint32, exptime int64, cas uint64, value []byte) error {
+	key = c.qual(key)
 	if err := proto.CheckKey(key); err != nil {
 		return err
 	}
@@ -492,6 +519,7 @@ func appendStore(dst []byte, verb, key string, flags uint32, exptime int64, cas 
 
 // Delete removes key; ErrCacheMiss if it was absent.
 func (c *Client) Delete(key string) error {
+	key = c.qual(key)
 	if err := proto.CheckKey(key); err != nil {
 		return err
 	}
@@ -516,6 +544,7 @@ func (c *Client) Incr(key string, delta uint64) (uint64, error) { return c.delta
 func (c *Client) Decr(key string, delta uint64) (uint64, error) { return c.delta("decr", key, delta) }
 
 func (c *Client) delta(verb, key string, delta uint64) (uint64, error) {
+	key = c.qual(key)
 	if err := proto.CheckKey(key); err != nil {
 		return 0, err
 	}
@@ -541,6 +570,7 @@ func (c *Client) delta(verb, key string, delta uint64) (uint64, error) {
 
 // Touch rearms key's expiry without reading it; ErrCacheMiss if absent.
 func (c *Client) Touch(key string, exptime int64) error {
+	key = c.qual(key)
 	if err := proto.CheckKey(key); err != nil {
 		return err
 	}

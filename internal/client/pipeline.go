@@ -159,7 +159,10 @@ func (p *Pipeline) Len() int { return len(p.ops) }
 // Reset drops queued operations and invalidates previous Results.
 func (p *Pipeline) Reset() { p.ops = p.ops[:0] }
 
-func (p *Pipeline) push(op pop) { p.ops = append(p.ops, op) }
+func (p *Pipeline) push(op pop) {
+	op.key = p.c.qual(op.key)
+	p.ops = append(p.ops, op)
+}
 
 // Exec flushes the queue: operations are grouped by owning server, each
 // group is rendered into one write on one pooled connection, and responses

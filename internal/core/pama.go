@@ -404,7 +404,74 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// ---- Cross-tenant arbitration (cache.TenantValuer) ----
+// The tenant arbiter prices slabs across engines with the same accumulators
+// MakeRoom uses within one engine: a tenant's marginal gain is its best
+// incoming-slab value, its marginal loss the cheapest candidate slab it
+// could give up. Called with the engine lock held, like every hook.
+
+// CheapestOutgoing implements cache.TenantValuer: the cheapest candidate
+// slab over every class that can spare one. Like MakeRoom, it prefers
+// donors keeping at least one slab and relaxes to any class when no class
+// owns two — small tenants must still be priceable, or they could never
+// fund a starving neighbor.
+func (p *PAMA) CheapestOutgoing() (class, sub int, v float64, ok bool) {
+	bestC, bestS, bestVal := p.findVictim(-1, 1)
+	if bestC < 0 {
+		bestC, bestS, bestVal = p.findVictim(-1, 0)
+	}
+	if bestC < 0 {
+		// No single subclass covers a slab's worth: a donation would
+		// drain bottoms across the class's subclasses (DonateSlab's
+		// fallback loop), so price it as the sum of the class's
+		// subclass outgoing values and pick the cheapest class.
+		c := p.c
+		bestVal = math.Inf(1)
+		for d := 0; d < c.NumClasses(); d++ {
+			if c.Slabs(d) == 0 {
+				continue
+			}
+			var sum float64
+			for s := 0; s < c.NumSubclasses(); s++ {
+				sum += p.OutgoingValue(d, s)
+			}
+			if sum < bestVal {
+				bestC, bestS, bestVal = d, p.largestSub(d), sum
+			}
+		}
+	}
+	if bestC < 0 {
+		return 0, 0, 0, false
+	}
+	return bestC, maxInt(bestS, 0), bestVal, true
+}
+
+// BestIncoming implements cache.TenantValuer: the largest incoming-slab
+// value over all (class, subclass) ghost regions.
+func (p *PAMA) BestIncoming() float64 {
+	var best float64
+	for cl := 0; cl < p.c.NumClasses(); cl++ {
+		for s := 0; s < p.c.NumSubclasses(); s++ {
+			if v := p.IncomingValue(cl, s); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// NoteDonated implements cache.TenantValuer: the donated slab's candidate
+// history rolls down exactly as after an internal migration.
+func (p *PAMA) NoteDonated(class, sub int) {
+	p.dec.Migrations++
+	p.dec.SrcByClass[class]++
+	if sub >= 0 {
+		p.shiftOut(class, sub)
+	}
+}
+
 var (
 	_ cache.Policy           = (*PAMA)(nil)
 	_ cache.DecisionReporter = (*PAMA)(nil)
+	_ cache.TenantValuer     = (*PAMA)(nil)
 )

@@ -61,6 +61,11 @@ type Item struct {
 	Value []byte
 	// Flags carries opaque client flags (Memcached protocol compatibility).
 	Flags uint32
+	// Tenant is the id of the tenant that owns the item (0 = default
+	// tenant). Stamped by the engine from its Config; package tenant uses
+	// it to audit that a tenant's engine only ever holds that tenant's
+	// items.
+	Tenant int32
 
 	// Class and Sub locate the LRU stack holding the item.
 	Class, Sub int

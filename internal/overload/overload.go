@@ -316,6 +316,7 @@ type Controller struct {
 	queuedCum atomic.Uint64
 	shedBy    [numReasons]atomic.Uint64
 	shedBySub [numSubs]atomic.Uint64
+	shedBySLO [numSLO]atomic.Uint64
 	incs      atomic.Uint64
 	decs      atomic.Uint64
 }
@@ -323,6 +324,10 @@ type Controller struct {
 // numSubs matches penalty.SubclassBounds; kept literal so the package does
 // not import penalty (the caller maps keys to subclasses).
 const numSubs = 5
+
+// numSLO matches tenant.MaxSLOClass+1; kept literal so the package does not
+// import tenant (the caller maps keys to tenant SLO classes).
+const numSLO = 4
 
 // New builds a Controller.
 func New(cfg Config) *Controller {
@@ -362,11 +367,27 @@ func priorityFor(op Op, sub int) int {
 // with the observed service latency), or admit=false with the shed reason.
 // Acquire may block up to SojournCutoff while the request queues.
 func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release func(latency time.Duration)) {
+	return c.AcquireSLO(op, sub, 0)
+}
+
+// AcquireSLO is Acquire for multi-tenant serving: slo is the requesting
+// tenant's SLO class (0 = most protected). The shed policy and queue
+// priority act on the request's effective subclass, its penalty subclass
+// demoted by the SLO class — so under pressure a best-effort tenant's
+// expensive reads shed like a premium tenant's cheap ones, and tenant B's
+// cheap reads drop before tenant A's expensive ones. Shed attribution
+// keeps the true penalty subclass and additionally counts by SLO class.
+func (c *Controller) AcquireSLO(op Op, sub, slo int) (admit bool, reason Reason, release func(latency time.Duration)) {
 	if sub < 0 {
 		sub = 0
 	}
 	if sub >= numSubs {
 		sub = numSubs - 1
+	}
+	slo = clampSLO(slo)
+	eff := sub - slo
+	if eff < 0 {
+		eff = 0
 	}
 	now := c.cfg.Now()
 
@@ -375,14 +396,15 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 		c.mu.Unlock()
 		c.shedBy[ReasonClosed].Add(1)
 		c.shedBySub[sub].Add(1)
+		c.shedBySLO[slo].Add(1)
 		return false, ReasonClosed, nil
 	}
 	tier := c.tier
 	// TierCritical policy applies before the limit check: the queue is
 	// near collapse and even a momentarily free slot should go to
 	// protected traffic.
-	if tier >= TierCritical && (op == OpWrite || sub < c.cfg.CriticalSub) {
-		c.shed(ReasonPolicy, sub)
+	if tier >= TierCritical && (op == OpWrite || eff < c.cfg.CriticalSub) {
+		c.shed(ReasonPolicy, sub, slo)
 		c.mu.Unlock()
 		c.notifyTier()
 		return false, ReasonPolicy, nil
@@ -398,8 +420,8 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 	// are kept for traffic whose miss penalty is worth waiting for. An
 	// under-limit cheap read is still admitted above — it may be a
 	// nearly-free cache hit.
-	if tier >= TierShedding && op == OpRead && sub <= c.cfg.CheapSub {
-		c.shed(ReasonPolicy, sub)
+	if tier >= TierShedding && op == OpRead && eff <= c.cfg.CheapSub {
+		c.shed(ReasonPolicy, sub, slo)
 		c.mu.Unlock()
 		c.notifyTier()
 		return false, ReasonPolicy, nil
@@ -407,16 +429,16 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 	// Queue — unless the queue is full of equal-or-better work, in which
 	// case the cheapest of (new request, worst waiter) is shed.
 	if len(c.queue) >= c.cfg.QueueLimit {
-		pri := priorityFor(op, sub)
+		pri := priorityFor(op, eff)
 		if c.cfg.QueueLimit == 0 {
-			c.shed(ReasonQueueFull, sub)
+			c.shed(ReasonQueueFull, sub, slo)
 			c.mu.Unlock()
 			c.notifyTier()
 			return false, ReasonQueueFull, nil
 		}
 		lo := c.queue.lowest()
 		if c.queue[lo].pri >= pri {
-			c.shed(ReasonQueueFull, sub)
+			c.shed(ReasonQueueFull, sub, slo)
 			c.mu.Unlock()
 			c.notifyTier()
 			return false, ReasonQueueFull, nil
@@ -430,7 +452,7 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 		// attributed when its Acquire observes the false send.
 	}
 	w := &waiter{
-		pri:   priorityFor(op, sub),
+		pri:   priorityFor(op, eff),
 		seq:   c.seq,
 		enq:   now,
 		ready: make(chan bool, 1),
@@ -455,6 +477,7 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 			c.sojourn.Observe(c.cfg.Now().Sub(w.enq).Seconds())
 			c.shedBy[ReasonSojourn].Add(1)
 			c.shedBySub[sub].Add(1)
+			c.shedBySLO[slo].Add(1)
 			return false, ReasonSojourn, nil
 		}
 		// Admitted or displaced in the race with the timer; the send
@@ -473,6 +496,7 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 			reason = ReasonClosed
 		}
 		c.shedBySub[sub].Add(1)
+		c.shedBySLO[slo].Add(1)
 		return false, reason, nil
 	}
 	return true, ReasonNone, c.releaseFunc(sub)
@@ -483,7 +507,16 @@ func (c *Controller) Acquire(op Op, sub int) (admit bool, reason Reason, release
 // suppresses cheap fetches — the miss costs the client less than the
 // capacity the fetch would burn — and TierCritical suppresses everything
 // below the protected subclasses.
-func (c *Controller) ShedFetch(sub int) bool {
+func (c *Controller) ShedFetch(sub int) bool { return c.ShedFetchSLO(sub, 0) }
+
+// ShedFetchSLO is ShedFetch with the key's tenant SLO class demoting its
+// effective subclass, mirroring AcquireSLO.
+func (c *Controller) ShedFetchSLO(sub, slo int) bool {
+	if eff := sub - clampSLO(slo); eff >= 0 {
+		sub = eff
+	} else {
+		sub = 0
+	}
 	switch t := c.Tier(); {
 	case t >= TierCritical:
 		return sub < c.cfg.CriticalSub
@@ -494,10 +527,21 @@ func (c *Controller) ShedFetch(sub int) bool {
 	}
 }
 
+func clampSLO(slo int) int {
+	if slo < 0 {
+		return 0
+	}
+	if slo >= numSLO {
+		return numSLO - 1
+	}
+	return slo
+}
+
 // shed counts one immediate shed under mu.
-func (c *Controller) shed(r Reason, sub int) {
+func (c *Controller) shed(r Reason, sub, slo int) {
 	c.shedBy[r].Add(1)
 	c.shedBySub[sub].Add(1)
+	c.shedBySLO[slo].Add(1)
 	c.recomputeTierLocked(c.cfg.Now())
 }
 
@@ -687,9 +731,11 @@ type Stats struct {
 	Admitted    uint64 `json:"admitted"`
 	QueuedTotal uint64 `json:"queued_total"`
 	// ShedByReason counts sheds keyed by Reason string; ShedBySub by the
-	// request's penalty subclass.
+	// request's penalty subclass; ShedBySLO by the requesting tenant's SLO
+	// class (all index 0 without multi-tenant serving).
 	ShedByReason map[string]uint64 `json:"shed_by_reason"`
 	ShedBySub    [numSubs]uint64   `json:"shed_by_sub"`
+	ShedBySLO    [numSLO]uint64    `json:"shed_by_slo"`
 	// ShedTotal sums ShedByReason.
 	ShedTotal uint64 `json:"shed_total"`
 	// LimitIncreases and LimitDecreases count AIMD steps.
@@ -726,6 +772,9 @@ func (c *Controller) Stats() Stats {
 	}
 	for i := range s.ShedBySub {
 		s.ShedBySub[i] = c.shedBySub[i].Load()
+	}
+	for i := range s.ShedBySLO {
+		s.ShedBySLO[i] = c.shedBySLO[i].Load()
 	}
 	s.LimitIncreases = c.incs.Load()
 	s.LimitDecreases = c.decs.Load()

@@ -51,6 +51,12 @@ var requestSeeds = []string{
 	// Pipelined mixed traffic: the steady-state shape the in-place parser
 	// is optimized for.
 	"get a\r\nget b\r\nset k 0 0 3\r\nabc\r\nget c\r\n",
+	// Tenant-qualified keys: one separator is valid, a leading or second
+	// separator is a client error the parsers must agree on.
+	"get t/k\r\nset t/k 0 0 1\r\nx\r\n",
+	"get /k\r\n",
+	"set a/b/c 0 0 1\r\nx\r\n",
+	"delete t/\r\n",
 	"incr n 1\r\ndecr n 1\r\ntouch k 5\r\ndelete k\r\nstats\r\n",
 	// Boundary-length lines around MaxLineLen (the +-1 neighbors come from
 	// mutation).

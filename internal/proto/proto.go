@@ -213,13 +213,29 @@ func CheckKey(key string) error { return checkKey(key) }
 
 // checkKey validates one key operand; it accepts both the reference
 // parser's string tokens and the in-place parser's byte views.
+//
+// '/' is the tenant namespace separator (see internal/tenant): a leading
+// separator would name an empty tenant, and a second one would make the
+// tenant/rest split ambiguous, so both are protocol errors. A single
+// interior separator — including a trailing one ("t/") — is a well-formed
+// qualified key whether or not the server runs multi-tenant.
 func checkKey[T ~string | ~[]byte](k T) error {
 	if len(k) == 0 || len(k) > MaxKeyLen {
 		return clientErrf("key length %d outside (0,%d]", len(k), MaxKeyLen)
 	}
+	sep := -1
 	for i := 0; i < len(k); i++ {
-		if k[i] <= ' ' || k[i] == 0x7f {
+		switch {
+		case k[i] <= ' ' || k[i] == 0x7f:
 			return clientErrf("key contains control or space byte")
+		case k[i] == '/':
+			if i == 0 {
+				return clientErrf("key has an empty tenant prefix")
+			}
+			if sep >= 0 {
+				return clientErrf("key has a second tenant separator")
+			}
+			sep = i
 		}
 	}
 	return nil

@@ -340,3 +340,49 @@ func TestLineTooLong(t *testing.T) {
 		t.Fatalf("in-bounds line rejected: %v", err)
 	}
 }
+
+// TestCheckKeyTenantSeparators pins the tenant-qualified key grammar: at
+// most one '/', never first. Both parsers share checkKey, so the table also
+// runs every key through a full `get` parse on each and cross-checks the
+// verdicts.
+func TestCheckKeyTenantSeparators(t *testing.T) {
+	cases := []struct {
+		key string
+		ok  bool
+	}{
+		{"plain", true},
+		{"t/k", true},
+		{"tenant/deep:key:0", true},
+		{"t/", true},        // empty rest: unambiguous tenant, legal
+		{"a/b:c.d|e", true}, // separator-free rest may use any key bytes
+		{"/k", false},       // empty tenant prefix
+		{"/", false},
+		{"a/b/c", false}, // second separator: tenant/rest split ambiguous
+		{"a//b", false},
+		{"t/k/", false},
+		{"//", false},
+	}
+	for _, tc := range cases {
+		err := CheckKey(tc.key)
+		if (err == nil) != tc.ok {
+			t.Errorf("CheckKey(%q) = %v, want ok=%v", tc.key, err, tc.ok)
+		}
+		var ce *ClientError
+		if err != nil && !errors.As(err, &ce) {
+			t.Errorf("CheckKey(%q) = %T, want *ClientError", tc.key, err)
+		}
+
+		// Reference parser.
+		line := "get " + tc.key + "\r\n"
+		_, refErr := ReadCommand(bufio.NewReader(strings.NewReader(line)))
+		if (refErr == nil) != tc.ok {
+			t.Errorf("ReadCommand(get %q) = %v, want ok=%v", tc.key, refErr, tc.ok)
+		}
+		// In-place parser.
+		p := NewParser(bufio.NewReader(strings.NewReader(line)))
+		_, ipErr := p.ReadCommand()
+		if (ipErr == nil) != tc.ok {
+			t.Errorf("Parser.ReadCommand(get %q) = %v, want ok=%v", tc.key, ipErr, tc.ok)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"pamakv/internal/metrics"
 	"pamakv/internal/obs"
 	"pamakv/internal/overload"
+	"pamakv/internal/tenant"
 )
 
 // introspector is optionally implemented by stores that expose the engine's
@@ -41,6 +42,14 @@ import (
 // shards'). Stores without it still serve /metrics and /statsz, minus the
 // per-subclass and slab-move detail.
 type introspector interface{ Introspect() cache.Introspection }
+
+// tenantStatser is optionally implemented by multi-tenant stores
+// (*tenant.Router): per-tenant accounting rows and the arbiter snapshot.
+// Single-tenant stores simply lack the section.
+type tenantStatser interface {
+	TenantSnapshots() []tenant.Snapshot
+	ArbiterStats() *tenant.ArbiterStats
+}
 
 // Admin serves the observability endpoints for one Server. Construct with
 // NewAdmin; it does not listen until Serve or ListenAndServe.
@@ -232,7 +241,77 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if a.srv.peers != nil {
 		a.writeClusterMetrics(p, ss)
 	}
+	if ts, ok := a.srv.c.(tenantStatser); ok {
+		a.writeTenantMetrics(p, ts)
+	}
 	_ = p.Err() // the peer hung up; nothing to do
+}
+
+// writeTenantMetrics renders the multi-tenant accounting: one labelled series
+// per tenant for occupancy, traffic, and arbitration flow, plus the arbiter's
+// own counters and its tenant-to-tenant move matrix. Slab moves are the
+// observable core of the scheme — pamakv_tenant_slabs_{in,out}_total and the
+// matrix prove memory is actually flowing toward the needier tenant.
+func (a *Admin) writeTenantMetrics(p *obs.PromWriter, ts tenantStatser) {
+	snaps := ts.TenantSnapshots()
+	gauge := func(name, help string, get func(tenant.Snapshot) float64) {
+		p.Header(name, help, "gauge")
+		for _, s := range snaps {
+			p.Value(name, `tenant="`+s.Name+`"`, get(s))
+		}
+	}
+	counter := func(name, help string, get func(tenant.Snapshot) float64) {
+		p.Header(name, help, "counter")
+		for _, s := range snaps {
+			p.Value(name, `tenant="`+s.Name+`"`, get(s))
+		}
+	}
+	gauge("pamakv_tenant_slabs", "Slabs currently budgeted to the tenant.",
+		func(s tenant.Snapshot) float64 { return float64(s.Slabs) })
+	gauge("pamakv_tenant_reserve_slabs", "Slab floor the arbiter never breaches.",
+		func(s tenant.Snapshot) float64 { return float64(s.ReserveSlabs) })
+	gauge("pamakv_tenant_free_slabs", "Tenant slabs not yet granted to a class.",
+		func(s tenant.Snapshot) float64 { return float64(s.FreeSlabs) })
+	gauge("pamakv_tenant_items", "Resident items owned by the tenant.",
+		func(s tenant.Snapshot) float64 { return float64(s.Items) })
+	gauge("pamakv_tenant_used_bytes", "Slot bytes occupied by the tenant's items.",
+		func(s tenant.Snapshot) float64 { return float64(s.UsedBytes) })
+	gauge("pamakv_tenant_reserved_bytes", "Configured memory reserve.",
+		func(s tenant.Snapshot) float64 { return float64(s.ReservedBytes) })
+	gauge("pamakv_tenant_weight", "Arbitration weight.",
+		func(s tenant.Snapshot) float64 { return s.Weight })
+	gauge("pamakv_tenant_slo_class", "Overload SLO class (0 = most protected).",
+		func(s tenant.Snapshot) float64 { return float64(s.SLOClass) })
+	counter("pamakv_tenant_gets_total", "GETs routed to the tenant.",
+		func(s tenant.Snapshot) float64 { return float64(s.Gets) })
+	counter("pamakv_tenant_hits_total", "GET hits in the tenant's engines.",
+		func(s tenant.Snapshot) float64 { return float64(s.Hits) })
+	counter("pamakv_tenant_misses_total", "GET misses in the tenant's engines.",
+		func(s tenant.Snapshot) float64 { return float64(s.Misses) })
+	counter("pamakv_tenant_evictions_total", "Items evicted from the tenant's engines.",
+		func(s tenant.Snapshot) float64 { return float64(s.Evictions) })
+	counter("pamakv_tenant_slabs_in_total", "Slabs received from other tenants by arbitration.",
+		func(s tenant.Snapshot) float64 { return float64(s.SlabsIn) })
+	counter("pamakv_tenant_slabs_out_total", "Slabs donated to other tenants by arbitration.",
+		func(s tenant.Snapshot) float64 { return float64(s.SlabsOut) })
+	gauge("pamakv_tenant_incoming_value", "Marginal penalty saved per window were the tenant granted one slab (last arbiter step).",
+		func(s tenant.Snapshot) float64 { return s.Incoming })
+	gauge("pamakv_tenant_outgoing_value", "Marginal penalty paid per window giving one slab up (last arbiter step).",
+		func(s tenant.Snapshot) float64 { return s.Outgoing })
+
+	if ast := ts.ArbiterStats(); ast != nil {
+		p.Counter("pamakv_tenant_arbiter_steps_total", "Arbitration rounds run.", ast.Steps)
+		p.Counter("pamakv_tenant_arbiter_moves_total", "Slabs moved between tenants.", ast.Moves)
+		p.Header("pamakv_tenant_slab_moves_total", "Slabs moved by donor and receiver tenant.", "counter")
+		for d, row := range ast.Matrix {
+			for r, n := range row {
+				if n != 0 && d < len(ast.Members) && r < len(ast.Members) {
+					p.Value("pamakv_tenant_slab_moves_total",
+						`donor="`+ast.Members[d].Name+`",receiver="`+ast.Members[r].Name+`"`, float64(n))
+				}
+			}
+		}
+	}
 }
 
 // writeOverloadMetrics renders the admission controller: the adaptive limit
@@ -266,6 +345,12 @@ func (a *Admin) writeOverloadMetrics(p *obs.PromWriter, os overload.Stats, ss St
 	for sub, n := range os.ShedBySub {
 		if n != 0 {
 			p.Value("pamakv_overload_sheds_by_sub_total", `sub="`+strconv.Itoa(sub)+`"`, float64(n))
+		}
+	}
+	p.Header("pamakv_overload_sheds_by_slo_total", "Sheds by the requesting tenant's SLO class.", "counter")
+	for slo, n := range os.ShedBySLO {
+		if n != 0 {
+			p.Value("pamakv_overload_sheds_by_slo_total", `slo="`+strconv.Itoa(slo)+`"`, float64(n))
 		}
 	}
 	p.Header("pamakv_overload_sojourn_seconds", "Admission-queue waiting time.", "histogram")
@@ -484,6 +569,7 @@ type OverloadStatsz struct {
 	ShedTotal      uint64            `json:"shed_total"`
 	ShedByReason   map[string]uint64 `json:"shed_by_reason"`
 	ShedBySub      [5]uint64         `json:"shed_by_sub"`
+	ShedBySLO      [4]uint64         `json:"shed_by_slo"`
 	LimitIncreases uint64            `json:"limit_increases"`
 	LimitDecreases uint64            `json:"limit_decreases"`
 	Sheds          uint64            `json:"sheds"`
@@ -523,6 +609,11 @@ type Statsz struct {
 	Overload      *OverloadStatsz           `json:"overload,omitempty"`
 	Cluster       *ClusterStatsz            `json:"cluster,omitempty"`
 	Introspection *cache.Introspection      `json:"introspection,omitempty"`
+
+	// Tenants and Arbiter appear when the store is a tenant.Router: one
+	// accounting row per tenant and the arbiter's counters and move matrix.
+	Tenants []tenant.Snapshot    `json:"tenants,omitempty"`
+	Arbiter *tenant.ArbiterStats `json:"arbiter,omitempty"`
 }
 
 // statsz assembles the document (shared by the HTTP handler and tests).
@@ -569,6 +660,7 @@ func (a *Admin) statsz() Statsz {
 			ShedTotal:      os.ShedTotal,
 			ShedByReason:   os.ShedByReason,
 			ShedBySub:      os.ShedBySub,
+			ShedBySLO:      os.ShedBySLO,
 			LimitIncreases: os.LimitIncreases,
 			LimitDecreases: os.LimitDecreases,
 			Sheds:          ss.Sheds,
@@ -612,6 +704,10 @@ func (a *Admin) statsz() Statsz {
 	if in, ok := a.srv.c.(introspector); ok {
 		snap := in.Introspect()
 		doc.Introspection = &snap
+	}
+	if ts, ok := a.srv.c.(tenantStatser); ok {
+		doc.Tenants = ts.TenantSnapshots()
+		doc.Arbiter = ts.ArbiterStats()
 	}
 	return doc
 }

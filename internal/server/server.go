@@ -48,6 +48,7 @@ import (
 	"pamakv/internal/penalty"
 	"pamakv/internal/proto"
 	"pamakv/internal/singleflight"
+	"pamakv/internal/tenant"
 )
 
 // Command families for latency attribution. Reads and writes have different
@@ -201,6 +202,14 @@ type Options struct {
 	// writes) instead of queueing without bound. Nil disables admission
 	// control entirely.
 	Overload *overload.Config
+
+	// Tenants is the tenant registry for multi-tenant serving. When set,
+	// each key's namespace prefix resolves its tenant, the tenant's SLO
+	// class demotes the request's effective penalty subclass at admission
+	// (best-effort tenants shed before premium ones), and per-tenant
+	// accounting appears in /statsz and the metrics endpoint when the
+	// store is a tenant.Router. Nil serves single-tenant.
+	Tenants *tenant.Registry
 
 	// Cluster enables the peer tier: keys this node does not own are
 	// forwarded to their owning peer (GETs with penalty-aware hedging,
@@ -788,12 +797,14 @@ func admissible(name string) bool {
 	return false
 }
 
-// classify maps a parsed command to the shed policy's (op, penalty subclass):
-// reads vs writes, and the key's backend miss penalty bucketed into the
-// paper's subclasses. A multi-key get takes its most expensive key — shedding
-// the command sheds every key in it, so it is priced at the worst loss.
-// Without a backend every key prices at penalty.DefaultUnknown.
-func (s *Server) classify(cmd *proto.Command) (overload.Op, int) {
+// classify maps a parsed command to the shed policy's (op, penalty subclass,
+// tenant SLO class): reads vs writes, and the key's backend miss penalty
+// bucketed into the paper's subclasses. A multi-key get takes its most
+// expensive key and its most protected tenant — shedding the command sheds
+// every key in it, so it is priced at the worst loss. Without a backend
+// every key prices at penalty.DefaultUnknown; without a tenant registry
+// every key serves at SLO class 0 (no demotion).
+func (s *Server) classify(cmd *proto.Command) (overload.Op, int, int) {
 	op := overload.OpWrite
 	if cmd.Name == "get" || cmd.Name == "gets" {
 		op = overload.OpRead
@@ -807,13 +818,30 @@ func (s *Server) classify(cmd *proto.Command) (overload.Op, int) {
 			}
 		}
 	}
-	return op, penalty.SubclassFor(pen, penalty.SubclassBounds)
+	slo := 0
+	if r := s.opts.Tenants; r != nil {
+		slo = tenant.MaxSLOClass
+		for _, k := range cmd.Keys {
+			if c := r.SLOOf(k); c < slo {
+				slo = c
+			}
+		}
+	}
+	return op, penalty.SubclassFor(pen, penalty.SubclassBounds), slo
 }
 
 // subclassOf buckets a key's backend miss penalty into its penalty subclass
 // (requires Options.Backend).
 func (s *Server) subclassOf(key string) int {
 	return penalty.SubclassFor(s.opts.Backend.PenaltyOf(key), penalty.SubclassBounds)
+}
+
+// sloOf resolves a key's tenant SLO class (0 without a tenant registry).
+func (s *Server) sloOf(key string) int {
+	if s.opts.Tenants == nil {
+		return 0
+	}
+	return s.opts.Tenants.SLOOf(key)
 }
 
 // serve admits one request through the overload controller (when configured)
@@ -824,8 +852,8 @@ func (s *Server) serve(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	if s.ctrl == nil || !admissible(cmd.Name) {
 		return s.dispatch(sc, out, cmd)
 	}
-	op, sub := s.classify(cmd)
-	ok, _, release := s.ctrl.Acquire(op, sub)
+	op, sub, slo := s.classify(cmd)
+	ok, _, release := s.ctrl.AcquireSLO(op, sub, slo)
 	if !ok {
 		s.st.sheds.Add(1)
 		if cmd.NoReply {
@@ -1146,7 +1174,7 @@ func (s *Server) doGet(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 					sc.val = sval[:0]
 				}
 			}
-			if !hit && tier >= overload.TierShedding && s.ctrl.ShedFetch(s.subclassOf(key)) {
+			if !hit && tier >= overload.TierShedding && s.ctrl.ShedFetchSLO(s.subclassOf(key), s.sloOf(key)) {
 				// Tier 2+: a cheap-penalty miss is not worth a backend
 				// fetch while the queue is filling; serve the miss.
 				s.st.fetchSheds.Add(1)

@@ -303,6 +303,11 @@ func figureHoles(scale float64) *Figure {
 	a.Name = "learned"
 	a.Adaptive = HolesAdaptiveConfig()
 	f.Specs = append(f.Specs, a)
+	// The ablation under the paper's policy, not just static geometry:
+	// PAMA's subclass stacks fragment slabs differently, so the holes
+	// accounting is reported for it too (ROADMAP follow-on to PR 7).
+	p := baseSpec(wl, cacheBytes, reqs, "pama")
+	f.Specs = append(f.Specs, p)
 	f.Render = RenderHoles
 	return f
 }

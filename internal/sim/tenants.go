@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+	"pamakv/internal/tenant"
+	"pamakv/internal/workload"
+)
+
+// This file is the multi-tenant simulator: one cache budget split across N
+// tenants, each tenant driving its own engine with its own workload, with
+// the tenant arbiter rebalancing the slab budget between them. The tenants
+// figure (pama-bench -fig tenants) uses it to prove the ROADMAP claim: one
+// arbitrated cache matches the combined hit rate of N static partitions
+// with 20% less total memory on a skewed tenant mix.
+
+// TenantSpec is one tenant's slice of a multi-tenant experiment.
+type TenantSpec struct {
+	// Tenant is the contract (name, reserve, weight, SLO class).
+	Tenant tenant.Config
+	// Workload generates this tenant's request stream.
+	Workload workload.Config
+	// Share is the tenant's fraction of the combined request stream;
+	// shares are normalized over the spec.
+	Share float64
+}
+
+// MultiSpec describes one multi-tenant experiment.
+type MultiSpec struct {
+	// Name labels the run.
+	Name string
+	// Tenants are the co-located applications.
+	Tenants []TenantSpec
+	// CacheBytes is the combined memory budget; each tenant starts with
+	// its reserve plus a weight-proportional share of the remainder.
+	CacheBytes int64
+	// Requests is the combined stream length.
+	Requests uint64
+	// EngineWindow is each engine's value window in accesses.
+	EngineWindow uint64
+	// HitTime is the GET-hit service time in seconds.
+	HitTime float64
+	// Policy selects every tenant's allocation scheme (slab policies
+	// only; gdsf has no slab budget to arbitrate).
+	Policy PolicySpec
+	// ArbitrateEvery runs one synchronous arbiter step every this many
+	// requests; 0 disables arbitration (static partitions).
+	ArbitrateEvery uint64
+	// Seed drives the tenant-interleaving draw.
+	Seed uint64
+}
+
+// TenantResult is one tenant's outcome.
+type TenantResult struct {
+	Name        string
+	Gets, Hits  uint64
+	MissPenalty float64
+	Items       int
+	// SlabsStart and SlabsEnd are the tenant's budget before and after
+	// arbitration; SlabsIn/SlabsOut the arbiter transfers.
+	SlabsStart, SlabsEnd int
+	SlabsIn, SlabsOut    uint64
+}
+
+// MultiResult is a multi-tenant run's outcome.
+type MultiResult struct {
+	Spec        MultiSpec
+	Tenants     []TenantResult
+	Gets, Hits  uint64
+	CombinedHit float64
+	MissPenalty float64
+	// Moves counts arbiter slab transfers; Matrix[d][r] attributes them.
+	Moves  uint64
+	Matrix [][]uint64
+	// TotalSlabs is the combined budget, verified conserved across
+	// arbitration.
+	TotalSlabs int
+	Elapsed    time.Duration
+}
+
+// HitRatio returns t's GET hit ratio.
+func (t TenantResult) HitRatio() float64 {
+	if t.Gets == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Gets)
+}
+
+// RunMulti executes one multi-tenant experiment: per-tenant engines sized
+// reserve + weight-share of the remainder, a deterministic interleave of
+// the tenants' streams, and (when enabled) a synchronous arbiter step every
+// ArbitrateEvery requests — the simulator's stand-in for the server's
+// periodic arbitration goroutine.
+func RunMulti(spec MultiSpec) (*MultiResult, error) {
+	if len(spec.Tenants) == 0 {
+		return nil, fmt.Errorf("sim: multi-tenant spec has no tenants")
+	}
+	if spec.Requests == 0 {
+		spec.Requests = 1_000_000
+	}
+	if spec.EngineWindow == 0 {
+		spec.EngineWindow = 50_000
+	}
+	if spec.HitTime == 0 {
+		spec.HitTime = 0.0005
+	}
+
+	// Split the budget: reserves off the top, remainder by weight.
+	geomt := kv.DefaultGeometry()
+	slabSize := int64(geomt.SlabSize)
+	var reserved int64
+	var weights float64
+	var shares float64
+	for _, t := range spec.Tenants {
+		reserved += t.Tenant.ReservedBytes
+		w := t.Tenant.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights += w
+		shares += t.Share
+	}
+	if shares <= 0 {
+		return nil, fmt.Errorf("sim: tenant shares sum to %g", shares)
+	}
+	remainder := spec.CacheBytes - reserved
+	if remainder < 0 {
+		return nil, fmt.Errorf("sim: reserves %d exceed cache %d", reserved, spec.CacheBytes)
+	}
+
+	type member struct {
+		eng   *cache.Cache
+		gen   *workload.Generator
+		model interface {
+			Of(keyHash uint64, size int) float64
+		}
+		cum   float64 // cumulative normalized share
+		res   TenantResult
+		spec  TenantSpec
+		start int
+	}
+	members := make([]*member, len(spec.Tenants))
+	arbMembers := make([]tenant.Member, len(spec.Tenants))
+	var cum float64
+	totalSlabs := 0
+	for i, t := range spec.Tenants {
+		w := t.Tenant.Weight
+		if w <= 0 {
+			w = 1
+		}
+		bytes := t.Tenant.ReservedBytes + int64(float64(remainder)*w/weights)
+		if bytes < slabSize {
+			bytes = slabSize
+		}
+		pol, err := spec.Policy.Build()
+		if err != nil {
+			return nil, err
+		}
+		if pol == nil {
+			return nil, fmt.Errorf("sim: policy %q cannot run multi-tenant", spec.Policy.Kind)
+		}
+		eng, err := cache.New(cache.Config{
+			Geometry:   geomt,
+			CacheBytes: bytes,
+			WindowLen:  spec.EngineWindow,
+			Tenant:     int32(i),
+		}, pol)
+		if err != nil {
+			return nil, fmt.Errorf("sim: tenant %s: %w", t.Tenant.Name, err)
+		}
+		gen, err := workload.New(t.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("sim: tenant %s: %w", t.Tenant.Name, err)
+		}
+		cum += t.Share / shares
+		members[i] = &member{
+			eng:   eng,
+			gen:   gen,
+			model: t.Workload.Penalty,
+			cum:   cum,
+			res:   TenantResult{Name: t.Tenant.Name, SlabsStart: eng.TotalSlabsBudget()},
+			spec:  t,
+			start: eng.TotalSlabsBudget(),
+		}
+		totalSlabs += eng.TotalSlabsBudget()
+		arbMembers[i] = tenant.Member{ID: i, Cfg: t.Tenant, Engines: []*cache.Cache{eng}}
+	}
+
+	var arb *tenant.Arbiter
+	if spec.ArbitrateEvery > 0 && len(members) >= 2 {
+		var err error
+		arb, err = tenant.NewArbiter(arbMembers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &MultiResult{Spec: spec, TotalSlabs: totalSlabs}
+	start := time.Now()
+	for step := uint64(0); step < spec.Requests; step++ {
+		// Deterministic tenant draw by cumulative share.
+		u := float64(kv.Mix64(spec.Seed^(step*0x9e3779b97f4a7c15+1))) / float64(1<<63) / 2
+		m := members[len(members)-1]
+		for _, cand := range members {
+			if u < cand.cum {
+				m = cand
+				break
+			}
+		}
+		r, err := m.gen.Next()
+		if err != nil {
+			return nil, err
+		}
+		key := kv.KeyString(r.Key)
+		size := int(r.Size)
+		switch r.Op {
+		case kv.Get:
+			pen := m.model.Of(kv.HashString(key), size)
+			_, _, hit := m.eng.Get(key, size, pen, nil)
+			m.res.Gets++
+			if hit {
+				m.res.Hits++
+			} else {
+				m.res.MissPenalty += pen
+				if err := m.eng.Set(key, size, pen, 0, nil); err != nil &&
+					!errors.Is(err, cache.ErrNoSpace) && !errors.Is(err, cache.ErrTooLarge) {
+					return nil, err
+				}
+			}
+		case kv.Set:
+			pen := m.model.Of(kv.HashString(key), size)
+			if err := m.eng.Set(key, size, pen, 0, nil); err != nil &&
+				!errors.Is(err, cache.ErrNoSpace) && !errors.Is(err, cache.ErrTooLarge) {
+				return nil, err
+			}
+		case kv.Delete:
+			m.eng.Delete(key)
+		}
+		if arb != nil && spec.ArbitrateEvery > 0 && (step+1)%spec.ArbitrateEvery == 0 {
+			arb.Step()
+		}
+	}
+	res.Elapsed = time.Since(start)
+
+	endSlabs := 0
+	for i, m := range members {
+		if err := m.eng.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("sim: tenant %s: %w", m.res.Name, err)
+		}
+		st := m.eng.Stats()
+		m.res.Items = m.eng.Items()
+		m.res.SlabsEnd = m.eng.TotalSlabsBudget()
+		m.res.SlabsIn = st.SlabReceipts
+		m.res.SlabsOut = st.SlabDonations
+		endSlabs += m.res.SlabsEnd
+		res.Tenants = append(res.Tenants, m.res)
+		res.Gets += m.res.Gets
+		res.Hits += m.res.Hits
+		res.MissPenalty += m.res.MissPenalty
+		if arb != nil {
+			floor := arb.ReserveSlabs(i)
+			if m.res.SlabsEnd < floor {
+				return nil, fmt.Errorf("sim: tenant %s ended below reserve: %d < %d slabs",
+					m.res.Name, m.res.SlabsEnd, floor)
+			}
+		}
+	}
+	if endSlabs != totalSlabs {
+		return nil, fmt.Errorf("sim: slab budget not conserved: started %d, ended %d", totalSlabs, endSlabs)
+	}
+	if res.Gets > 0 {
+		res.CombinedHit = float64(res.Hits) / float64(res.Gets)
+	}
+	if arb != nil {
+		st := arb.Stats()
+		res.Moves = st.Moves
+		res.Matrix = st.Matrix
+	}
+	return res, nil
+}
+
+// TenantsFigureResult is the tenants figure: every tenant running alone in
+// a static partition of the full budget, against all tenants sharing one
+// arbitrated cache at 80% of that budget.
+type TenantsFigureResult struct {
+	// Partitions holds one single-tenant run per tenant, each in an
+	// equal static partition (the siloed-memcached-pools baseline).
+	Partitions []*MultiResult
+	// Arbitrated is the combined run at ArbitratedFrac of the budget.
+	Arbitrated *MultiResult
+	// PartitionBytes is the per-tenant partition size; TotalBytes the
+	// baseline total; ArbitratedBytes the arbitrated cache's budget.
+	PartitionBytes  int64
+	TotalBytes      int64
+	ArbitratedBytes int64
+	// PartitionHit is the partitions' gets-weighted combined hit ratio.
+	PartitionHit float64
+}
+
+// ArbitratedFrac is the arbitrated cache's budget relative to the
+// partitioned baseline: the ROADMAP's "≥20% less total memory" claim.
+const ArbitratedFrac = 0.8
+
+// TenantsMix returns the figure's skewed tenant mix: a hot, penalty-heavy
+// tenant whose working set overflows an equal partition; a small tenant
+// that fits anywhere; and a cold scan tenant that no amount of memory
+// helps. Equal partitions mis-provision all three — exactly the silo waste
+// Memshare targets.
+func TenantsMix() []TenantSpec {
+	hot := workload.ETC()
+	hot.Name = "hot"
+	hot.Keys = 300_000
+	hot.Seed = 11
+
+	warm := workload.SYS()
+	warm.Name = "warm"
+	warm.Seed = 12
+
+	cold := workload.ETC()
+	cold.Name = "cold"
+	cold.Keys = 2_000_000
+	cold.ZipfS = 0.6
+	cold.ColdFrac = 0.5
+	cold.RotateEvery = 0
+	cold.Seed = 13
+
+	// Weights mirror the SLO ordering. They matter on long runs: the cold
+	// scan's half-cold key stream keeps generating would-have-hit candidate
+	// signal that it can never convert into retained hits, so with equal
+	// weights the arbiter slowly drains the hot tenant into the scan.
+	// Down-weighting the scan tenant is exactly the operator knob for that.
+	return []TenantSpec{
+		{Tenant: tenant.Config{Name: "hot", ReservedBytes: 4 << 20, Weight: 4, SLOClass: 0}, Workload: hot, Share: 0.6},
+		{Tenant: tenant.Config{Name: "warm", ReservedBytes: 4 << 20, Weight: 2, SLOClass: 1}, Workload: warm, Share: 0.3},
+		{Tenant: tenant.Config{Name: "cold", ReservedBytes: 4 << 20, Weight: 1, SLOClass: 2}, Workload: cold, Share: 0.1},
+	}
+}
+
+// RunTenantsFigure executes the tenants figure at the given request scale:
+// N single-tenant partition runs (in parallel) plus one arbitrated run.
+func RunTenantsFigure(scale float64) (*TenantsFigureResult, error) {
+	mix := TenantsMix()
+	reqs := scaled(4_000_000, scale)
+	total := int64(96) << 20
+	partBytes := total / int64(len(mix))
+	arbBytes := int64(float64(total) * ArbitratedFrac)
+
+	out := &TenantsFigureResult{
+		Partitions:      make([]*MultiResult, len(mix)),
+		PartitionBytes:  partBytes,
+		TotalBytes:      total,
+		ArbitratedBytes: arbBytes,
+	}
+
+	var shares float64
+	for _, t := range mix {
+		shares += t.Share
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(mix)+1)
+	for i, t := range mix {
+		wg.Add(1)
+		go func(i int, t TenantSpec) {
+			defer wg.Done()
+			solo := t
+			solo.Share = 1
+			out.Partitions[i], errs[i] = RunMulti(MultiSpec{
+				Name:       "partition/" + t.Tenant.Name,
+				Tenants:    []TenantSpec{solo},
+				CacheBytes: partBytes,
+				Requests:   uint64(float64(reqs) * t.Share / shares),
+				Policy:     PolicySpec{Kind: "pama"},
+				Seed:       100 + uint64(i),
+			})
+		}(i, t)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out.Arbitrated, errs[len(mix)] = RunMulti(MultiSpec{
+			Name:           "arbitrated",
+			Tenants:        mix,
+			CacheBytes:     arbBytes,
+			Requests:       reqs,
+			Policy:         PolicySpec{Kind: "pama"},
+			ArbitrateEvery: 10_000,
+			Seed:           42,
+		})
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var gets, hits uint64
+	for _, p := range out.Partitions {
+		gets += p.Gets
+		hits += p.Hits
+	}
+	if gets > 0 {
+		out.PartitionHit = float64(hits) / float64(gets)
+	}
+	return out, nil
+}
+
+// RenderTenants writes the tenants figure as TSV: one row per (tenant,
+// mode), then the combined comparison and the arbiter's move matrix.
+func RenderTenants(w io.Writer, r *TenantsFigureResult) error {
+	if _, err := fmt.Fprintln(w, "tenant\tmode\tcache_mib\tgets\thit_ratio\tmiss_penalty_s\titems\tslabs_start\tslabs_end\tslabs_in\tslabs_out"); err != nil {
+		return err
+	}
+	row := func(t TenantResult, mode string, mib float64) error {
+		_, err := fmt.Fprintf(w, "%s\t%s\t%.1f\t%d\t%.4f\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+			t.Name, mode, mib, t.Gets, t.HitRatio(), t.MissPenalty, t.Items,
+			t.SlabsStart, t.SlabsEnd, t.SlabsIn, t.SlabsOut)
+		return err
+	}
+	for _, p := range r.Partitions {
+		for _, t := range p.Tenants {
+			if err := row(t, "partitioned", float64(r.PartitionBytes)/(1<<20)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range r.Arbitrated.Tenants {
+		if err := row(t, "arbitrated", float64(r.ArbitratedBytes)/(1<<20)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# combined: partitioned %.4f @ %d MiB vs arbitrated %.4f @ %d MiB (%.0f%% of the memory), %d slab moves\n",
+		r.PartitionHit, r.TotalBytes>>20, r.Arbitrated.CombinedHit, r.ArbitratedBytes>>20,
+		ArbitratedFrac*100, r.Arbitrated.Moves); err != nil {
+		return err
+	}
+	if len(r.Arbitrated.Matrix) > 0 {
+		if _, err := fmt.Fprintf(w, "# move matrix (donor -> receiver):\n"); err != nil {
+			return err
+		}
+		for d, rowm := range r.Arbitrated.Matrix {
+			if _, err := fmt.Fprintf(w, "#   %s -> %v\n", r.Arbitrated.Tenants[d].Name, rowm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

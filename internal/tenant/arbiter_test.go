@@ -1,0 +1,196 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/penalty"
+	"pamakv/internal/workload"
+)
+
+func newTestEngine(t *testing.T, bytes int64, id int32) *cache.Cache {
+	t.Helper()
+	eng, err := cache.New(cache.Config{
+		Geometry:    kv.DefaultGeometry(),
+		CacheBytes:  bytes,
+		WindowLen:   5_000,
+		Tenant:      id,
+		StoreValues: true,
+	}, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// churn drives GET-miss-then-SET traffic over n distinct keys so the engine
+// accumulates window statistics (misses feed incoming value, hits outgoing).
+func churn(t *testing.T, eng *cache.Cache, tag string, n, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s:%d", tag, i)
+			if _, _, hit := eng.Get(key, 100, 0.01, nil); !hit {
+				if err := eng.Set(key, 100, 0.01, 0, nil); err != nil &&
+					err != cache.ErrNoSpace && err != cache.ErrTooLarge {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// thrash drives n skewed GET-miss-then-SET requests from a workload
+// generator whose footprint exceeds the engine, so PAMA's candidate stacks
+// see would-have-hit reuse and the incoming-slab value grows.
+func thrash(t *testing.T, eng *cache.Cache, gen *workload.Generator, model penalty.Model, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r, err := gen.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := kv.KeyString(r.Key)
+		pen := model.Of(kv.HashString(key), int(r.Size))
+		if _, _, hit := eng.Get(key, int(r.Size), pen, nil); !hit {
+			if err := eng.Set(key, int(r.Size), pen, 0, nil); err != nil &&
+				!errors.Is(err, cache.ErrNoSpace) && !errors.Is(err, cache.ErrTooLarge) {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func newThrasher(t *testing.T, seed uint64) (*workload.Generator, penalty.Model) {
+	t.Helper()
+	cfg := workload.ETC()
+	cfg.Keys = 200_000
+	cfg.SetFrac = 0
+	cfg.DelFrac = 0
+	cfg.Seed = seed
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen, cfg.Penalty
+}
+
+func TestNewArbiterValidation(t *testing.T) {
+	eng := newTestEngine(t, 4<<20, 0)
+	if _, err := NewArbiter([]Member{{ID: 0, Cfg: Config{Name: "solo"}, Engines: []*cache.Cache{eng}}}); err == nil {
+		t.Fatal("single-member arbiter accepted")
+	}
+	if _, err := NewArbiter([]Member{
+		{ID: 0, Cfg: Config{Name: "a"}, Engines: []*cache.Cache{eng}},
+		{ID: 1, Cfg: Config{Name: "b"}},
+	}); err == nil {
+		t.Fatal("engine-less member accepted")
+	}
+}
+
+func TestArbiterReserveFloorInSlabs(t *testing.T) {
+	a := newTestEngine(t, 8<<20, 0)
+	b := newTestEngine(t, 8<<20, 1)
+	arb, err := NewArbiter([]Member{
+		{ID: 0, Cfg: Config{Name: "a", ReservedBytes: 3<<20 + 1, Weight: 1}, Engines: []*cache.Cache{a}},
+		{ID: 1, Cfg: Config{Name: "b", Weight: 1}, Engines: []*cache.Cache{b}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arb.ReserveSlabs(0); got != 4 {
+		t.Fatalf("3MiB+1 reserve at 1MiB slabs = %d floor, want 4", got)
+	}
+	// The floor never drops below one slab per engine.
+	if got := arb.ReserveSlabs(1); got != 1 {
+		t.Fatalf("unreserved tenant floor = %d, want 1", got)
+	}
+}
+
+// TestArbiterMovesTowardPressure is the direction test: a thrashing tenant
+// gains slabs from an idle one, budgets are conserved, and the donor never
+// drops below its reserve floor.
+func TestArbiterMovesTowardPressure(t *testing.T) {
+	hot := newTestEngine(t, 8<<20, 0)
+	idle := newTestEngine(t, 8<<20, 1)
+	arb, err := NewArbiter([]Member{
+		{ID: 0, Cfg: Config{Name: "hot", Weight: 1}, Engines: []*cache.Cache{hot}},
+		{ID: 1, Cfg: Config{Name: "idle", ReservedBytes: 2 << 20, Weight: 1}, Engines: []*cache.Cache{idle}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := hot.TotalSlabsBudget() + idle.TotalSlabsBudget()
+	hotStart := hot.TotalSlabsBudget()
+
+	// The idle tenant holds a little warm data; the hot tenant thrashes a
+	// skewed working set far larger than its budget.
+	gen, model := newThrasher(t, 31)
+	churn(t, idle, "idle", 200, 3)
+	moves := 0
+	for round := 0; round < 30; round++ {
+		thrash(t, hot, gen, model, 20_000)
+		if arb.Step() {
+			moves++
+		}
+		if got := hot.TotalSlabsBudget() + idle.TotalSlabsBudget(); got != total {
+			t.Fatalf("round %d: budget not conserved: %d != %d", round, got, total)
+		}
+		if got := idle.TotalSlabsBudget(); got < arb.ReserveSlabs(1) {
+			t.Fatalf("round %d: donor below reserve floor: %d < %d", round, got, arb.ReserveSlabs(1))
+		}
+	}
+	if moves == 0 {
+		t.Fatal("arbiter never moved a slab toward the thrashing tenant")
+	}
+	if hot.TotalSlabsBudget() <= hotStart {
+		t.Fatalf("hot tenant budget %d -> %d; pressure did not attract slabs",
+			hotStart, hot.TotalSlabsBudget())
+	}
+	st := arb.Stats()
+	if st.Moves != uint64(moves) || st.Steps != 30 {
+		t.Fatalf("stats moves=%d steps=%d, want %d/30", st.Moves, st.Steps, moves)
+	}
+	if st.Matrix[1][0] == 0 {
+		t.Fatalf("move matrix records no idle->hot transfer: %v", st.Matrix)
+	}
+	if st.Members[0].SlabsIn == 0 || st.Members[1].SlabsOut == 0 {
+		t.Fatalf("member transfer counters empty: %+v", st.Members)
+	}
+	if err := hot.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArbiterRespectsFullReserve pins that a tenant whose reserve covers its
+// whole allotment is never tapped, no matter the pressure elsewhere.
+func TestArbiterRespectsFullReserve(t *testing.T) {
+	hot := newTestEngine(t, 8<<20, 0)
+	locked := newTestEngine(t, 8<<20, 1)
+	arb, err := NewArbiter([]Member{
+		{ID: 0, Cfg: Config{Name: "hot", Weight: 4}, Engines: []*cache.Cache{hot}},
+		{ID: 1, Cfg: Config{Name: "locked", ReservedBytes: 8 << 20, Weight: 1}, Engines: []*cache.Cache{locked}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, model := newThrasher(t, 33)
+	churn(t, locked, "locked", 100, 2)
+	for round := 0; round < 10; round++ {
+		thrash(t, hot, gen, model, 20_000)
+		arb.Step()
+	}
+	if got := locked.TotalSlabsBudget(); got != 8 {
+		t.Fatalf("fully-reserved tenant lost slabs: %d != 8", got)
+	}
+	if st := arb.Stats(); st.Moves != 0 {
+		t.Fatalf("%d moves despite only two tenants and one fully reserved", st.Moves)
+	}
+}

@@ -1,0 +1,284 @@
+package tenant
+
+import (
+	"fmt"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/kv"
+)
+
+// Store is the per-tenant backing store the router dispatches to: the
+// server-facing command surface plus the maintenance hooks the server
+// discovers by interface assertion. Both *cache.Cache and *shard.Group
+// satisfy it.
+type Store interface {
+	Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool)
+	GetWithCAS(key string, buf []byte) ([]byte, uint32, uint64, bool)
+	GetStale(key string, buf []byte) ([]byte, uint32, bool)
+	Set(key string, size int, pen float64, flags uint32, value []byte) error
+	SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error
+	Delete(key string) bool
+	Touch(key string, expireAt int64) bool
+	Delta(key string, delta uint64, decr bool) (uint64, error)
+	Contains(key string) bool
+	ReapExpired(max int) int
+	Flush()
+	Stats() cache.Stats
+	Items() int
+	SnapshotSlabs() []int
+	PolicyName() string
+	Introspect() cache.Introspection
+	CheckInvariants() error
+}
+
+// Router is the multi-tenant store: it resolves each key's tenant from its
+// namespace prefix and dispatches to that tenant's own store, so one
+// listener serves N isolated caches. It satisfies the server's Store,
+// reaper, and introspector interfaces; aggregate views sum over tenants.
+type Router struct {
+	reg     *Registry
+	stores  []Store  // by tenant id
+	members []Member // by tenant id (engines, for per-tenant snapshots)
+	arb     *Arbiter // optional
+}
+
+// NewRouter builds a router over one store per registry tenant (stores[id]
+// serves registry tenant id; members[id] lists the engines behind it).
+func NewRouter(reg *Registry, stores []Store, members []Member) (*Router, error) {
+	if len(stores) != reg.Len() || len(members) != reg.Len() {
+		return nil, fmt.Errorf("tenant: %d stores / %d members for %d tenants",
+			len(stores), len(members), reg.Len())
+	}
+	for id, m := range members {
+		if m.ID != id {
+			return nil, fmt.Errorf("tenant: member %d has id %d", id, m.ID)
+		}
+		if len(m.Engines) == 0 {
+			return nil, fmt.Errorf("tenant: %s has no engines", m.Cfg.Name)
+		}
+	}
+	return &Router{reg: reg, stores: stores, members: members}, nil
+}
+
+// SetArbiter attaches the arbiter whose stats the router reports.
+func (r *Router) SetArbiter(a *Arbiter) { r.arb = a }
+
+// Registry returns the router's tenant registry.
+func (r *Router) Registry() *Registry { return r.reg }
+
+// TenantStore returns tenant id's backing store.
+func (r *Router) TenantStore(id int) Store { return r.stores[id] }
+
+func (r *Router) pick(key string) Store { return r.stores[r.reg.Resolve(key)] }
+
+// ---- server.Store ----
+
+func (r *Router) Get(key string, sizeHint int, penHint float64, buf []byte) ([]byte, uint32, bool) {
+	return r.pick(key).Get(key, sizeHint, penHint, buf)
+}
+
+func (r *Router) GetWithCAS(key string, buf []byte) ([]byte, uint32, uint64, bool) {
+	return r.pick(key).GetWithCAS(key, buf)
+}
+
+func (r *Router) GetStale(key string, buf []byte) ([]byte, uint32, bool) {
+	return r.pick(key).GetStale(key, buf)
+}
+
+func (r *Router) Set(key string, size int, pen float64, flags uint32, value []byte) error {
+	return r.pick(key).Set(key, size, pen, flags, value)
+}
+
+func (r *Router) SetMode(key string, mode cache.SetMode, cas uint64, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
+	return r.pick(key).SetMode(key, mode, cas, size, pen, flags, expireAt, value)
+}
+
+func (r *Router) Delete(key string) bool { return r.pick(key).Delete(key) }
+
+func (r *Router) Touch(key string, expireAt int64) bool { return r.pick(key).Touch(key, expireAt) }
+
+func (r *Router) Delta(key string, delta uint64, decr bool) (uint64, error) {
+	return r.pick(key).Delta(key, delta, decr)
+}
+
+func (r *Router) Contains(key string) bool { return r.pick(key).Contains(key) }
+
+func (r *Router) Flush() {
+	for _, s := range r.stores {
+		s.Flush()
+	}
+}
+
+// ReapExpired spreads the reap budget across tenants.
+func (r *Router) ReapExpired(max int) int {
+	per := max / len(r.stores)
+	if per == 0 {
+		per = 1
+	}
+	n := 0
+	for _, s := range r.stores {
+		n += s.ReapExpired(per)
+	}
+	return n
+}
+
+func (r *Router) Stats() cache.Stats {
+	var st cache.Stats
+	for _, s := range r.stores {
+		st = cache.AddStats(st, s.Stats())
+	}
+	return st
+}
+
+func (r *Router) Items() int {
+	n := 0
+	for _, s := range r.stores {
+		n += s.Items()
+	}
+	return n
+}
+
+// SnapshotSlabs sums per-class slab counts over tenants.
+func (r *Router) SnapshotSlabs() []int {
+	var out []int
+	for _, s := range r.stores {
+		snap := s.SnapshotSlabs()
+		if out == nil {
+			out = snap
+			continue
+		}
+		for i := 0; i < len(out) && i < len(snap); i++ {
+			out[i] += snap[i]
+		}
+	}
+	return out
+}
+
+func (r *Router) PolicyName() string { return r.stores[0].PolicyName() }
+
+// Introspect merges every tenant's engine snapshot, the same fan-in the
+// shard group performs.
+func (r *Router) Introspect() cache.Introspection {
+	in := r.stores[0].Introspect()
+	for _, s := range r.stores[1:] {
+		in.Merge(s.Introspect())
+	}
+	return in
+}
+
+// CheckInvariants validates every tenant's store and audits isolation:
+// each tenant's engines may hold only items stamped with that tenant's id.
+func (r *Router) CheckInvariants() error {
+	for id, s := range r.stores {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("tenant %s: %w", r.reg.Config(id).Name, err)
+		}
+		for _, e := range r.members[id].Engines {
+			var stray error
+			e.RangeItems(func(it *kv.Item) bool {
+				if int(it.Tenant) != id {
+					stray = fmt.Errorf("tenant %s: engine holds item %q of tenant %d",
+						r.reg.Config(id).Name, it.Key, it.Tenant)
+					return false
+				}
+				return true
+			})
+			if stray != nil {
+				return stray
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot is one tenant's accounting for /statsz and the tenant metrics.
+type Snapshot struct {
+	Name          string  `json:"name"`
+	SLOClass      int     `json:"slo_class"`
+	Weight        float64 `json:"weight"`
+	ReservedBytes int64   `json:"reserved_bytes"`
+	ReserveSlabs  int     `json:"reserve_slabs"`
+	Slabs         int     `json:"slabs"`
+	FreeSlabs     int     `json:"free_slabs"`
+	Items         int     `json:"items"`
+	UsedBytes     int64   `json:"used_bytes"`
+	Gets          uint64  `json:"gets"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	SlabsIn       uint64  `json:"slabs_in"`
+	SlabsOut      uint64  `json:"slabs_out"`
+	// Incoming and Outgoing are the tenant's marginal slab values at the
+	// last arbitration step (zero before the first step or without an
+	// arbiter).
+	Incoming float64 `json:"incoming"`
+	Outgoing float64 `json:"outgoing"`
+	// SubHits and SubMisses fold the per-class attribution down to
+	// penalty subclasses; EvictedPenaltyBySub is the penalty the tenant's
+	// policy chose to pay, per subclass.
+	SubHits             []uint64  `json:"subclass_hits,omitempty"`
+	SubMisses           []uint64  `json:"subclass_misses,omitempty"`
+	EvictedPenaltyBySub []float64 `json:"evicted_penalty_by_sub,omitempty"`
+}
+
+// TenantSnapshots returns one accounting row per tenant, in registry order.
+func (r *Router) TenantSnapshots() []Snapshot {
+	arbBy := map[string]MemberStats{}
+	if r.arb != nil {
+		for _, m := range r.arb.Stats().Members {
+			arbBy[m.Name] = m
+		}
+	}
+	out := make([]Snapshot, len(r.stores))
+	for id, s := range r.stores {
+		cfg := r.reg.Config(id)
+		in := s.Introspect()
+		snap := Snapshot{
+			Name:          cfg.Name,
+			SLOClass:      cfg.SLOClass,
+			Weight:        cfg.Weight,
+			ReservedBytes: cfg.ReservedBytes,
+			Slabs:         in.TotalSlabs,
+			FreeSlabs:     in.FreeSlabs,
+			Items:         in.Items,
+			Gets:          in.Stats.Gets,
+			Hits:          in.Stats.Hits,
+			Misses:        in.Stats.Misses,
+			Evictions:     in.Stats.Evictions,
+			SlabsIn:       in.Stats.SlabReceipts,
+			SlabsOut:      in.Stats.SlabDonations,
+		}
+		for cl := 0; cl < in.Classes && cl < len(in.SlotSizes); cl++ {
+			snap.UsedBytes += int64(in.UsedSlots[cl]) * int64(in.SlotSizes[cl])
+		}
+		if in.Subclasses > 0 {
+			snap.SubHits = make([]uint64, in.Subclasses)
+			snap.SubMisses = make([]uint64, in.Subclasses)
+			for cl := 0; cl < in.Classes; cl++ {
+				for sb := 0; sb < in.Subclasses; sb++ {
+					snap.SubHits[sb] += in.SubHits[cl][sb]
+					snap.SubMisses[sb] += in.SubMisses[cl][sb]
+				}
+			}
+		}
+		if in.Decisions != nil {
+			snap.EvictedPenaltyBySub = append([]float64(nil), in.Decisions.EvictedPenaltyBySub...)
+		}
+		if m, ok := arbBy[cfg.Name]; ok {
+			snap.ReserveSlabs = m.ReserveSlabs
+			snap.Incoming = m.Incoming
+			snap.Outgoing = m.Outgoing
+		}
+		out[id] = snap
+	}
+	return out
+}
+
+// ArbiterStats returns the attached arbiter's snapshot, or nil.
+func (r *Router) ArbiterStats() *ArbiterStats {
+	if r.arb == nil {
+		return nil
+	}
+	st := r.arb.Stats()
+	return &st
+}

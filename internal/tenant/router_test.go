@@ -1,0 +1,175 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+
+	"pamakv/internal/cache"
+)
+
+// newTestRouter builds a registry {a, b, default} with one engine per tenant.
+func newTestRouter(t *testing.T) (*Router, []*cache.Cache) {
+	t.Helper()
+	reg, err := NewRegistry([]Config{
+		{Name: "a", SLOClass: 0, ReservedBytes: 1 << 20},
+		{Name: "b", SLOClass: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*cache.Cache, reg.Len())
+	stores := make([]Store, reg.Len())
+	members := make([]Member, reg.Len())
+	for id := 0; id < reg.Len(); id++ {
+		engines[id] = newTestEngine(t, 4<<20, int32(id))
+		stores[id] = engines[id]
+		members[id] = Member{ID: id, Cfg: reg.Config(id), Engines: []*cache.Cache{engines[id]}}
+	}
+	r, err := NewRouter(reg, stores, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, engines
+}
+
+func TestRouterRoutesByPrefix(t *testing.T) {
+	r, engines := newTestRouter(t)
+	set := func(key string) {
+		t.Helper()
+		if err := r.Set(key, 100, 0.01, 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set("a/k1")
+	set("a/k2")
+	set("b/k1") // same suffix as a/k1: isolation means no collision
+	set("plain")
+	set("nobody/k") // unregistered prefix -> default tenant
+
+	ida, _ := r.Registry().Lookup("a")
+	idb, _ := r.Registry().Lookup("b")
+	def := r.Registry().DefaultID()
+	if got := engines[ida].Items(); got != 2 {
+		t.Fatalf("tenant a holds %d items, want 2", got)
+	}
+	if got := engines[idb].Items(); got != 1 {
+		t.Fatalf("tenant b holds %d items, want 1", got)
+	}
+	if got := engines[def].Items(); got != 2 {
+		t.Fatalf("default tenant holds %d items, want 2", got)
+	}
+	if got := r.Items(); got != 5 {
+		t.Fatalf("router Items = %d, want 5", got)
+	}
+	if _, _, hit := r.Get("a/k1", 0, 0, nil); !hit {
+		t.Fatal("a/k1 lost after routing")
+	}
+	if _, _, hit := r.Get("b/k2", 0, 0, nil); hit {
+		t.Fatal("b/k2 hit: keys leaked across tenants")
+	}
+	if !r.Delete("b/k1") || engines[idb].Items() != 0 {
+		t.Fatal("delete did not route to tenant b")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterIsolationAudit(t *testing.T) {
+	reg, err := NewRegistry([]Config{{Name: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mis-stamp tenant a's engine with the wrong id: every item it stores
+	// violates isolation, and the audit must say so.
+	wrong := newTestEngine(t, 4<<20, 99)
+	okEng := newTestEngine(t, 4<<20, 1)
+	r, err := NewRouter(reg,
+		[]Store{wrong, okEng},
+		[]Member{
+			{ID: 0, Cfg: reg.Config(0), Engines: []*cache.Cache{wrong}},
+			{ID: 1, Cfg: reg.Config(1), Engines: []*cache.Cache{okEng}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("empty engines should audit clean: %v", err)
+	}
+	if err := r.Set("a/k", 100, 0.01, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "tenant a") {
+		t.Fatalf("isolation audit missed mis-stamped item: %v", err)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	reg, err := NewRegistry([]Config{{Name: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine(t, 4<<20, 0)
+	if _, err := NewRouter(reg, []Store{eng}, nil); err == nil {
+		t.Fatal("store/member count mismatch accepted")
+	}
+	if _, err := NewRouter(reg,
+		[]Store{eng, eng},
+		[]Member{
+			{ID: 1, Cfg: reg.Config(0), Engines: []*cache.Cache{eng}},
+			{ID: 0, Cfg: reg.Config(1), Engines: []*cache.Cache{eng}},
+		}); err == nil {
+		t.Fatal("out-of-order member ids accepted")
+	}
+}
+
+func TestTenantSnapshots(t *testing.T) {
+	r, engines := newTestRouter(t)
+	for _, key := range []string{"a/k1", "a/k2", "b/k1"} {
+		if err := r.Set(key, 200, 0.05, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Get("a/k1", 0, 0, nil)
+	r.Get("a/miss", 0, 0.05, nil)
+
+	arb, err := NewArbiter([]Member{
+		{ID: 0, Cfg: r.Registry().Config(0), Engines: []*cache.Cache{engines[0]}},
+		{ID: 1, Cfg: r.Registry().Config(1), Engines: []*cache.Cache{engines[1]}},
+		{ID: 2, Cfg: r.Registry().Config(2), Engines: []*cache.Cache{engines[2]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb.Step()
+	r.SetArbiter(arb)
+
+	snaps := r.TenantSnapshots()
+	if len(snaps) != r.Registry().Len() {
+		t.Fatalf("%d snapshots for %d tenants", len(snaps), r.Registry().Len())
+	}
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	a := byName["a"]
+	if a.Items != 2 || a.Gets != 2 || a.Hits != 1 || a.Misses != 1 {
+		t.Fatalf("tenant a snapshot off: %+v", a)
+	}
+	if a.UsedBytes <= 0 || a.Slabs <= 0 {
+		t.Fatalf("tenant a accounting empty: %+v", a)
+	}
+	if a.SLOClass != 0 || a.ReservedBytes != 1<<20 || a.ReserveSlabs != 1 {
+		t.Fatalf("tenant a contract fields off: %+v", a)
+	}
+	if b := byName["b"]; b.Items != 1 || b.SLOClass != 2 {
+		t.Fatalf("tenant b snapshot off: %+v", b)
+	}
+	if _, ok := byName[DefaultName]; !ok {
+		t.Fatal("default tenant missing from snapshots")
+	}
+	if st := r.ArbiterStats(); st == nil || st.Steps != 1 {
+		t.Fatalf("router arbiter stats: %+v", st)
+	}
+}
