@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,3,4,5,6,7,8,9,10, 'holes' (memory-holes ablation), 'tenants' (multi-tenant arbitration vs static partitions) or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,3,4,5,6,7,8,9,10, 'holes' (memory-holes ablation), 'tenants' (multi-tenant arbitration vs static partitions), 'churn' (cold rebalance vs penalty-ordered warm handoff on a node add) or 'all'")
 	scale := flag.Float64("scale", 1.0, "request-count scale relative to the 1:100-scaled defaults")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
 	doPlot := flag.Bool("plot", false, "render ASCII charts instead of raw TSV series")
@@ -42,7 +42,7 @@ func run(fig string, scale float64, workers int, doPlot bool) error {
 	if fig == "all" {
 		// "tenants" is not a matrix figure (it compares N partitioned runs
 		// against one arbitrated run), so it rides alongside AllFigureIDs.
-		ids = append(append([]string{"1"}, sim.AllFigureIDs()...), "tenants")
+		ids = append(append([]string{"1"}, sim.AllFigureIDs()...), "tenants", "churn")
 	}
 	done := map[string]bool{}
 	for _, id := range ids {
@@ -55,6 +55,10 @@ func run(fig string, scale float64, workers int, doPlot bool) error {
 			figure1(doPlot)
 		case "tenants":
 			if err := figureTenants(scale); err != nil {
+				return err
+			}
+		case "churn":
+			if err := figureChurn(scale); err != nil {
 				return err
 			}
 		case "6":
@@ -109,6 +113,23 @@ func figureTenants(scale float64) error {
 		return err
 	}
 	fmt.Printf("# figure tenants wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// figureChurn runs the membership churn comparison: one node added to a
+// live 3-node ring under cold rebalance, key-ordered warm handoff, and
+// penalty-ordered warm handoff, rendered as the fig_churn TSV.
+func figureChurn(scale float64) error {
+	fmt.Printf("## Figure churn: cold rebalance vs penalty-ordered warm handoff (scale %.2f)\n", scale)
+	start := time.Now()
+	r, err := sim.RunChurnFigure(scale)
+	if err != nil {
+		return err
+	}
+	if err := sim.RenderChurn(os.Stdout, r); err != nil {
+		return err
+	}
+	fmt.Printf("# figure churn wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"pamakv/internal/cluster"
 	"pamakv/internal/geom"
 	"pamakv/internal/kv"
+	"pamakv/internal/membership"
 	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
 	"pamakv/internal/server"
@@ -95,6 +96,41 @@ type options struct {
 	peerRetries  int
 	peerOpTO     time.Duration
 	hedgeEnabled bool
+
+	join          string
+	membershipOn  bool
+	probeInterval time.Duration
+	evictAfter    int
+	evictCooldown time.Duration
+	handoffRate   int
+	joinTimeout   time.Duration
+}
+
+// validate rejects flag combinations with undefined behavior before any
+// resource is built. Kept as a pure function of options so the rules are
+// table-testable.
+func validate(o options) error {
+	inCluster := o.peers != "" || o.join != "" || o.membershipOn
+	switch {
+	case o.snapshot != "" && o.shards > 1:
+		return fmt.Errorf("-snapshot requires a single shard")
+	case o.tenants != "" && o.shards > 1:
+		return fmt.Errorf("-tenants and -shards are mutually exclusive (each tenant owns one engine)")
+	case o.tenants != "" && o.snapshot != "":
+		return fmt.Errorf("-snapshot is not supported with -tenants")
+	case o.tenants != "" && inCluster:
+		// The ring hashes raw keys while tenants route by prefix; every
+		// node would need an identical registry and per-tenant budgets
+		// would fight the ring's key placement. Until tenants span
+		// nodes (see ROADMAP), the combination is refused rather than
+		// left undefined.
+		return fmt.Errorf("-tenants cannot be combined with cluster mode (-peers/-join): tenant routing and ring ownership would fight over key placement")
+	case o.join != "" && o.peers != "":
+		return fmt.Errorf("-join and -peers are mutually exclusive: -join learns the member list from the seed, -peers states it")
+	case o.membershipOn && o.peers == "" && o.join == "":
+		return fmt.Errorf("-membership requires cluster mode (-peers or -join)")
+	}
+	return nil
 }
 
 func main() {
@@ -143,6 +179,14 @@ func main() {
 	flag.IntVar(&o.peerRetries, "peer-retries", cluster.DefaultRetries, "extra attempts for a failed peer request (-1 disables)")
 	flag.DurationVar(&o.peerOpTO, "peer-timeout", cluster.DefaultOpTimeout, "per-attempt peer round-trip deadline")
 	flag.BoolVar(&o.hedgeEnabled, "hedge", true, "hedge peer GETs of expensive keys (penalty-aware duplicate reads)")
+
+	flag.StringVar(&o.join, "join", "", "join a live cluster via this seed member's data address (runtime membership; mutually exclusive with -peers)")
+	flag.BoolVar(&o.membershipOn, "membership", false, "enable runtime membership (health probes, auto-eviction, warm handoff) on a static -peers cluster; implied by -join")
+	flag.DurationVar(&o.probeInterval, "probe-interval", membership.DefaultProbeInterval, "health-probe cadence for runtime membership (<0 disables probing)")
+	flag.IntVar(&o.evictAfter, "evict-after", membership.DefaultEvictAfter, "consecutive failed probes before a member is auto-evicted")
+	flag.DurationVar(&o.evictCooldown, "evict-cooldown", membership.DefaultEvictCooldown, "minimum gap between auto-evictions proposed by this node")
+	flag.IntVar(&o.handoffRate, "handoff-rate", membership.DefaultHandoffRate, "warm-handoff streaming rate in keys/sec (-1 = cold rebalance, no handoff)")
+	flag.DurationVar(&o.joinTimeout, "join-timeout", 30*time.Second, "how long -join retries reaching the seed")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -152,6 +196,9 @@ func main() {
 }
 
 func run(o options) error {
+	if err := validate(o); err != nil {
+		return err
+	}
 	if pol, err := (sim.PolicySpec{Kind: o.policyKind}).Build(); err != nil {
 		return err // validate the kind before building per-shard copies
 	} else if pol == nil {
@@ -169,19 +216,10 @@ func run(o options) error {
 		cfg.StaleValues = true
 		cfg.StaleBytes = o.staleMiB << 20
 	}
-	if o.snapshot != "" && o.shards > 1 {
-		return fmt.Errorf("-snapshot requires a single shard")
-	}
 	var reg *tenant.Registry
 	var arb *tenant.Arbiter
 	var c server.Store
 	if o.tenants != "" {
-		if o.shards > 1 {
-			return fmt.Errorf("-tenants and -shards are mutually exclusive (each tenant owns one engine)")
-		}
-		if o.snapshot != "" {
-			return fmt.Errorf("-snapshot is not supported with -tenants")
-		}
 		var specs []tenant.Config
 		var err error
 		if strings.HasPrefix(o.tenants, "@") {
@@ -302,15 +340,22 @@ func run(o options) error {
 		log.Printf("pama-server: overload control on (target p99 %v, max inflight %d)", o.targetP99, o.maxInflight)
 	}
 	var peers *cluster.Peers
-	if o.peers != "" {
+	var mgr *membership.Manager
+	if o.peers != "" || o.join != "" {
 		self := o.self
 		if self == "" {
 			self = o.addr
 		}
 		var members []string
-		for _, m := range strings.Split(o.peers, ",") {
-			if m = strings.TrimSpace(m); m != "" {
-				members = append(members, m)
+		if o.join != "" {
+			// A joiner bootstraps alone; the seed's view broadcast
+			// admits it to the real ring moments after startup.
+			members = []string{self}
+		} else {
+			for _, m := range strings.Split(o.peers, ",") {
+				if m = strings.TrimSpace(m); m != "" {
+					members = append(members, m)
+				}
 			}
 		}
 		hedge := cluster.HedgePolicy{}
@@ -343,8 +388,38 @@ func run(o options) error {
 		}
 		log.Printf("pama-server: cluster mode, %d members, self=%s, %s hashing",
 			len(members), self, o.clusterHash)
+		if o.membershipOn || o.join != "" {
+			mgr, err = membership.New(membership.Config{
+				Self:          self,
+				Peers:         peers,
+				ProbeInterval: o.probeInterval,
+				EvictAfter:    o.evictAfter,
+				EvictCooldown: o.evictCooldown,
+				HandoffRate:   o.handoffRate,
+				Logger:        log.New(os.Stderr, "pama-server: ", log.LstdFlags),
+			})
+			if err != nil {
+				return err
+			}
+			opts.Membership = mgr
+			log.Printf("pama-server: runtime membership on (probe %v, evict after %d, handoff %d keys/s)",
+				o.probeInterval, o.evictAfter, o.handoffRate)
+		}
 	}
 	srv := server.New(c, opts)
+	if mgr != nil {
+		mgr.Start()
+		if o.join != "" {
+			go func() {
+				if err := mgr.JoinCluster(o.join, o.joinTimeout); err != nil {
+					log.Printf("pama-server: %v", err)
+					return
+				}
+				epoch, members := mgr.View()
+				log.Printf("pama-server: joined via %s at epoch %d (%d members)", o.join, epoch, len(members))
+			}()
+		}
+	}
 
 	var admin *server.Admin
 	if o.adminAddr != "" {
@@ -369,6 +444,9 @@ func run(o options) error {
 		<-sigc
 		draining.Store(true)
 		log.Println("pama-server: draining connections")
+		if mgr != nil {
+			mgr.Stop()
+		}
 		if admin != nil {
 			admin.Close()
 		}

@@ -18,6 +18,67 @@ func testOpts(addr, policy string, shards int) options {
 	}
 }
 
+// TestValidateFlagCombinations is the flag-compatibility table: every
+// refused combination must fail fast with a message naming the flags,
+// and the legitimate combinations must pass.
+func TestValidateFlagCombinations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(o *options)
+		wantErr string // "" = combination is valid
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"static peers", func(o *options) { o.peers = "a:1,b:2" }, ""},
+		{"join", func(o *options) { o.join = "a:1" }, ""},
+		{"peers with membership", func(o *options) { o.peers = "a:1,b:2"; o.membershipOn = true }, ""},
+		{"tenants alone", func(o *options) { o.tenants = "web:8:1" }, ""},
+		{"shards alone", func(o *options) { o.shards = 4 }, ""},
+		{"snapshot single shard", func(o *options) { o.snapshot = "/tmp/x" }, ""},
+		{"snapshot multi shard", func(o *options) { o.snapshot = "/tmp/x"; o.shards = 2 }, "-snapshot"},
+		{"tenants with shards", func(o *options) { o.tenants = "web:8:1"; o.shards = 2 }, "-tenants"},
+		{"tenants with snapshot", func(o *options) { o.tenants = "web:8:1"; o.snapshot = "/tmp/x" }, "-snapshot"},
+		{"tenants with peers", func(o *options) { o.tenants = "web:8:1"; o.peers = "a:1,b:2" }, "-tenants"},
+		{"tenants with join", func(o *options) { o.tenants = "web:8:1"; o.join = "a:1" }, "-tenants"},
+		{"tenants with membership only", func(o *options) { o.tenants = "web:8:1"; o.membershipOn = true }, "-tenants"},
+		{"join with peers", func(o *options) { o.join = "a:1"; o.peers = "a:1,b:2" }, "-join"},
+		{"membership without cluster", func(o *options) { o.membershipOn = true }, "-membership"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := testOpts("127.0.0.1:0", "pama", 1)
+			tc.mutate(&o)
+			err := validate(o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combination refused: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid combination accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsTenantsWithCluster drives the satellite end to end: the
+// full run() path must refuse the combination before binding anything.
+func TestRunRejectsTenantsWithCluster(t *testing.T) {
+	o := testOpts("127.0.0.1:0", "pama", 1)
+	o.tenants = "web:8:1"
+	o.peers = "127.0.0.1:11311,127.0.0.1:11312"
+	err := run(o)
+	if err == nil {
+		t.Fatal("-tenants with -peers accepted")
+	}
+	if !strings.Contains(err.Error(), "-tenants") || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("error %q does not explain the refusal", err)
+	}
+}
+
 func TestRunRejectsUnknownPolicy(t *testing.T) {
 	if err := run(testOpts("127.0.0.1:0", "bogus", 1)); err == nil {
 		t.Fatal("unknown policy accepted")

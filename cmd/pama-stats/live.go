@@ -105,6 +105,7 @@ func runLive(w io.Writer, addr string, interval time.Duration, samples int) erro
 			float64(dGets)/dt, float64(dSets)/dt, hitCell, float64(dEvic)/dt,
 			cur.Items, p99, cur.Engine.SlabMigrations)
 		writeTenantRows(w, prev, cur, dt)
+		writeMemberRows(w, prev, cur, dt)
 		prev, prevT = cur, now
 	}
 	return nil
@@ -132,6 +133,42 @@ func writeTenantRows(w io.Writer, prev, cur server.Statsz, dt float64) {
 		fmt.Fprintf(w, "  · %-14s %8.0f/s %6s%% %8d items %4d slabs (res %d, +%d/-%d)\n",
 			sn.Name, float64(dGets)/dt, hitCell, sn.Items,
 			sn.Slabs, sn.ReserveSlabs, sn.SlabsIn-p.SlabsIn, sn.SlabsOut-p.SlabsOut)
+	}
+}
+
+// writeMemberRows prints the cluster-membership block under the window
+// row: one epoch/handoff summary line plus one row per member with its
+// probe state. Older servers (or nodes run without runtime membership)
+// have no membership section in /statsz, and the live view simply omits
+// the block — no flag, no error.
+func writeMemberRows(w io.Writer, prev, cur server.Statsz, dt float64) {
+	ms := cur.Membership
+	if ms == nil {
+		return
+	}
+	var sentPrev uint64
+	if prev.Membership != nil {
+		sentPrev = prev.Membership.Handoff.KeysSent
+	}
+	handoff := "handoff idle"
+	if ms.Handoff.Active {
+		handoff = "handoff ACTIVE"
+	}
+	if d := ms.Handoff.KeysSent - sentPrev; d > 0 {
+		handoff += fmt.Sprintf(", %.0f keys/s out", float64(d)/dt)
+	}
+	drain := ""
+	if ms.Draining {
+		drain = ", DRAINING"
+	}
+	fmt.Fprintf(w, "  ∘ membership epoch %d, %d members (%s%s)\n",
+		ms.Epoch, len(ms.Members), handoff, drain)
+	for _, m := range ms.Members {
+		detail := ""
+		if m.State == "suspect" {
+			detail = fmt.Sprintf(" (%d failed probes)", m.ProbeFails)
+		}
+		fmt.Fprintf(w, "  ∘ %-21s %s%s\n", m.Addr, m.State, detail)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"pamakv/internal/cache"
 	"pamakv/internal/core"
 	"pamakv/internal/kv"
+	"pamakv/internal/membership"
 	"pamakv/internal/server"
 	"pamakv/internal/tenant"
 )
@@ -248,5 +249,66 @@ func TestRunLiveTenantRows(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "·") {
 		t.Fatalf("tenantless server rendered tenant rows:\n%s", buf.String())
+	}
+}
+
+// TestRunLiveMemberRows: a /statsz with a membership section gets the
+// epoch/handoff summary plus one row per member under each window; a
+// membership-less document (older server, or one run without runtime
+// membership) renders exactly the old layout — no flag, no error.
+func TestRunLiveMemberRows(t *testing.T) {
+	var polls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := polls.Add(1) - 1
+		doc := server.Statsz{
+			Policy: "pama",
+			Engine: cache.Stats{Gets: 1000 * n, Hits: 500 * n},
+			Membership: &membership.Stats{
+				Self:     "127.0.0.1:11311",
+				Epoch:    7,
+				Draining: true,
+				Members: []membership.MemberStatus{
+					{Addr: "127.0.0.1:11311", State: "self"},
+					{Addr: "127.0.0.1:11312", State: "alive"},
+					{Addr: "127.0.0.1:11313", State: "suspect", ProbeFails: 3},
+				},
+				Handoff: membership.HandoffStats{Active: true, KeysSent: 500 * n},
+			},
+		}
+		json.NewEncoder(w).Encode(doc)
+	}))
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	if err := runLive(&buf, ts.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"∘ membership epoch 7, 3 members",
+		"handoff ACTIVE",
+		"keys/s out",
+		"DRAINING",
+		"127.0.0.1:11311", "self",
+		"127.0.0.1:11312", "alive",
+		"127.0.0.1:11313", "suspect (3 failed probes)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("member view missing %q:\n%s", want, out)
+		}
+	}
+
+	// Fallback: a membership-less document — old layout, no member rows,
+	// no errors.
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.Statsz{Policy: "pama"})
+	}))
+	t.Cleanup(old.Close)
+	buf.Reset()
+	if err := runLive(&buf, old.URL, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "∘") {
+		t.Fatalf("membership-less server rendered member rows:\n%s", buf.String())
 	}
 }

@@ -160,6 +160,26 @@ func (c *Cache) ReapExpired(max int) int {
 	return len(victims)
 }
 
+// ScanKeys walks every live (non-expired) resident item under the engine
+// lock and reports its key, miss penalty, size, and absolute expiry to fn;
+// fn returning false stops the walk. Unlike RangeItems (a policy-facing
+// primitive that assumes the lock is already held) this is safe to call
+// from outside the engine — it is the membership layer's handoff scan: on
+// a ring change the old owner collects (key, penalty) pairs here, sorts
+// them highest penalty first, and streams them to the new owner. The
+// strings handed to fn are the engine's interned keys and may be retained;
+// fn must not call back into the engine (it holds the lock).
+func (c *Cache) ScanKeys(fn func(key string, pen float64, size int, expireAt int64) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.index.Range(func(it *kv.Item) bool {
+		if c.expired(it) {
+			return true
+		}
+		return fn(it.Key, it.Penalty, it.Size, it.ExpireAt)
+	})
+}
+
 // Delta implements incr/decr: the resident value must be an ASCII unsigned
 // integer; it is adjusted by delta (clamped at zero for decrements, wrapping
 // per Memcached for increments) and rewritten in place. Requires

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,6 +90,13 @@ type Client struct {
 	// an overloaded node must not amplify load onto its peers.
 	degraded atomic.Bool
 
+	// live tracks every open connection, pooled or in flight, so Close
+	// can tear all of them down immediately when the member is removed —
+	// an in-flight op against a departed peer fails now, not at its op
+	// deadline.
+	connMu sync.Mutex
+	live   map[net.Conn]struct{}
+
 	requests  atomic.Uint64
 	errs      atomic.Uint64
 	retries   atomic.Uint64
@@ -109,15 +117,18 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		idle: make(chan *pconn, opts.PoolSize),
 		br:   newBreaker(opts.Breaker),
 		lat:  obs.NewHist(1e-6, 7),
+		live: make(map[net.Conn]struct{}),
 	}
 }
 
 // Addr returns the peer's address.
 func (c *Client) Addr() string { return c.addr }
 
-// Close closes the pooled connections. In-flight ops finish (their
-// connections are closed on return); subsequent ops fail with
-// ErrClientClosed.
+// Close closes every connection — pooled and in flight — immediately.
+// In-flight ops fail with a transport error (their reads/writes abort on
+// the closed socket); subsequent ops fail with ErrClientClosed. This is
+// what membership removal relies on: a departed member's pool must not
+// linger until idle-reaped.
 func (c *Client) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
@@ -125,15 +136,26 @@ func (c *Client) Close() {
 	for {
 		select {
 		case pc := <-c.idle:
-			pc.c.Close()
+			c.drop(pc)
 		default:
+			c.connMu.Lock()
+			for conn := range c.live {
+				conn.Close()
+				delete(c.live, conn)
+			}
+			c.connMu.Unlock()
 			return
 		}
 	}
 }
 
-// get acquires a pooled connection or dials a new one.
+// get acquires a pooled connection or dials a new one. Closed clients
+// refuse immediately, so retry loops of in-flight ops fail fast after a
+// member removal instead of re-dialing the departed peer.
 func (c *Client) get() (*pconn, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
 	select {
 	case pc := <-c.idle:
 		return pc, nil
@@ -144,6 +166,14 @@ func (c *Client) get() (*pconn, error) {
 		return nil, err
 	}
 	c.dials.Add(1)
+	c.connMu.Lock()
+	if c.closed.Load() {
+		c.connMu.Unlock()
+		conn.Close()
+		return nil, ErrClientClosed
+	}
+	c.live[conn] = struct{}{}
+	c.connMu.Unlock()
 	return &pconn{
 		c: conn,
 		r: bufio.NewReaderSize(conn, 1<<14),
@@ -151,17 +181,26 @@ func (c *Client) get() (*pconn, error) {
 	}, nil
 }
 
+// drop closes a connection and forgets it. Double-drops (Close racing an
+// in-flight op's own error path) are harmless.
+func (c *Client) drop(pc *pconn) {
+	pc.c.Close()
+	c.connMu.Lock()
+	delete(c.live, pc.c)
+	c.connMu.Unlock()
+}
+
 // put returns a healthy connection to the pool, closing it if the pool is
 // full or the client is closed.
 func (c *Client) put(pc *pconn) {
 	if c.closed.Load() {
-		pc.c.Close()
+		c.drop(pc)
 		return
 	}
 	select {
 	case c.idle <- pc:
 	default:
-		pc.c.Close()
+		c.drop(pc)
 	}
 }
 
@@ -175,16 +214,16 @@ func (c *Client) roundTrip(req []byte) (*proto.Response, error) {
 	}
 	pc.c.SetDeadline(time.Now().Add(c.opts.OpTimeout))
 	if _, err := pc.w.Write(req); err != nil {
-		pc.c.Close()
+		c.drop(pc)
 		return nil, err
 	}
 	if err := pc.w.Flush(); err != nil {
-		pc.c.Close()
+		c.drop(pc)
 		return nil, err
 	}
 	resp, err := proto.ReadResponse(pc.r)
 	if err != nil {
-		pc.c.Close()
+		c.drop(pc)
 		return nil, err
 	}
 	c.put(pc)

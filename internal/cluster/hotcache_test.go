@@ -132,9 +132,25 @@ func TestPeersRoutingAndMembership(t *testing.T) {
 			t.Fatalf("key %q routed to departed member %q", k, o)
 		}
 	}
-	// Self must stay a member.
-	if err := p.SetMembers([]string{"b:2"}); err == nil {
-		t.Fatal("SetMembers without self succeeded")
+	// Removing self enters proxy mode: the node owns nothing and routes
+	// everything to the remaining members (a draining node's state).
+	if err := p.SetMembers([]string{"b:2"}); err != nil {
+		t.Fatalf("SetMembers without self: %v", err)
+	}
+	for _, k := range keys(100) {
+		if p.IsOwner(k) {
+			t.Fatalf("proxy-mode node still owns %q", k)
+		}
+		if o := p.Owner(k); o != "b:2" {
+			t.Fatalf("proxy-mode key %q routed to %q, want b:2", k, o)
+		}
+	}
+	if p.ClientFor("b:2") == nil {
+		t.Fatal("proxy-mode node lost its client for the surviving member")
+	}
+	// An empty member list is refused outright.
+	if err := p.SetMembers(nil); err == nil {
+		t.Fatal("empty member list accepted")
 	}
 }
 

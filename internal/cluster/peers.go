@@ -135,21 +135,22 @@ func (p *Peers) SetDegraded(d bool) {
 // Degraded reports whether cluster-facing degraded mode is on.
 func (p *Peers) Degraded() bool { return p.degraded.Load() }
 
-// SetMembers rebuilds the routing table for a new member list (Self must
-// remain a member). The selector is swapped atomically: keys whose arc
-// changed hands route to their new owner on the next request. Clients of
-// departed members are closed; surviving clients keep their pools.
+// SetMembers rebuilds the routing table for a new member list. The
+// selector is swapped atomically: keys whose arc changed hands route to
+// their new owner on the next request. Clients of departed members are
+// closed promptly (pooled and in-flight connections torn down, breaker
+// state discarded); surviving clients keep their pools; a re-added member
+// gets a fresh client with a closed (allowing) breaker.
+//
+// Self may be absent from the new list: the node then enters proxy mode —
+// it owns no keys and forwards every request to the remaining members.
+// This is what a draining node runs while it streams its residents out
+// (see internal/membership). An empty list is refused: a node with no
+// members at all could not route anything.
 func (p *Peers) SetMembers(members []string) error {
 	ms := normalize(members)
-	found := false
-	for _, m := range ms {
-		if m == p.self {
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("cluster: self %q not in new members %v", p.self, ms)
+	if len(ms) == 0 {
+		return fmt.Errorf("cluster: empty member list")
 	}
 	sel, err := NewSelector(p.cfg.Hash, ms, p.cfg.VNodes)
 	if err != nil {

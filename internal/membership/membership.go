@@ -1,0 +1,802 @@
+// Package membership turns the static cluster tier into a runtime one: a
+// Manager on every node holds an epoch-versioned member list, drives
+// cluster.Peers.SetMembers when the view changes, probes its peers and
+// evicts the dead ones with hysteresis, and — the part the PAMA paper
+// cares about — streams the keys whose arc changed hands from the old
+// owner to the new one, highest miss penalty first, so the post-change
+// cache is warm exactly where a cold miss would hurt most (see handoff.go).
+//
+// # View propagation
+//
+// Views ride the existing Memcached text protocol as reserved control
+// keys, so no wire-format change (and no parser change) is needed:
+//
+//	set __pamakv.m.apply 0 0 N   body "epoch addr1,addr2,..."  → STORED
+//	set __pamakv.m.join  0 0 N   body "addr"                   → STORED
+//	get __pamakv.m.view          → VALUE body "epoch addr1,..."
+//
+// The server intercepts the "__pamakv.m." prefix ahead of admission
+// control and routing: membership traffic must pass precisely when the
+// node is overloaded or mid-reroute.
+//
+// # Epochs
+//
+// Every view carries an epoch. Apply refuses an epoch lower than the
+// current one, and refuses an *equal* epoch with a different member list
+// (two nodes proposed concurrently; the loser pulls the winner's view and
+// re-proposes at a higher epoch). Equal epoch with an identical list is an
+// idempotent no-op, so broadcast echoes converge silently. A node that
+// finds itself outside the new view enters proxy mode (cluster.Peers
+// allows a selector without self): it owns nothing, forwards everything,
+// and drains its residents to their new owners — that is what a graceful
+// drain is.
+package membership
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pamakv/internal/cluster"
+	"pamakv/internal/obs"
+	"pamakv/internal/proto"
+)
+
+// Control keys: reserved keys carrying membership traffic over the normal
+// data port. The prefix contains no tenant separator and is short enough
+// for proto.CheckKey.
+const (
+	controlPrefix = "__pamakv.m."
+	// KeyApply is SET with body "epoch addr1,addr2,..." to push a view.
+	KeyApply = controlPrefix + "apply"
+	// KeyJoin is SET with body "addr" to ask a member to admit a node.
+	KeyJoin = controlPrefix + "join"
+	// KeyView is GET to read the current view as "epoch addr1,addr2,...".
+	KeyView = controlPrefix + "view"
+)
+
+// IsControlKey reports whether key is membership control traffic that the
+// server must intercept before admission control and peer routing.
+func IsControlKey(key string) bool { return strings.HasPrefix(key, controlPrefix) }
+
+// EncodeView renders a view as the wire body "epoch addr1,addr2,...".
+func EncodeView(epoch uint64, members []string) []byte {
+	b := strconv.AppendUint(nil, epoch, 10)
+	b = append(b, ' ')
+	return append(b, strings.Join(members, ",")...)
+}
+
+// ParseView parses EncodeView's rendering.
+func ParseView(body []byte) (uint64, []string, error) {
+	s := strings.TrimSpace(string(body))
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return 0, nil, fmt.Errorf("membership: malformed view %q", s)
+	}
+	epoch, err := strconv.ParseUint(s[:sp], 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("membership: bad epoch in view %q: %w", s, err)
+	}
+	members := strings.Split(s[sp+1:], ",")
+	return epoch, normalize(members), nil
+}
+
+// normalize sorts and dedupes a member list, dropping empties (mirrors the
+// cluster package's selector normalization so views compare stably).
+func normalize(members []string) []string {
+	out := make([]string, 0, len(members))
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if _, ok := seen[m]; ok {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Health states of a remote member as seen by the local prober.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultProbeInterval = 1 * time.Second
+	DefaultProbeTimeout  = 500 * time.Millisecond
+	DefaultSuspectAfter  = 3
+	DefaultEvictAfter    = 6
+	DefaultEvictCooldown = 10 * time.Second
+	DefaultHandoffRate   = 4096
+	DefaultHandoffBatch  = 32
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Self is this node's data address as it appears in member lists.
+	Self string
+	// Peers is the routing table the manager drives.
+	Peers *cluster.Peers
+
+	// ProbeInterval is the health-probe cadence; 0 means
+	// DefaultProbeInterval, < 0 disables probing (membership changes
+	// then only happen via admin endpoints and pushed views).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive probe failures that mark a member
+	// suspect; EvictAfter the count that proposes its eviction. One
+	// probe success resets the counter (hysteresis: a flapping member
+	// bounces between alive and suspect without being evicted).
+	SuspectAfter int
+	EvictAfter   int
+	// EvictCooldown is the minimum gap between auto-evictions proposed
+	// by this node — the churn-storm gate: a partition that kills probes
+	// to several peers at once evicts them one cooldown apart, leaving
+	// time for hit-ratio recovery (and for an operator to intervene)
+	// instead of collapsing the ring in one storm.
+	EvictCooldown time.Duration
+
+	// HandoffRate caps warm-handoff streaming in keys/second; 0 means
+	// DefaultHandoffRate, < 0 disables warm handoff entirely (membership
+	// changes become cold rebalances — the baseline fig_churn compares
+	// against).
+	HandoffRate int
+	// HandoffBatch is how many keys are sent between pacing sleeps.
+	HandoffBatch int
+
+	// Tier returns the local overload pressure tier (overload.Tier*);
+	// nil means always normal. Handoff yields under pressure: it slows
+	// at strained and pauses at critical.
+	Tier func() int
+
+	// Probe overrides the health probe (tests inject failures); nil uses
+	// a TCP dial + "version" round trip.
+	Probe func(addr string) error
+
+	// OnApply, when set, runs after every successfully applied view
+	// (epoch already installed, routing already swapped).
+	OnApply func(epoch uint64, members []string)
+
+	// Logger receives membership transitions; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = DefaultSuspectAfter
+	}
+	if c.EvictAfter <= c.SuspectAfter {
+		c.EvictAfter = c.SuspectAfter + DefaultEvictAfter - DefaultSuspectAfter
+	}
+	if c.EvictCooldown <= 0 {
+		c.EvictCooldown = DefaultEvictCooldown
+	}
+	if c.HandoffRate == 0 {
+		c.HandoffRate = DefaultHandoffRate
+	}
+	if c.HandoffBatch <= 0 {
+		c.HandoffBatch = DefaultHandoffBatch
+	}
+	return c
+}
+
+// memberHealth is the prober's view of one remote member.
+type memberHealth struct {
+	state string
+	fails int
+}
+
+// Manager is one node's membership state machine. Safe for concurrent use.
+type Manager struct {
+	cfg  Config
+	self string
+
+	mu      sync.Mutex
+	epoch   uint64
+	members []string
+	health  map[string]*memberHealth
+	// lastEvict gates auto-evictions (EvictCooldown).
+	lastEvict time.Time
+	ho        *handoff
+
+	src  Source
+	tier func() int
+
+	stopC   chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	applies   atomic.Uint64
+	refusals  atomic.Uint64
+	joins     atomic.Uint64
+	evictions atomic.Uint64
+	suspectsN atomic.Uint64
+	probes    atomic.Uint64
+	probeFail atomic.Uint64
+
+	hoRuns    atomic.Uint64
+	hoPlanned atomic.Uint64
+	hoKeys    atomic.Uint64
+	hoBytes   atomic.Uint64
+	hoErrors  atomic.Uint64
+	hoAborts  atomic.Uint64
+	hoActive  atomic.Bool
+
+	probeLat *obs.Hist
+	hoDur    *obs.Hist
+}
+
+// New builds a Manager seeded from the routing table's current member
+// list at epoch 1. Call Start to begin probing and Stop on shutdown.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, errors.New("membership: Self is required")
+	}
+	if cfg.Peers == nil {
+		return nil, errors.New("membership: Peers is required")
+	}
+	m := &Manager{
+		cfg:      cfg,
+		self:     cfg.Self,
+		epoch:    1,
+		members:  normalize(cfg.Peers.Members()),
+		health:   make(map[string]*memberHealth),
+		tier:     cfg.Tier,
+		stopC:    make(chan struct{}),
+		probeLat: obs.NewHist(1e-6, 7),
+		hoDur:    obs.NewHist(1e-4, 7),
+	}
+	m.syncHealthLocked()
+	return m, nil
+}
+
+// BindSource attaches the engine the warm handoff scans and streams from.
+// Without a source every membership change is a cold rebalance.
+func (m *Manager) BindSource(src Source) {
+	m.mu.Lock()
+	m.src = src
+	m.mu.Unlock()
+}
+
+// BindTier attaches the overload tier probe handoff pacing consults.
+func (m *Manager) BindTier(fn func() int) {
+	m.mu.Lock()
+	m.tier = fn
+	m.mu.Unlock()
+}
+
+// Start launches the health-probe loop (no-op when probing is disabled).
+func (m *Manager) Start() {
+	if m.cfg.ProbeInterval < 0 {
+		return
+	}
+	m.wg.Add(1)
+	go m.probeLoop()
+}
+
+// Stop halts probing and aborts any in-flight handoff, then waits for the
+// manager's goroutines.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	close(m.stopC)
+	if m.ho != nil {
+		m.ho.abortOnce()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// View returns the current epoch and member list.
+func (m *Manager) View() (uint64, []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch, append([]string(nil), m.members...)
+}
+
+// Epoch returns the current membership epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// IsMember reports whether addr is in the current view.
+func (m *Manager) IsMember(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.isMemberLocked(addr)
+}
+
+func (m *Manager) isMemberLocked(addr string) bool {
+	for _, mm := range m.members {
+		if mm == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// equalView reports member-list equality (both sides normalized).
+func equalView(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply installs view (epoch, members) if it is newer than the current
+// one: the routing table is swapped first (cutover), then the warm handoff
+// of keys this node no longer owns starts in the background. A stale epoch
+// — lower than current, or equal with a different member list — is
+// refused, which is what makes stale routing pushes detectable instead of
+// silently regressive. origin is only for logs.
+func (m *Manager) Apply(epoch uint64, members []string, origin string) error {
+	members = normalize(members)
+	if len(members) == 0 {
+		return errors.New("membership: refusing empty member list")
+	}
+	m.mu.Lock()
+	if epoch < m.epoch {
+		m.refusals.Add(1)
+		cur := m.epoch
+		m.mu.Unlock()
+		return fmt.Errorf("membership: epoch %d is stale (have %d)", epoch, cur)
+	}
+	if epoch == m.epoch {
+		if equalView(members, m.members) {
+			m.mu.Unlock()
+			return nil // idempotent echo
+		}
+		m.refusals.Add(1)
+		cur := m.epoch
+		m.mu.Unlock()
+		return fmt.Errorf("membership: conflicting view at epoch %d (have %d members)", epoch, cur)
+	}
+	if err := m.cfg.Peers.SetMembers(members); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.epoch = epoch
+	m.members = append([]string(nil), members...)
+	m.syncHealthLocked()
+	m.applies.Add(1)
+	m.startHandoffLocked(epoch)
+	m.mu.Unlock()
+	m.logf("membership: applied epoch %d (%d members, from %s)", epoch, len(members), origin)
+	if m.cfg.OnApply != nil {
+		m.cfg.OnApply(epoch, members)
+	}
+	return nil
+}
+
+// syncHealthLocked reconciles the health map with the member list.
+func (m *Manager) syncHealthLocked() {
+	keep := make(map[string]struct{}, len(m.members))
+	for _, mm := range m.members {
+		keep[mm] = struct{}{}
+		if mm != m.self {
+			if _, ok := m.health[mm]; !ok {
+				m.health[mm] = &memberHealth{state: StateAlive}
+			}
+		}
+	}
+	for addr := range m.health {
+		if _, ok := keep[addr]; !ok {
+			delete(m.health, addr)
+		}
+	}
+}
+
+// Join admits addr: the proposer bumps the epoch, applies locally, and
+// broadcasts the new view to every member including the joiner. Idempotent
+// for an existing member.
+func (m *Manager) Join(addr string) error {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return errors.New("membership: empty join address")
+	}
+	m.mu.Lock()
+	if m.isMemberLocked(addr) {
+		m.mu.Unlock()
+		return nil
+	}
+	next := append(append([]string(nil), m.members...), addr)
+	m.mu.Unlock()
+	m.joins.Add(1)
+	return m.propose(next, "join "+addr)
+}
+
+// Remove evicts addr from the view. The removed node is still told about
+// the new view (best effort): a live removed node applies it, finds itself
+// outside the ring, and drains its residents to the new owners — removing
+// self is therefore exactly a graceful drain.
+func (m *Manager) Remove(addr string) error {
+	addr = strings.TrimSpace(addr)
+	m.mu.Lock()
+	if !m.isMemberLocked(addr) {
+		m.mu.Unlock()
+		return fmt.Errorf("membership: %q is not a member", addr)
+	}
+	if len(m.members) == 1 {
+		m.mu.Unlock()
+		return errors.New("membership: refusing to remove the last member")
+	}
+	next := make([]string, 0, len(m.members)-1)
+	for _, mm := range m.members {
+		if mm != addr {
+			next = append(next, mm)
+		}
+	}
+	m.mu.Unlock()
+	return m.propose(next, "remove "+addr)
+}
+
+// Drain removes self: routing flips to the surviving members and this
+// node streams everything it holds to the new owners (highest penalty
+// first). Poll Stats().Handoff until Active is false, then shut down.
+func (m *Manager) Drain() error { return m.Remove(m.self) }
+
+// propose applies members at epoch+1 locally and broadcasts the view to
+// the union of the old and new member lists (minus self).
+func (m *Manager) propose(members []string, why string) error {
+	m.mu.Lock()
+	next := m.epoch + 1
+	targets := make(map[string]struct{}, len(m.members)+len(members))
+	for _, mm := range m.members {
+		targets[mm] = struct{}{}
+	}
+	for _, mm := range members {
+		targets[mm] = struct{}{}
+	}
+	m.mu.Unlock()
+	if err := m.Apply(next, members, "local: "+why); err != nil {
+		return err
+	}
+	m.broadcast(next, normalize(members), targets)
+	return nil
+}
+
+// broadcast pushes a view to every target in parallel and waits. A target
+// that refuses the view as stale holds a newer one; its view is pulled and
+// applied locally so the cluster converges instead of ping-ponging.
+func (m *Manager) broadcast(epoch uint64, members []string, targets map[string]struct{}) {
+	body := EncodeView(epoch, members)
+	req := renderControlSet(KeyApply, body)
+	var wg sync.WaitGroup
+	for addr := range targets {
+		if addr == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			resp, err := m.send(addr, req)
+			if err != nil {
+				m.logf("membership: push epoch %d to %s failed: %v", epoch, addr, err)
+				return
+			}
+			if resp.Status != "STORED" {
+				m.logf("membership: %s refused epoch %d: %s %s", addr, epoch, resp.Status, resp.Message)
+				m.syncFrom(addr)
+			}
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// renderControlSet renders "set <key> 0 0 <len>\r\n<body>\r\n".
+func renderControlSet(key string, body []byte) []byte {
+	return proto.AppendCommand(nil, &proto.Command{
+		Name: "set", Keys: []string{key}, Data: body,
+	})
+}
+
+// send routes a control request through the pooled peer client when addr
+// is a current member, or a one-shot dial otherwise (a joiner talking to
+// its seed, a proposer notifying a removed node).
+func (m *Manager) send(addr string, req []byte) (*proto.Response, error) {
+	if cl := m.cfg.Peers.ClientFor(addr); cl != nil {
+		return cl.Do(req)
+	}
+	return dialDo(addr, req, 2*time.Second)
+}
+
+// dialDo runs one request/response round trip on a fresh connection.
+func dialDo(addr string, req []byte, timeout time.Duration) (*proto.Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(req); err != nil {
+		return nil, err
+	}
+	return proto.ReadResponse(bufio.NewReader(conn))
+}
+
+// syncFrom pulls addr's view and applies it if newer.
+func (m *Manager) syncFrom(addr string) {
+	resp, err := m.send(addr, []byte("get "+KeyView+"\r\n"))
+	if err != nil || len(resp.Values) == 0 {
+		return
+	}
+	epoch, members, err := ParseView(resp.Values[0].Data)
+	if err != nil {
+		return
+	}
+	if err := m.Apply(epoch, members, "sync from "+addr); err == nil {
+		m.logf("membership: adopted epoch %d from %s", epoch, addr)
+	}
+}
+
+// JoinCluster runs the joiner side of -join: ask seed to admit Self, then
+// wait until the seed's broadcast lands and this node is in the view. The
+// local server must already be listening (the admission broadcast arrives
+// on the data port). Retries until timeout.
+func (m *Manager) JoinCluster(seed string, timeout time.Duration) error {
+	if seed == m.self {
+		return errors.New("membership: cannot join via self")
+	}
+	req := renderControlSet(KeyJoin, []byte(m.self))
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := dialDo(seed, req, 2*time.Second)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.Status != "STORED":
+			lastErr = fmt.Errorf("membership: seed %s: %s %s", seed, resp.Status, resp.Message)
+		default:
+			// Admitted. The seed broadcast the view before replying, but
+			// poll briefly in case our apply raced the reply.
+			for i := 0; i < 40; i++ {
+				if m.IsMember(m.self) && m.Epoch() > 1 {
+					return nil
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			lastErr = errors.New("membership: admitted but view never arrived")
+		}
+		select {
+		case <-m.stopC:
+			return errors.New("membership: stopped")
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("membership: join via %s timed out: %w", seed, lastErr)
+}
+
+// ---- Health probing ----
+
+func (m *Manager) probeLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopC:
+			return
+		case <-t.C:
+			m.probeOnce()
+		}
+	}
+}
+
+// probe runs one health check against addr.
+func (m *Manager) probe(addr string) error {
+	if m.cfg.Probe != nil {
+		return m.cfg.Probe(addr)
+	}
+	resp, err := dialDo(addr, []byte("version\r\n"), m.cfg.ProbeTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.Status != "VERSION" {
+		return fmt.Errorf("membership: probe of %s: unexpected %s", addr, resp.Status)
+	}
+	return nil
+}
+
+// probeOnce probes every remote member in parallel, updates health states
+// with hysteresis, and — cooldown permitting — proposes at most one
+// eviction.
+func (m *Manager) probeOnce() {
+	m.mu.Lock()
+	addrs := make([]string, 0, len(m.health))
+	for addr := range m.health {
+		addrs = append(addrs, addr)
+	}
+	m.mu.Unlock()
+	sort.Strings(addrs)
+
+	type outcome struct {
+		addr string
+		err  error
+	}
+	results := make([]outcome, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			start := time.Now()
+			err := m.probe(addr)
+			m.probeLat.Observe(time.Since(start).Seconds())
+			results[i] = outcome{addr, err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	var evict string
+	m.mu.Lock()
+	for _, r := range results {
+		h, ok := m.health[r.addr]
+		if !ok {
+			continue // departed while probing
+		}
+		m.probes.Add(1)
+		if r.err == nil {
+			// Hysteresis: one good probe fully recovers a suspect.
+			if h.state == StateSuspect {
+				m.logf("membership: %s recovered", r.addr)
+			}
+			h.state, h.fails = StateAlive, 0
+			continue
+		}
+		m.probeFail.Add(1)
+		h.fails++
+		if h.fails >= m.cfg.SuspectAfter && h.state != StateSuspect {
+			h.state = StateSuspect
+			m.suspectsN.Add(1)
+			m.logf("membership: %s suspect after %d failed probes", r.addr, h.fails)
+		}
+		if h.fails >= m.cfg.EvictAfter && evict == "" {
+			evict = r.addr
+		}
+	}
+	// Eviction gate: only a current member steers the ring, only one
+	// eviction per cooldown, never below one member.
+	if evict != "" {
+		if !m.isMemberLocked(m.self) || len(m.members) <= 1 ||
+			time.Since(m.lastEvict) < m.cfg.EvictCooldown {
+			evict = ""
+		} else {
+			m.lastEvict = time.Now()
+		}
+	}
+	m.mu.Unlock()
+	if evict != "" {
+		m.evictions.Add(1)
+		m.logf("membership: evicting unresponsive member %s", evict)
+		if err := m.Remove(evict); err != nil {
+			m.logf("membership: eviction of %s failed: %v", evict, err)
+		}
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// ---- Stats ----
+
+// MemberStatus is one member row in Stats.
+type MemberStatus struct {
+	Addr string `json:"addr"`
+	// State is "self", "alive", or "suspect".
+	State string `json:"state"`
+	// ProbeFails is the current consecutive-failure count.
+	ProbeFails int `json:"probe_fails,omitempty"`
+}
+
+// HandoffStats aggregates warm-handoff progress counters.
+type HandoffStats struct {
+	Active      bool             `json:"active"`
+	Runs        uint64           `json:"runs"`
+	KeysPlanned uint64           `json:"keys_planned"`
+	KeysSent    uint64           `json:"keys_sent"`
+	BytesSent   uint64           `json:"bytes_sent"`
+	Errors      uint64           `json:"errors"`
+	Aborts      uint64           `json:"aborts"`
+	Duration    obs.HistSnapshot `json:"duration_seconds"`
+}
+
+// Stats is a point-in-time snapshot of the membership state machine.
+type Stats struct {
+	Self     string         `json:"self"`
+	Epoch    uint64         `json:"epoch"`
+	Draining bool           `json:"draining"`
+	Members  []MemberStatus `json:"members"`
+
+	Applies       uint64 `json:"applies"`
+	Refusals      uint64 `json:"refusals"`
+	Joins         uint64 `json:"joins"`
+	Suspects      uint64 `json:"suspects"`
+	Evictions     uint64 `json:"evictions"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+
+	ProbeLatency obs.HistSnapshot `json:"probe_latency"`
+	Handoff      HandoffStats     `json:"handoff"`
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	members := make([]MemberStatus, 0, len(m.members))
+	selfIn := false
+	for _, addr := range m.members {
+		ms := MemberStatus{Addr: addr, State: StateAlive}
+		if addr == m.self {
+			ms.State = "self"
+			selfIn = true
+		} else if h, ok := m.health[addr]; ok {
+			ms.State = h.state
+			ms.ProbeFails = h.fails
+		}
+		members = append(members, ms)
+	}
+	epoch := m.epoch
+	m.mu.Unlock()
+	return Stats{
+		Self:          m.self,
+		Epoch:         epoch,
+		Draining:      !selfIn,
+		Members:       members,
+		Applies:       m.applies.Load(),
+		Refusals:      m.refusals.Load(),
+		Joins:         m.joins.Load(),
+		Suspects:      m.suspectsN.Load(),
+		Evictions:     m.evictions.Load(),
+		Probes:        m.probes.Load(),
+		ProbeFailures: m.probeFail.Load(),
+		ProbeLatency:  m.probeLat.Snapshot(),
+		Handoff: HandoffStats{
+			Active:      m.hoActive.Load(),
+			Runs:        m.hoRuns.Load(),
+			KeysPlanned: m.hoPlanned.Load(),
+			KeysSent:    m.hoKeys.Load(),
+			BytesSent:   m.hoBytes.Load(),
+			Errors:      m.hoErrors.Load(),
+			Aborts:      m.hoAborts.Load(),
+			Duration:    m.hoDur.Snapshot(),
+		},
+	}
+}

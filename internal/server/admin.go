@@ -26,11 +26,13 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
+	"pamakv/internal/membership"
 	"pamakv/internal/metrics"
 	"pamakv/internal/obs"
 	"pamakv/internal/overload"
@@ -81,6 +83,10 @@ func NewAdmin(srv *Server, sampleEvery time.Duration) *Admin {
 	a.mux.HandleFunc("/metrics", a.handleMetrics)
 	a.mux.HandleFunc("/statsz", a.handleStatsz)
 	a.mux.HandleFunc("/series", a.handleSeries)
+	a.mux.HandleFunc("/membershipz", a.handleMembershipz)
+	a.mux.HandleFunc("/membership/add", a.handleMembershipAdd)
+	a.mux.HandleFunc("/membership/remove", a.handleMembershipRemove)
+	a.mux.HandleFunc("/membership/drain", a.handleMembershipDrain)
 	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -243,6 +249,9 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ts, ok := a.srv.c.(tenantStatser); ok {
 		a.writeTenantMetrics(p, ts)
+	}
+	if m := a.srv.mem; m != nil {
+		a.writeMembershipMetrics(p, m.Stats())
 	}
 	_ = p.Err() // the peer hung up; nothing to do
 }
@@ -608,6 +617,7 @@ type Statsz struct {
 	Backend       *BackendStatsz            `json:"backend,omitempty"`
 	Overload      *OverloadStatsz           `json:"overload,omitempty"`
 	Cluster       *ClusterStatsz            `json:"cluster,omitempty"`
+	Membership    *membership.Stats         `json:"membership,omitempty"`
 	Introspection *cache.Introspection      `json:"introspection,omitempty"`
 
 	// Tenants and Arbiter appear when the store is a tenant.Router: one
@@ -701,6 +711,10 @@ func (a *Admin) statsz() Statsz {
 		}
 		doc.Cluster = cs
 	}
+	if m := a.srv.mem; m != nil {
+		ms := m.Stats()
+		doc.Membership = &ms
+	}
 	if in, ok := a.srv.c.(introspector); ok {
 		snap := in.Introspect()
 		doc.Introspection = &snap
@@ -724,4 +738,127 @@ func (a *Admin) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 func (a *Admin) handleSeries(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/tab-separated-values")
 	_ = metrics.WriteTSV(w, []*metrics.Series{a.rec.Series()})
+}
+
+// membership returns the node's membership manager, writing a 404 when
+// runtime membership is not enabled (static -peers list or no cluster).
+func (a *Admin) membership(w http.ResponseWriter) *membership.Manager {
+	m := a.srv.mem
+	if m == nil {
+		http.Error(w, "runtime membership not enabled", http.StatusNotFound)
+	}
+	return m
+}
+
+// handleMembershipz reports the membership state machine: epoch, member
+// health, probe and handoff progress counters.
+func (a *Admin) handleMembershipz(w http.ResponseWriter, _ *http.Request) {
+	m := a.membership(w)
+	if m == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// membershipMutation runs one admin-seeded membership change (POST only).
+func (a *Admin) membershipMutation(w http.ResponseWriter, r *http.Request, fn func(m *membership.Manager) error) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	m := a.membership(w)
+	if m == nil {
+		return
+	}
+	if err := fn(m); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	epoch, members := m.View()
+	fmt.Fprintf(w, "ok epoch=%d members=%s\n", epoch, strings.Join(members, ","))
+}
+
+// handleMembershipAdd admits a node: POST /membership/add?addr=host:port.
+func (a *Admin) handleMembershipAdd(w http.ResponseWriter, r *http.Request) {
+	a.membershipMutation(w, r, func(m *membership.Manager) error {
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			return errors.New("addr parameter required")
+		}
+		return m.Join(addr)
+	})
+}
+
+// handleMembershipRemove evicts a node: POST /membership/remove?addr=....
+func (a *Admin) handleMembershipRemove(w http.ResponseWriter, r *http.Request) {
+	a.membershipMutation(w, r, func(m *membership.Manager) error {
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			return errors.New("addr parameter required")
+		}
+		return m.Remove(addr)
+	})
+}
+
+// handleMembershipDrain removes this node from the ring and streams its
+// residents to the new owners. Poll /membershipz until handoff.active is
+// false, then shut the process down.
+func (a *Admin) handleMembershipDrain(w http.ResponseWriter, r *http.Request) {
+	a.membershipMutation(w, r, func(m *membership.Manager) error {
+		return m.Drain()
+	})
+}
+
+// writeMembershipMetrics renders the membership state machine for Prom
+// scrapes: the epoch and per-member health gauges plus probe, apply, and
+// warm-handoff progress counters (the dip diagnostics: handoff seconds and
+// bytes tell you how long the post-change warmth gap lasted).
+func (a *Admin) writeMembershipMetrics(p *obs.PromWriter, ms membership.Stats) {
+	p.Gauge("pamakv_member_epoch", "Current membership epoch.", float64(ms.Epoch))
+	p.Gauge("pamakv_members", "Members in the current view.", float64(len(ms.Members)))
+	draining := 0.0
+	if ms.Draining {
+		draining = 1.0
+	}
+	p.Gauge("pamakv_member_draining", "Whether this node is outside the ring, draining.", draining)
+	p.Header("pamakv_member_state", "Per-member health: 0 self, 1 alive, 2 suspect.", "gauge")
+	for _, m := range ms.Members {
+		v := 0.0
+		switch m.State {
+		case membership.StateAlive:
+			v = 1.0
+		case membership.StateSuspect:
+			v = 2.0
+		}
+		p.Value("pamakv_member_state", `member="`+m.Addr+`"`, v)
+	}
+	p.Counter("pamakv_member_applies_total", "Views applied (epoch advanced).", ms.Applies)
+	p.Counter("pamakv_member_refusals_total", "Stale or conflicting views refused.", ms.Refusals)
+	p.Counter("pamakv_member_joins_total", "Join proposals originated here.", ms.Joins)
+	p.Counter("pamakv_member_suspects_total", "Alive-to-suspect transitions observed.", ms.Suspects)
+	p.Counter("pamakv_member_evictions_total", "Auto-evictions proposed by this node.", ms.Evictions)
+	p.Counter("pamakv_member_probes_total", "Health probes sent.", ms.Probes)
+	p.Counter("pamakv_member_probe_failures_total", "Health probes failed.", ms.ProbeFailures)
+	p.Header("pamakv_member_probe_seconds", "Health-probe round-trip latency.", "histogram")
+	p.Histogram("pamakv_member_probe_seconds", "", ms.ProbeLatency)
+
+	h := ms.Handoff
+	active := 0.0
+	if h.Active {
+		active = 1.0
+	}
+	p.Gauge("pamakv_handoff_active", "Whether a warm handoff is streaming now.", active)
+	p.Counter("pamakv_handoff_runs_total", "Warm-handoff runs started.", h.Runs)
+	p.Counter("pamakv_handoff_keys_planned_total", "Keys scheduled for streaming.", h.KeysPlanned)
+	p.Counter("pamakv_handoff_keys_total", "Keys streamed to their new owner.", h.KeysSent)
+	p.Counter("pamakv_handoff_bytes_total", "Value bytes streamed to new owners.", h.BytesSent)
+	p.Counter("pamakv_handoff_errors_total", "Keys whose stream attempt failed.", h.Errors)
+	p.Counter("pamakv_handoff_aborts_total", "Handoff runs aborted by a newer view.", h.Aborts)
+	p.Header("pamakv_handoff_seconds", "Wall-clock duration of completed handoff runs.", "histogram")
+	p.Histogram("pamakv_handoff_seconds", "", h.Duration)
 }

@@ -43,6 +43,7 @@ import (
 	"pamakv/internal/bufpool"
 	"pamakv/internal/cache"
 	"pamakv/internal/cluster"
+	"pamakv/internal/membership"
 	"pamakv/internal/obs"
 	"pamakv/internal/overload"
 	"pamakv/internal/penalty"
@@ -224,6 +225,14 @@ type Options struct {
 	// HotCacheTTL bounds the staleness of a hot-cached forwarded copy;
 	// 0 means cluster.DefaultHotCacheTTL.
 	HotCacheTTL time.Duration
+
+	// Membership is the runtime membership manager (cluster mode only;
+	// nil keeps the member list static). The server intercepts the
+	// manager's control keys ahead of admission control and routing,
+	// binds the engine as the warm-handoff source, and feeds the
+	// overload tier into handoff pacing. The caller owns the manager's
+	// lifecycle (Start/Stop).
+	Membership *membership.Manager
 }
 
 // Stats are server-level counters — connections and serving-path health, as
@@ -323,9 +332,11 @@ type Server struct {
 	st nstats
 
 	// peers is the cluster routing table (nil outside cluster mode); hot
-	// is the non-owner mini-cache of forwarded hits.
+	// is the non-owner mini-cache of forwarded hits; mem is the runtime
+	// membership manager (nil with a static member list).
 	peers *cluster.Peers
 	hot   *cluster.HotCache
+	mem   *membership.Manager
 	// flight dedupes concurrent peer fetches for one key (the
 	// backend-fetch path dedupes inside backend.FetchSharedErr).
 	flight singleflight.Group
@@ -361,6 +372,16 @@ func New(c Store, opts Options) *Server {
 		if opts.HotCacheBytes >= 0 {
 			s.hot = cluster.NewHotCache(opts.HotCacheBytes, opts.HotCacheTTL)
 		}
+	}
+	if opts.Membership != nil && s.peers != nil {
+		s.mem = opts.Membership
+		// The engine is the warm-handoff source when it can be scanned
+		// (single engines and shard groups can; without it, membership
+		// changes degrade to cold rebalances).
+		if src, ok := c.(membership.Source); ok {
+			s.mem.BindSource(src)
+		}
+		s.mem.BindTier(s.overloadTier)
 	}
 	if opts.Overload != nil {
 		cfg := *opts.Overload
@@ -849,6 +870,12 @@ func (s *Server) sloOf(key string) int {
 // A shed request is answered SERVER_ERROR busy (shed) without touching the
 // engine.
 func (s *Server) serve(sc *connScratch, out []byte, cmd *proto.Command) []byte {
+	if len(cmd.Keys) > 0 && membership.IsControlKey(cmd.Keys[0]) {
+		// Membership control traffic bypasses admission control and peer
+		// routing entirely: view pushes and probes must land precisely
+		// when the node is shedding or mid-reroute.
+		return s.doMembership(out, cmd)
+	}
 	if s.ctrl == nil || !admissible(cmd.Name) {
 		return s.dispatch(sc, out, cmd)
 	}
@@ -923,6 +950,48 @@ func (s *Server) dispatch(sc *connScratch, out []byte, cmd *proto.Command) []byt
 	default:
 		s.st.clientErrors.Add(1)
 		return proto.AppendLine(out, "ERROR")
+	}
+}
+
+// doMembership serves the membership control keys (see internal/membership):
+// view pushes and join requests arrive as SETs on reserved keys, the
+// current view reads back as a GET. Nodes without a membership manager
+// refuse them — a static cluster (or a standalone server) must not store
+// control traffic as data.
+func (s *Server) doMembership(out []byte, cmd *proto.Command) []byte {
+	reply := func(line string) []byte {
+		if cmd.NoReply {
+			return out
+		}
+		return proto.AppendLine(out, line)
+	}
+	m := s.mem
+	if m == nil {
+		s.st.serverErrors.Add(1)
+		return reply("SERVER_ERROR membership not enabled")
+	}
+	switch {
+	case cmd.Name == "set" && cmd.Keys[0] == membership.KeyApply:
+		epoch, members, err := membership.ParseView(cmd.Data)
+		if err == nil {
+			err = m.Apply(epoch, members, "peer push")
+		}
+		if err != nil {
+			return reply("SERVER_ERROR " + err.Error())
+		}
+		return reply("STORED")
+	case cmd.Name == "set" && cmd.Keys[0] == membership.KeyJoin:
+		if err := m.Join(strings.TrimSpace(string(cmd.Data))); err != nil {
+			return reply("SERVER_ERROR " + err.Error())
+		}
+		return reply("STORED")
+	case (cmd.Name == "get" || cmd.Name == "gets") && cmd.Keys[0] == membership.KeyView:
+		epoch, members := m.View()
+		out = proto.AppendValue(out, membership.KeyView, 0, membership.EncodeView(epoch, members))
+		return proto.AppendLine(out, "END")
+	default:
+		s.st.clientErrors.Add(1)
+		return reply("CLIENT_ERROR unknown membership control key")
 	}
 }
 

@@ -122,6 +122,24 @@ func (g *Group) ReapExpired(max int) int {
 	return n
 }
 
+// ScanKeys walks live resident items shard by shard (each shard's engine
+// lock is held only for its own walk). fn returning false stops the scan.
+func (g *Group) ScanKeys(fn func(key string, pen float64, size int, expireAt int64) bool) {
+	stopped := false
+	for _, s := range g.shards {
+		if stopped {
+			return
+		}
+		s.ScanKeys(func(key string, pen float64, size int, expireAt int64) bool {
+			if !fn(key, pen, size, expireAt) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
 // Flush flushes every shard.
 func (g *Group) Flush() {
 	for _, s := range g.shards {
