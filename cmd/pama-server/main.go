@@ -104,6 +104,7 @@ type options struct {
 	evictCooldown time.Duration
 	handoffRate   int
 	joinTimeout   time.Duration
+	memSecret     string
 }
 
 // validate rejects flag combinations with undefined behavior before any
@@ -129,6 +130,10 @@ func validate(o options) error {
 		return fmt.Errorf("-join and -peers are mutually exclusive: -join learns the member list from the seed, -peers states it")
 	case o.membershipOn && o.peers == "" && o.join == "":
 		return fmt.Errorf("-membership requires cluster mode (-peers or -join)")
+	case o.memSecret != "" && !o.membershipOn && o.join == "":
+		return fmt.Errorf("-membership-secret requires runtime membership (-membership or -join)")
+	case strings.ContainsAny(o.memSecret, " \t\r\n"):
+		return fmt.Errorf("-membership-secret must not contain whitespace (it rides the control-key wire format as one token)")
 	}
 	return nil
 }
@@ -187,6 +192,7 @@ func main() {
 	flag.DurationVar(&o.evictCooldown, "evict-cooldown", membership.DefaultEvictCooldown, "minimum gap between auto-evictions proposed by this node")
 	flag.IntVar(&o.handoffRate, "handoff-rate", membership.DefaultHandoffRate, "warm-handoff streaming rate in keys/sec (-1 = cold rebalance, no handoff)")
 	flag.DurationVar(&o.joinTimeout, "join-timeout", 30*time.Second, "how long -join retries reaching the seed")
+	flag.StringVar(&o.memSecret, "membership-secret", "", "shared token gating the mutating membership control keys (apply/join); must match on every member — see the membership trust model")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -396,6 +402,7 @@ func run(o options) error {
 				EvictAfter:    o.evictAfter,
 				EvictCooldown: o.evictCooldown,
 				HandoffRate:   o.handoffRate,
+				Secret:        o.memSecret,
 				Logger:        log.New(os.Stderr, "pama-server: ", log.LstdFlags),
 			})
 			if err != nil {

@@ -42,6 +42,11 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"tenants with membership only", func(o *options) { o.tenants = "web:8:1"; o.membershipOn = true }, "-tenants"},
 		{"join with peers", func(o *options) { o.join = "a:1"; o.peers = "a:1,b:2" }, "-join"},
 		{"membership without cluster", func(o *options) { o.membershipOn = true }, "-membership"},
+		{"secret with membership", func(o *options) { o.peers = "a:1,b:2"; o.membershipOn = true; o.memSecret = "tok" }, ""},
+		{"secret with join", func(o *options) { o.join = "a:1"; o.memSecret = "tok" }, ""},
+		{"secret without membership", func(o *options) { o.memSecret = "tok" }, "-membership-secret"},
+		{"secret on static peers", func(o *options) { o.peers = "a:1,b:2"; o.memSecret = "tok" }, "-membership-secret"},
+		{"secret with whitespace", func(o *options) { o.join = "a:1"; o.memSecret = "bad tok" }, "-membership-secret"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

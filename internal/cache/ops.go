@@ -160,24 +160,42 @@ func (c *Cache) ReapExpired(max int) int {
 	return len(victims)
 }
 
-// ScanKeys walks every live (non-expired) resident item under the engine
-// lock and reports its key, miss penalty, size, and absolute expiry to fn;
-// fn returning false stops the walk. Unlike RangeItems (a policy-facing
-// primitive that assumes the lock is already held) this is safe to call
-// from outside the engine — it is the membership layer's handoff scan: on
-// a ring change the old owner collects (key, penalty) pairs here, sorts
-// them highest penalty first, and streams them to the new owner. The
-// strings handed to fn are the engine's interned keys and may be retained;
-// fn must not call back into the engine (it holds the lock).
+// ScanKeys reports every live (non-expired) resident item's key, miss
+// penalty, size, and absolute expiry to fn; fn returning false stops the
+// walk. Unlike RangeItems (a policy-facing primitive that assumes the
+// lock is already held) this is safe to call from outside the engine — it
+// is the membership layer's handoff scan: on a ring change the old owner
+// collects (key, penalty) pairs here, sorts them highest penalty first,
+// and streams them to the new owner. The engine lock is held only while
+// the tuples are snapshotted, not while fn runs, so per-key callback work
+// (the handoff scan computes ring routing for every resident) never
+// stalls cache operations for the duration of the walk — that stall
+// would land exactly at cutover time, when latency matters most. The
+// consequence: fn sees a point-in-time snapshot (a key may be gone by the
+// time fn sees it; the handoff re-reads at send time anyway) and fn may
+// call back into the engine. The key strings are the engine's interned
+// keys and may be retained.
 func (c *Cache) ScanKeys(fn func(key string, pen float64, size int, expireAt int64) bool) {
+	type entry struct {
+		key      string
+		pen      float64
+		size     int
+		expireAt int64
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	snap := make([]entry, 0, 1024)
 	c.index.Range(func(it *kv.Item) bool {
-		if c.expired(it) {
-			return true
+		if !c.expired(it) {
+			snap = append(snap, entry{it.Key, it.Penalty, it.Size, it.ExpireAt})
 		}
-		return fn(it.Key, it.Penalty, it.Size, it.ExpireAt)
+		return true
 	})
+	c.mu.Unlock()
+	for _, e := range snap {
+		if !fn(e.key, e.pen, e.size, e.expireAt) {
+			return
+		}
+	}
 }
 
 // Delta implements incr/decr: the resident value must be an ASCII unsigned

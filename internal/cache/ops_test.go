@@ -2,6 +2,7 @@ package cache
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -236,5 +237,29 @@ func TestDeltaParseEdges(t *testing.T) {
 		if _, err := c.Delta("e", 1, false); !errors.Is(err, ErrNotNumeric) {
 			t.Fatalf("Delta on %q: %v, want ErrNotNumeric", bad, err)
 		}
+	}
+}
+
+// TestScanKeysRunsCallbackOutsideEngineLock: the handoff scan computes
+// ring routing inside fn, so fn must run with the engine unlocked — a
+// re-entrant engine call from fn (deadlock before the snapshot split)
+// is the sharpest way to pin that.
+func TestScanKeysRunsCallbackOutsideEngineLock(t *testing.T) {
+	c := newOpsCache(t)
+	for i := 0; i < 8; i++ {
+		c.Set(fmt.Sprintf("s%d", i), 10, float64(i), 0, []byte("v"))
+	}
+	seen := 0
+	c.ScanKeys(func(key string, pen float64, size int, expireAt int64) bool {
+		seen++
+		// Re-entrant engine ops: these deadlock if ScanKeys still holds
+		// c.mu while calling fn.
+		if _, _, hit := c.Get(key, 10, pen, nil); !hit {
+			t.Errorf("scan-reported key %q missing", key)
+		}
+		return key != "s3" // early stop must also work
+	})
+	if seen == 0 || seen > 8 {
+		t.Fatalf("scanned %d keys", seen)
 	}
 }

@@ -12,10 +12,12 @@
 // forwarded to) the new owner. Streamed values use "add", which never
 // clobbers an existing entry — a key the new owner already holds (written
 // post-cutover, or filled by a read-through miss) keeps its fresher value
-// and the handoff copy is discarded with NOT_STORED. Either reply makes
-// the receiver authoritative, so the sender drops its local copy; a
-// transport error keeps it (harmless: routing no longer points here) and
-// counts toward Stats().Handoff.Errors.
+// and the handoff copy is discarded with NOT_STORED. A STORED or
+// NOT_STORED reply makes the receiver authoritative, so the sender drops
+// its local copy; a transport error or any other reply — the target
+// shedding the add under overload, refusing it outright — means the value
+// never landed, so the sender keeps its copy (harmless: routing no longer
+// points here) and counts the miss toward Stats().Handoff.Errors.
 package membership
 
 import (
@@ -181,7 +183,17 @@ func (m *Manager) runHandoff(ho *handoff) {
 			Name: "add", Keys: []string{hk.Key}, Flags: flags,
 			Exptime: hk.ExpireAt, Data: val,
 		})
-		if _, err := cl.Do(req); err != nil {
+		resp, err := cl.Do(req)
+		if err != nil {
+			m.hoErrors.Add(1)
+			continue
+		}
+		if resp.Status != "STORED" && resp.Status != "NOT_STORED" {
+			// The target answered but the add did not take — shed under
+			// overload, refused. It never became authoritative for this
+			// key, so keep the local copy and count the miss (Do returns
+			// a nil error for any well-formed reply, so the status check
+			// is the only thing standing between a shed and a cold drop).
 			m.hoErrors.Add(1)
 			continue
 		}

@@ -22,18 +22,39 @@
 // # Epochs
 //
 // Every view carries an epoch. Apply refuses an epoch lower than the
-// current one, and refuses an *equal* epoch with a different member list
-// (two nodes proposed concurrently; the loser pulls the winner's view and
-// re-proposes at a higher epoch). Equal epoch with an identical list is an
-// idempotent no-op, so broadcast echoes converge silently. A node that
-// finds itself outside the new view enters proxy mode (cluster.Peers
-// allows a selector without self): it owns nothing, forwards everything,
-// and drains its residents to their new owners — that is what a graceful
-// drain is.
+// current one. An *equal* epoch with a different member list means two
+// nodes proposed concurrently (say both auto-evicted different peers
+// during a partition); that tie is broken deterministically — the
+// lexicographically smaller encoded view wins on every node. The winner's
+// push is adopted by the loser; the loser's push is refused, and the
+// refused pusher pulls the winner's view (syncFrom) and adopts it, so
+// both sides converge on one view immediately instead of staying split
+// until an unrelated later epoch bump. A proposal whose intent lost the
+// tie (an eviction, a join) is simply re-proposed later at a higher epoch
+// by the probe loop or the retrying joiner. Equal epoch with an identical
+// list is an idempotent no-op, so broadcast echoes converge silently. A
+// node that finds itself outside the new view enters proxy mode
+// (cluster.Peers allows a selector without self): it owns nothing,
+// forwards everything, and drains its residents to their new owners —
+// that is what a graceful drain is.
+//
+// # Trust model
+//
+// Control keys ride the data port, so anything that can reach the
+// memcached port can speak membership — a strictly stronger capability
+// than cache writes (a forged apply could hijack or dissolve the ring).
+// Like memcached itself, the data port is assumed to live on a trusted
+// network segment. Where that assumption is too weak, configure the same
+// Config.Secret on every member: the mutating control keys (apply, join)
+// must then carry the token and are refused otherwise (`-membership-secret`
+// on pama-server). The view GET stays open — it exposes topology, not
+// control. The secret authenticates peers on an honest network; it does
+// not encrypt traffic and is no substitute for network-level isolation.
 package membership
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"log"
@@ -164,6 +185,13 @@ type Config struct {
 	// nil means always normal. Handoff yields under pressure: it slows
 	// at strained and pauses at critical.
 	Tier func() int
+
+	// Secret, when non-empty, gates the mutating control keys: outgoing
+	// view pushes and join requests carry it as a leading token, and
+	// incoming ones must present it (Authorize) or they are refused.
+	// Every member and joiner must share the same value; it must not
+	// contain whitespace. See the package's trust-model doc.
+	Secret string
 
 	// Probe overrides the health probe (tests inject failures); nil uses
 	// a TCP dial + "version" round trip.
@@ -357,12 +385,23 @@ func equalView(a, b []string) bool {
 	return true
 }
 
-// Apply installs view (epoch, members) if it is newer than the current
-// one: the routing table is swapped first (cutover), then the warm handoff
-// of keys this node no longer owns starts in the background. A stale epoch
-// — lower than current, or equal with a different member list — is
-// refused, which is what makes stale routing pushes detectable instead of
-// silently regressive. origin is only for logs.
+// viewWins reports whether the incoming member list beats the current one
+// in the equal-epoch tie-break: the lexicographically smaller encoded view
+// wins. Every node evaluates the same pure comparison, so concurrent
+// proposals at one epoch converge to a single winner cluster-wide.
+func viewWins(epoch uint64, incoming, current []string) bool {
+	return string(EncodeView(epoch, incoming)) < string(EncodeView(epoch, current))
+}
+
+// Apply installs view (epoch, members) if it supersedes the current one:
+// the routing table is swapped first (cutover), then the warm handoff of
+// keys this node no longer owns starts in the background. An epoch lower
+// than the current one is refused, which is what makes stale routing
+// pushes detectable instead of silently regressive. An equal epoch with a
+// different member list is a concurrent-proposal conflict, resolved by
+// the deterministic tie-break (viewWins): the winning view is adopted,
+// the losing one refused — the refused pusher then pulls the winner via
+// syncFrom, so both proposers converge. origin is only for logs.
 func (m *Manager) Apply(epoch uint64, members []string, origin string) error {
 	members = normalize(members)
 	if len(members) == 0 {
@@ -380,10 +419,14 @@ func (m *Manager) Apply(epoch uint64, members []string, origin string) error {
 			m.mu.Unlock()
 			return nil // idempotent echo
 		}
-		m.refusals.Add(1)
-		cur := m.epoch
-		m.mu.Unlock()
-		return fmt.Errorf("membership: conflicting view at epoch %d (have %d members)", epoch, cur)
+		if !viewWins(epoch, members, m.members) {
+			m.refusals.Add(1)
+			cur := m.epoch
+			m.mu.Unlock()
+			return fmt.Errorf("membership: conflicting view at epoch %d loses tie-break (have %d members)", epoch, cur)
+		}
+		// The incoming view wins the tie-break: fall through and install
+		// it at the same epoch, exactly as if it were newer.
 	}
 	if err := m.cfg.Peers.SetMembers(members); err != nil {
 		m.mu.Unlock()
@@ -422,7 +465,11 @@ func (m *Manager) syncHealthLocked() {
 
 // Join admits addr: the proposer bumps the epoch, applies locally, and
 // broadcasts the new view to every member including the joiner. Idempotent
-// for an existing member.
+// for an existing member — but since the admission broadcast is best
+// effort, a joiner whose view push was lost (socket not yet ready, blip)
+// retries Join and lands on the idempotent path while already in the
+// ring; the current view is re-sent to it there, so it learns the
+// membership instead of timing out while peers route keys its way.
 func (m *Manager) Join(addr string) error {
 	addr = strings.TrimSpace(addr)
 	if addr == "" {
@@ -430,7 +477,15 @@ func (m *Manager) Join(addr string) error {
 	}
 	m.mu.Lock()
 	if m.isMemberLocked(addr) {
+		epoch := m.epoch
+		body := EncodeView(epoch, m.members)
 		m.mu.Unlock()
+		if resp, err := m.send(addr, renderControlSet(KeyApply, m.wrapAuth(body))); err != nil {
+			m.logf("membership: view re-push to %s failed: %v", addr, err)
+		} else if resp.Status != "STORED" {
+			m.logf("membership: %s refused view re-push at epoch %d: %s %s",
+				addr, epoch, resp.Status, resp.Message)
+		}
 		return nil
 	}
 	next := append(append([]string(nil), m.members...), addr)
@@ -494,7 +549,7 @@ func (m *Manager) propose(members []string, why string) error {
 // applied locally so the cluster converges instead of ping-ponging.
 func (m *Manager) broadcast(epoch uint64, members []string, targets map[string]struct{}) {
 	body := EncodeView(epoch, members)
-	req := renderControlSet(KeyApply, body)
+	req := renderControlSet(KeyApply, m.wrapAuth(body))
 	var wg sync.WaitGroup
 	for addr := range targets {
 		if addr == m.self {
@@ -524,6 +579,39 @@ func renderControlSet(key string, body []byte) []byte {
 	})
 }
 
+// wrapAuth prefixes a mutating control-key body with the shared secret
+// (identity when none is configured). The inverse of Authorize.
+func (m *Manager) wrapAuth(body []byte) []byte {
+	if m.cfg.Secret == "" {
+		return body
+	}
+	out := make([]byte, 0, len(m.cfg.Secret)+1+len(body))
+	out = append(out, m.cfg.Secret...)
+	out = append(out, ' ')
+	return append(out, body...)
+}
+
+// Authorize validates the shared-secret token on the body of a mutating
+// control key (apply, join) and returns the payload with the token
+// stripped. With no secret configured every body passes unchanged — the
+// trust boundary is then the network, as documented in the package doc.
+func (m *Manager) Authorize(body []byte) ([]byte, error) {
+	if m.cfg.Secret == "" {
+		return body, nil
+	}
+	sp := -1
+	for i, b := range body {
+		if b == ' ' {
+			sp = i
+			break
+		}
+	}
+	if sp < 0 || subtle.ConstantTimeCompare(body[:sp], []byte(m.cfg.Secret)) != 1 {
+		return nil, errors.New("membership: bad or missing auth token")
+	}
+	return body[sp+1:], nil
+}
+
 // send routes a control request through the pooled peer client when addr
 // is a current member, or a one-shot dial otherwise (a joiner talking to
 // its seed, a proposer notifying a removed node).
@@ -548,7 +636,9 @@ func dialDo(addr string, req []byte, timeout time.Duration) (*proto.Response, er
 	return proto.ReadResponse(bufio.NewReader(conn))
 }
 
-// syncFrom pulls addr's view and applies it if newer.
+// syncFrom pulls addr's view and applies it if it supersedes the local
+// one — strictly newer, or winning the equal-epoch tie-break (the
+// convergence half of a refused concurrent proposal).
 func (m *Manager) syncFrom(addr string) {
 	resp, err := m.send(addr, []byte("get "+KeyView+"\r\n"))
 	if err != nil || len(resp.Values) == 0 {
@@ -571,7 +661,7 @@ func (m *Manager) JoinCluster(seed string, timeout time.Duration) error {
 	if seed == m.self {
 		return errors.New("membership: cannot join via self")
 	}
-	req := renderControlSet(KeyJoin, []byte(m.self))
+	req := renderControlSet(KeyJoin, m.wrapAuth([]byte(m.self)))
 	deadline := time.Now().Add(timeout)
 	var lastErr error
 	for time.Now().Before(deadline) {
@@ -589,6 +679,13 @@ func (m *Manager) JoinCluster(seed string, timeout time.Duration) error {
 					return nil
 				}
 				time.Sleep(50 * time.Millisecond)
+			}
+			// The broadcast push was lost (our socket raced the seed's
+			// send, or the network blipped): pull the view directly
+			// instead of waiting for the next retry's re-push.
+			m.syncFrom(seed)
+			if m.IsMember(m.self) && m.Epoch() > 1 {
+				return nil
 			}
 			lastErr = errors.New("membership: admitted but view never arrived")
 		}

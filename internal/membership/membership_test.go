@@ -25,6 +25,13 @@ type fakeNode struct {
 	data map[string][]byte
 	// applies records every __pamakv.m.apply body received.
 	applies [][]byte
+	// applyReply, when set, overrides the STORED answer to view pushes
+	// (a node refusing a conflicting view replies SERVER_ERROR).
+	applyReply string
+	// storeReply, when set, overrides the answer to data-key set/add —
+	// a target shedding handoff traffic under overload replies
+	// SERVER_ERROR without storing.
+	storeReply string
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
@@ -54,6 +61,15 @@ func (n *fakeNode) appliesSeen() int {
 	return len(n.applies)
 }
 
+func (n *fakeNode) lastApply() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.applies) == 0 {
+		return nil
+	}
+	return n.applies[len(n.applies)-1]
+}
+
 func (n *fakeNode) serve() {
 	for {
 		conn, err := n.ln.Accept()
@@ -81,8 +97,18 @@ func (n *fakeNode) handle(conn net.Conn) {
 			n.mu.Lock()
 			if cmd.Keys[0] == KeyApply {
 				n.applies = append(n.applies, append([]byte(nil), cmd.Data...))
+				reply := n.applyReply
 				n.mu.Unlock()
-				out = proto.AppendLine(out, "STORED")
+				if reply == "" {
+					reply = "STORED"
+				}
+				out = proto.AppendLine(out, reply)
+				break
+			}
+			if n.storeReply != "" {
+				reply := n.storeReply
+				n.mu.Unlock()
+				out = proto.AppendLine(out, reply)
 				break
 			}
 			if _, exists := n.data[cmd.Keys[0]]; exists && cmd.Name == "add" {
@@ -215,9 +241,27 @@ func TestApplyEpochStateMachine(t *testing.T) {
 		t.Fatalf("idempotent echo refused: %v", err)
 	}
 
-	// Equal epoch, different list: a concurrent-proposal tie, refused.
-	if err := m.Apply(5, []string{self, other}, "test"); err == nil {
-		t.Fatal("conflicting equal-epoch view accepted")
+	// Equal epoch, different list: a concurrent-proposal tie, resolved
+	// deterministically. A view encoding larger than the current one
+	// loses and is refused...
+	loser := []string{self, other, "127.0.0.1:9999"}
+	if err := m.Apply(5, loser, "test"); err == nil {
+		t.Fatal("tie-losing equal-epoch view accepted")
+	}
+	if _, members := m.View(); len(members) != 3 || members[2] != third {
+		t.Fatalf("losing view moved the membership: %v", members)
+	}
+	// ...while a view encoding smaller wins and is adopted at the same
+	// epoch — the convergence rule for concurrent proposals.
+	winner := []string{self, other}
+	if err := m.Apply(5, winner, "test"); err != nil {
+		t.Fatalf("tie-winning equal-epoch view refused: %v", err)
+	}
+	if e, members := m.View(); e != 5 || len(members) != 2 {
+		t.Fatalf("winning view not adopted: (%d, %v)", e, members)
+	}
+	if got := p.Members(); len(got) != 2 {
+		t.Fatalf("winning view did not reroute Peers: %v", got)
 	}
 
 	// Empty view: refused outright.
@@ -227,10 +271,10 @@ func TestApplyEpochStateMachine(t *testing.T) {
 
 	st := m.Stats()
 	if st.Refusals != 2 {
-		t.Errorf("refusals = %d, want 2 (backwards + conflict)", st.Refusals)
+		t.Errorf("refusals = %d, want 2 (backwards + losing conflict)", st.Refusals)
 	}
-	if st.Applies != 1 {
-		t.Errorf("applies = %d, want 1", st.Applies)
+	if st.Applies != 2 {
+		t.Errorf("applies = %d, want 2 (newer epoch + tie-break adoption)", st.Applies)
 	}
 }
 
@@ -587,6 +631,198 @@ func TestHandoffPausesAtCriticalAndAborts(t *testing.T) {
 	}
 	if m.Stats().Handoff.Aborts == 0 {
 		t.Fatal("superseded handoff never aborted")
+	}
+}
+
+// TestConcurrentEqualEpochProposalsConverge: two nodes proposing
+// different views at the same epoch (both auto-evicting, say) must end up
+// on one view once their pushes cross — the deterministic tie-break, not
+// a permanent split waiting for an unrelated epoch bump.
+func TestConcurrentEqualEpochProposalsConverge(t *testing.T) {
+	base := []string{"127.0.0.1:7161", "127.0.0.1:7162"}
+	m1, _ := newManager(t, base[0], base, Config{HandoffRate: -1})
+	m2, _ := newManager(t, base[1], base, Config{HandoffRate: -1})
+
+	vA := append(append([]string(nil), base...), "127.0.0.1:7163")
+	vB := append(append([]string(nil), base...), "127.0.0.1:7164")
+	if err := m1.Apply(2, vA, "local proposal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Apply(2, vB, "local proposal"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cross pushes land: exactly one side adopts, the other refuses.
+	errA := m2.Apply(2, vA, "push from m1")
+	errB := m1.Apply(2, vB, "push from m2")
+	if (errA == nil) == (errB == nil) {
+		t.Fatalf("tie-break not decisive: push vA → %v, push vB → %v", errA, errB)
+	}
+	e1, v1 := m1.View()
+	e2, v2 := m2.View()
+	if e1 != e2 || !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("views diverged: (%d, %v) vs (%d, %v)", e1, v1, e2, v2)
+	}
+	// A re-delivered echo of the winning view is now an idempotent no-op
+	// on both sides.
+	if err := m1.Apply(2, v1, "echo"); err != nil {
+		t.Fatalf("winner echo refused by m1: %v", err)
+	}
+	if err := m2.Apply(2, v1, "echo"); err != nil {
+		t.Fatalf("winner echo refused by m2: %v", err)
+	}
+}
+
+// TestBroadcastLoserAdoptsWinnerView drives the live convergence path: a
+// proposer whose push is refused pulls the refusing peer's view, and the
+// tie-break adopts it when it wins.
+func TestBroadcastLoserAdoptsWinnerView(t *testing.T) {
+	peer := newFakeNode(t)
+	self := "127.0.0.1:7165"
+	m, _ := newManager(t, self, []string{self, peer.addr()}, Config{HandoffRate: -1})
+
+	// The peer already committed a conflicting epoch-2 view whose third
+	// member ("127.0.0.1:1") sorts — and therefore encodes — ahead of
+	// anything our proposal can contain, so the peer's view wins the tie.
+	winnerMembers := normalize([]string{self, peer.addr(), "127.0.0.1:1"})
+	winnerBody := EncodeView(2, winnerMembers)
+	peer.mu.Lock()
+	peer.applyReply = "SERVER_ERROR membership: conflicting view at epoch 2 loses tie-break"
+	peer.data[KeyView] = winnerBody
+	peer.mu.Unlock()
+
+	// Our join proposes epoch 2 with a different third member; the
+	// broadcast is refused and the winner's view is pulled and adopted.
+	if err := m.Join("127.0.0.1:7166"); err != nil {
+		t.Fatal(err)
+	}
+	e, members := m.View()
+	if e != 2 || !reflect.DeepEqual(members, winnerMembers) {
+		t.Fatalf("loser did not adopt the winner: (%d, %v), want (2, %v)", e, members, winnerMembers)
+	}
+}
+
+// TestIdempotentJoinResendsView: a joiner that is already in the ring but
+// never learned it (its admission broadcast was lost) retries the join;
+// the idempotent path must re-send the current view instead of silently
+// doing nothing.
+func TestIdempotentJoinResendsView(t *testing.T) {
+	peer := newFakeNode(t)
+	self := "127.0.0.1:7171"
+	m, _ := newManager(t, self, []string{self, peer.addr()}, Config{HandoffRate: -1})
+
+	if err := m.Join(peer.addr()); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("idempotent join bumped the epoch to %d", e)
+	}
+	if peer.appliesSeen() == 0 {
+		t.Fatal("idempotent join did not re-send the view to the joiner")
+	}
+	epoch, members, err := ParseView(peer.lastApply())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE, wantM := m.View()
+	if epoch != wantE || !reflect.DeepEqual(members, wantM) {
+		t.Fatalf("re-sent view = (%d, %v), want (%d, %v)", epoch, members, wantE, wantM)
+	}
+}
+
+// TestHandoffKeepsCopyWhenTargetRefuses: a target that answers the "add"
+// with anything but STORED/NOT_STORED (shedding under overload, refusing)
+// never became authoritative, so the sender must keep its local copy and
+// count errors — not drop the value cold.
+func TestHandoffKeepsCopyWhenTargetRefuses(t *testing.T) {
+	peer := newFakeNode(t)
+	peer.mu.Lock()
+	peer.storeReply = "SERVER_ERROR busy (shed)"
+	peer.mu.Unlock()
+	self := "127.0.0.1:7173"
+	src := newFakeSource()
+	m, p := newManager(t, self, []string{self}, Config{})
+	m.BindSource(src)
+
+	for i := 0; i < 64; i++ {
+		src.set(fmt.Sprintf("r%02d", i), []byte("v"), float64(i))
+	}
+	if err := m.Apply(2, []string{self, peer.addr()}, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var moved []string
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("r%02d", i)
+		if p.Owner(k) == peer.addr() {
+			moved = append(moved, k)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("degenerate split: nothing moved")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Handoff.Errors < uint64(len(moved)) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := m.Stats().Handoff
+	if st.Errors != uint64(len(moved)) || st.KeysSent != 0 {
+		t.Fatalf("handoff stats %+v, want %d errors and 0 keys sent", st, len(moved))
+	}
+	for _, k := range moved {
+		if !src.has(k) {
+			t.Fatalf("key %q dropped cold after a refused add", k)
+		}
+		if _, ok := peer.get(k); ok {
+			t.Fatalf("refusing peer somehow stored %q", k)
+		}
+	}
+}
+
+// TestAuthorizeSecret covers the shared-secret gate on mutating control
+// bodies and its composition with wrapAuth.
+func TestAuthorizeSecret(t *testing.T) {
+	self := "127.0.0.1:7175"
+	sec, _ := newManager(t, self, []string{self}, Config{HandoffRate: -1, Secret: "hunter2"})
+	open, _ := newManager(t, "127.0.0.1:7176", []string{"127.0.0.1:7176"}, Config{HandoffRate: -1})
+
+	payload := []byte("5 a:1,b:2")
+	got, err := sec.Authorize(sec.wrapAuth(payload))
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("Authorize(wrapAuth(x)) = (%q, %v)", got, err)
+	}
+	for _, bad := range [][]byte{[]byte("5 a:1,b:2"), []byte("wrong 5 a:1,b:2"), []byte("hunter2"), nil} {
+		if _, err := sec.Authorize(bad); err == nil {
+			t.Errorf("Authorize(%q) accepted without a valid token", bad)
+		}
+	}
+	// No secret configured: bodies pass unchanged, wrapAuth is identity.
+	got, err = open.Authorize(payload)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("open Authorize = (%q, %v)", got, err)
+	}
+	if string(open.wrapAuth(payload)) != string(payload) {
+		t.Fatal("open wrapAuth is not the identity")
+	}
+}
+
+// TestBroadcastCarriesSecret: a secreted manager's view pushes must be
+// acceptable to an equally-secreted receiver — the token rides first.
+func TestBroadcastCarriesSecret(t *testing.T) {
+	peer := newFakeNode(t)
+	self := "127.0.0.1:7177"
+	m, _ := newManager(t, self, []string{self, peer.addr()}, Config{HandoffRate: -1, Secret: "hunter2"})
+	if err := m.Join("127.0.0.1:7178"); err != nil {
+		t.Fatal(err)
+	}
+	if peer.appliesSeen() == 0 {
+		t.Fatal("peer never received the broadcast")
+	}
+	body, err := m.Authorize(peer.lastApply())
+	if err != nil {
+		t.Fatalf("broadcast body failed Authorize: %v", err)
+	}
+	if epoch, _, err := ParseView(body); err != nil || epoch != 2 {
+		t.Fatalf("ParseView(authorized body) = (%d, %v)", epoch, err)
 	}
 }
 

@@ -873,7 +873,12 @@ func (s *Server) serve(sc *connScratch, out []byte, cmd *proto.Command) []byte {
 	if len(cmd.Keys) > 0 && membership.IsControlKey(cmd.Keys[0]) {
 		// Membership control traffic bypasses admission control and peer
 		// routing entirely: view pushes and probes must land precisely
-		// when the node is shedding or mid-reroute.
+		// when the node is shedding or mid-reroute. The bypass means any
+		// client that can reach the data port can speak membership — a
+		// stronger capability than cache writes — so the port is assumed
+		// to sit on a trusted segment; where it does not, the mutating
+		// control keys are gated by a shared secret (Manager.Authorize,
+		// -membership-secret). See the membership package's trust model.
 		return s.doMembership(out, cmd)
 	}
 	if s.ctrl == nil || !admissible(cmd.Name) {
@@ -972,7 +977,12 @@ func (s *Server) doMembership(out []byte, cmd *proto.Command) []byte {
 	}
 	switch {
 	case cmd.Name == "set" && cmd.Keys[0] == membership.KeyApply:
-		epoch, members, err := membership.ParseView(cmd.Data)
+		body, err := m.Authorize(cmd.Data)
+		var epoch uint64
+		var members []string
+		if err == nil {
+			epoch, members, err = membership.ParseView(body)
+		}
 		if err == nil {
 			err = m.Apply(epoch, members, "peer push")
 		}
@@ -981,7 +991,11 @@ func (s *Server) doMembership(out []byte, cmd *proto.Command) []byte {
 		}
 		return reply("STORED")
 	case cmd.Name == "set" && cmd.Keys[0] == membership.KeyJoin:
-		if err := m.Join(strings.TrimSpace(string(cmd.Data))); err != nil {
+		body, err := m.Authorize(cmd.Data)
+		if err == nil {
+			err = m.Join(strings.TrimSpace(string(body)))
+		}
+		if err != nil {
 			return reply("SERVER_ERROR " + err.Error())
 		}
 		return reply("STORED")

@@ -122,8 +122,9 @@ func (g *Group) ReapExpired(max int) int {
 	return n
 }
 
-// ScanKeys walks live resident items shard by shard (each shard's engine
-// lock is held only for its own walk). fn returning false stops the scan.
+// ScanKeys walks live resident items shard by shard (each shard snapshots
+// under its own engine lock and runs fn outside it — see cache.ScanKeys).
+// fn returning false stops the scan.
 func (g *Group) ScanKeys(fn func(key string, pen float64, size int, expireAt int64) bool) {
 	stopped := false
 	for _, s := range g.shards {
