@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -57,6 +58,8 @@ type options struct {
 	readthrough  bool
 	penaltyScale float64
 	shards       int
+	shardsSet    bool // -shards given explicitly (vs. the NumCPU default)
+	accessBuffer int
 	snapshot     string
 
 	adminAddr      string
@@ -107,6 +110,18 @@ type options struct {
 	memSecret     string
 }
 
+// normalize resolves the soft flag defaults before validation. -shards
+// defaults to the core count, but -snapshot and -tenants require a single
+// engine; when the operator did not ask for sharding explicitly the default
+// quietly yields rather than tripping validate. An explicit -shards N>1 with
+// either flag still fails loudly — that conflict is the operator's to resolve.
+func normalize(o options) options {
+	if !o.shardsSet && (o.snapshot != "" || o.tenants != "") {
+		o.shards = 1
+	}
+	return o
+}
+
 // validate rejects flag combinations with undefined behavior before any
 // resource is built. Kept as a pure function of options so the rules are
 // table-testable.
@@ -146,7 +161,8 @@ func main() {
 	flag.BoolVar(&o.adaptiveGeom, "adaptive-geometry", false, "learn slab-class boundaries online from observed sizes and re-slab live")
 	flag.BoolVar(&o.readthrough, "readthrough", false, "serve GET misses from a simulated back end")
 	flag.Float64Var(&o.penaltyScale, "penalty-scale", 0.02, "fraction of the simulated penalty slept in real time (read-through mode)")
-	flag.IntVar(&o.shards, "shards", 1, "hash shards (rounded up to a power of two)")
+	flag.IntVar(&o.shards, "shards", runtime.NumCPU(), "hash shards (rounded up to a power of two; defaults to the core count)")
+	flag.IntVar(&o.accessBuffer, "access-buffer", 256, "per-engine deferred-access ring capacity for batched GET-hit maintenance (0 = immediate mode)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: loaded at startup if present, saved at shutdown (single-shard only)")
 	flag.StringVar(&o.adminAddr, "admin-addr", "", "HTTP observability listener (/metrics, /statsz, /series, /debug/pprof); empty disables")
 	flag.DurationVar(&o.adminSeriesInt, "admin-series-interval", 5*time.Second, "sampling window of the admin /series recorder (0 disables the series)")
@@ -194,6 +210,12 @@ func main() {
 	flag.DurationVar(&o.joinTimeout, "join-timeout", 30*time.Second, "how long -join retries reaching the seed")
 	flag.StringVar(&o.memSecret, "membership-secret", "", "shared token gating the mutating membership control keys (apply/join); must match on every member — see the membership trust model")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			o.shardsSet = true
+		}
+	})
+	o = normalize(o)
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pama-server:", err)
@@ -211,9 +233,10 @@ func run(o options) error {
 		return fmt.Errorf("policy %q is a simulator-only engine, not a slab policy", o.policyKind)
 	}
 	cfg := cache.Config{
-		CacheBytes:  o.cacheMiB << 20,
-		StoreValues: true,
-		WindowLen:   100_000,
+		CacheBytes:   o.cacheMiB << 20,
+		StoreValues:  true,
+		WindowLen:    100_000,
+		AccessBuffer: o.accessBuffer,
 	}
 	if o.adaptiveGeom {
 		cfg.Adaptive = &geom.Config{} // Normalize picks the defaults
@@ -225,6 +248,7 @@ func run(o options) error {
 	var reg *tenant.Registry
 	var arb *tenant.Arbiter
 	var c server.Store
+	var engines []*cache.Cache // non-group engines, for maintainer lifecycle
 	if o.tenants != "" {
 		var specs []tenant.Config
 		var err error
@@ -259,6 +283,7 @@ func run(o options) error {
 				return fmt.Errorf("tenant %s: %w", reg.Config(id).Name, err)
 			}
 			stores[id] = eng
+			engines = append(engines, eng)
 			members[id] = tenant.Member{ID: id, Cfg: reg.Config(id), Engines: []*cache.Cache{eng}}
 			log.Printf("pama-server: tenant %s: %d MiB (reserve %d MiB, weight %g, slo %d)",
 				reg.Config(id).Name, shares[id]>>20, reg.Config(id).ReservedBytes>>20,
@@ -292,7 +317,24 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		engines = append(engines, eng)
 		c = eng
+	}
+	if o.accessBuffer > 0 {
+		// The background maintainer keeps the coarse expiry clock fresh and
+		// drains idle rings; stopping it applies any remaining deferred
+		// accesses before the snapshot save in the shutdown goroutine runs
+		// (SaveSnapshot drains again on its own, so the order is belt and
+		// braces).
+		if g, ok := c.(*shard.Group); ok {
+			g.StartMaintainers(0)
+			defer g.StopMaintainers()
+		} else {
+			for _, e := range engines {
+				e.StartMaintainer(0)
+				defer e.StopMaintainer()
+			}
+		}
 	}
 	if o.snapshot != "" {
 		if eng, ok := c.(*cache.Cache); ok {
@@ -471,8 +513,8 @@ func run(o options) error {
 		}
 	}()
 
-	log.Printf("pama-server: %s policy, %d MiB, %d shard(s), listening on %s (readthrough=%v, max-conns=%d)",
-		o.policyKind, o.cacheMiB, o.shards, o.addr, o.readthrough, o.maxConns)
+	log.Printf("pama-server: %s policy, %d MiB, %d shard(s), access-buffer %d, listening on %s (readthrough=%v, max-conns=%d)",
+		o.policyKind, o.cacheMiB, o.shards, o.accessBuffer, o.addr, o.readthrough, o.maxConns)
 	err := srv.ListenAndServe(o.addr)
 	if draining.Load() {
 		<-shutdownDone

@@ -69,6 +69,40 @@ func TestValidateFlagCombinations(t *testing.T) {
 	}
 }
 
+// TestNormalizeShardsDefault covers the soft -shards default: NumCPU-many
+// shards unless the operator asked otherwise, yielding to single-engine
+// features (-snapshot, -tenants) when the count came from the default, and
+// standing firm (so validate can refuse) when it was explicit.
+func TestNormalizeShardsDefault(t *testing.T) {
+	cases := []struct {
+		name       string
+		mutate     func(o *options)
+		wantShards int
+		wantErr    bool // from validate(normalize(o))
+	}{
+		{"default alone keeps core count", func(o *options) { o.shards = 8 }, 8, false},
+		{"default yields to snapshot", func(o *options) { o.shards = 8; o.snapshot = "/tmp/x" }, 1, false},
+		{"default yields to tenants", func(o *options) { o.shards = 8; o.tenants = "web:8:1" }, 1, false},
+		{"explicit survives", func(o *options) { o.shards = 8; o.shardsSet = true }, 8, false},
+		{"explicit conflicts with snapshot", func(o *options) { o.shards = 8; o.shardsSet = true; o.snapshot = "/tmp/x" }, 8, true},
+		{"explicit conflicts with tenants", func(o *options) { o.shards = 8; o.shardsSet = true; o.tenants = "web:8:1" }, 8, true},
+		{"explicit single shard with snapshot", func(o *options) { o.shards = 1; o.shardsSet = true; o.snapshot = "/tmp/x" }, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := testOpts("127.0.0.1:0", "pama", 1)
+			tc.mutate(&o)
+			o = normalize(o)
+			if o.shards != tc.wantShards {
+				t.Fatalf("normalize left shards = %d, want %d", o.shards, tc.wantShards)
+			}
+			if err := validate(o); (err != nil) != tc.wantErr {
+				t.Fatalf("validate after normalize: err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 // TestRunRejectsTenantsWithCluster drives the satellite end to end: the
 // full run() path must refuse the combination before binding anything.
 func TestRunRejectsTenantsWithCluster(t *testing.T) {
@@ -107,8 +141,10 @@ func TestRunServesTraffic(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close() // free the port for run; a tiny race window is acceptable in tests
+	o := testOpts(addr, "pama", 2)
+	o.accessBuffer = 64 // serve through the batched read path
 	errc := make(chan error, 1)
-	go func() { errc <- run(testOpts(addr, "pama", 2)) }()
+	go func() { errc <- run(o) }()
 
 	var conn net.Conn
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,139 @@
+// Package accessbuf implements the fixed-size lock-free rings that carry
+// deferred GET-hit records from the cache engine's read fast path to its
+// batched policy-maintenance drain (the BP-Wrapper recipe, also the shape of
+// Memcached's lru-maintainer thread).
+//
+// A GET hit serves the value under a short engine-lock critical section —
+// index lookup, expiry check, value copy — and records the touched item into
+// a ring *after* releasing the lock. The accumulated records are later
+// applied in one lock acquisition (when a ring fills, on the next mutating
+// operation, or by the engine's background maintainer), so the per-access
+// cost of LRU surgery, segment pricing, and window attribution is amortized
+// over the batch instead of serializing every read.
+//
+// The ring is a bounded MPSC queue in the style of Vyukov's bounded MPMC
+// queue: producers reserve a slot with one CAS on the head counter and
+// publish it by storing the slot's sequence number; the single consumer (who
+// must hold the engine lock, which is what makes it single) pops published
+// slots in order and stops at the first slot still being written. Records
+// are plain values — the queue never allocates after construction, which is
+// what keeps the served-GET path at zero allocations per request.
+package accessbuf
+
+import (
+	"sync/atomic"
+
+	"pamakv/internal/kv"
+)
+
+// Record is one deferred cache access. It carries everything the drain
+// needs to validate and apply the touch without re-hashing the key.
+type Record struct {
+	// It is the resident item that was read. The pointer may be stale by
+	// drain time (the item may have been deleted, evicted, replaced, or
+	// re-slabbed); the drain revalidates it against CAS before touching
+	// anything.
+	It *kv.Item
+	// CAS is the item's store token at access time — its incarnation id.
+	// Tokens are issued from a per-engine monotonic counter, so a freed
+	// and reused item can never present the token recorded here.
+	CAS uint64
+	// Pen is the item's miss penalty observed at access time (seconds).
+	Pen float64
+}
+
+type slot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// Ring is one bounded MPSC access ring. Producers call Push concurrently;
+// Drain must only be called by one consumer at a time (the cache engine
+// drains under its lock).
+type Ring struct {
+	mask  uint64
+	slots []slot
+	_     [48]byte // keep head/tail off the slots' cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+}
+
+// New returns a ring holding capacity records, rounded up to a power of two
+// (minimum 8).
+func New(capacity int) *Ring {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the approximate number of buffered records (racy by nature;
+// used for gauges and the maintainer's "anything to do?" check).
+func (r *Ring) Len() int {
+	h, t := r.head.Load(), r.tail.Load()
+	if h < t {
+		return 0
+	}
+	if n := h - t; n <= r.mask+1 {
+		return int(n)
+	}
+	return len(r.slots)
+}
+
+// Push records one access, reporting false when the ring is full (the
+// caller then drains in-line). Safe for concurrent producers; never
+// allocates.
+func (r *Ring) Push(rec Record) bool {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.rec = rec
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.head.Load()
+		case seq < pos:
+			// The slot still holds a record one full lap behind: full.
+			return false
+		default:
+			// Another producer claimed pos; reload.
+			pos = r.head.Load()
+		}
+	}
+}
+
+// Drain pops every published record in order, calling fn for each, and
+// returns the count. It stops early at a slot a producer has reserved but
+// not yet published — that record (and any behind it) is picked up by the
+// next drain. Single consumer only.
+func (r *Ring) Drain(fn func(Record)) int {
+	n := 0
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() != pos+1 {
+			break
+		}
+		rec := s.rec
+		s.rec = Record{} // drop the item reference; slots outlive batches
+		s.seq.Store(pos + r.mask + 1)
+		pos++
+		r.tail.Store(pos)
+		fn(rec)
+		n++
+	}
+	return n
+}

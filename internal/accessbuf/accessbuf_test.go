@@ -1,0 +1,143 @@
+package accessbuf
+
+import (
+	"sync"
+	"testing"
+
+	"pamakv/internal/kv"
+)
+
+func TestPushDrainOrder(t *testing.T) {
+	r := New(16)
+	items := make([]kv.Item, 5)
+	for i := range items {
+		if !r.Push(Record{It: &items[i], CAS: uint64(i + 1)}) {
+			t.Fatalf("push %d refused on non-full ring", i)
+		}
+	}
+	if got := r.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	var cas []uint64
+	if n := r.Drain(func(rec Record) { cas = append(cas, rec.CAS) }); n != 5 {
+		t.Fatalf("Drain = %d, want 5", n)
+	}
+	for i, c := range cas {
+		if c != uint64(i+1) {
+			t.Fatalf("record %d drained out of order: cas %d", i, c)
+		}
+	}
+	if got := r.Len(); got != 0 {
+		t.Fatalf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestPushReportsFull(t *testing.T) {
+	r := New(8)
+	it := &kv.Item{}
+	for i := 0; i < r.Cap(); i++ {
+		if !r.Push(Record{It: it}) {
+			t.Fatalf("push %d refused before capacity", i)
+		}
+	}
+	if r.Push(Record{It: it}) {
+		t.Fatal("push accepted on full ring")
+	}
+	r.Drain(func(Record) {})
+	if !r.Push(Record{It: it}) {
+		t.Fatal("push refused after drain freed the ring")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 8}, {1, 8}, {9, 16}, {64, 64}, {100, 128}} {
+		if got := New(tc.ask).Cap(); got != tc.want {
+			t.Fatalf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentProducers hammers the ring from many goroutines with a
+// single consumer draining in parallel, then checks nothing was lost or
+// duplicated. Run under -race this is also the memory-model check.
+func TestConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	r := New(64)
+	it := &kv.Item{}
+
+	var consumed sync.Map // cas -> struct{}
+	var total int
+	var mu sync.Mutex // serializes Drain: single consumer
+	drain := func() {
+		mu.Lock()
+		n := r.Drain(func(rec Record) {
+			if _, dup := consumed.LoadOrStore(rec.CAS, struct{}{}); dup {
+				t.Errorf("cas %d drained twice", rec.CAS)
+			}
+		})
+		total += n
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				rec := Record{It: it, CAS: uint64(p*perProducer + i + 1)}
+				for !r.Push(rec) {
+					drain()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				drain()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	drain()
+
+	want := producers * perProducer
+	mu.Lock()
+	got := total
+	mu.Unlock()
+	if got != want {
+		t.Fatalf("drained %d records, want %d", got, want)
+	}
+	for p := 0; p < producers; p++ {
+		for i := 0; i < perProducer; i++ {
+			if _, ok := consumed.Load(uint64(p*perProducer + i + 1)); !ok {
+				t.Fatalf("record %d/%d lost", p, i)
+			}
+		}
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	r := New(1 << 16)
+	it := &kv.Item{}
+	var mu sync.Mutex // serializes the inline drain: single consumer
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var cas uint64
+		for pb.Next() {
+			cas++
+			for !r.Push(Record{It: it, CAS: cas}) {
+				mu.Lock()
+				r.Drain(func(Record) {})
+				mu.Unlock()
+			}
+		}
+	})
+}

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pamakv/internal/accessbuf"
 	"pamakv/internal/geom"
 	"pamakv/internal/hashtable"
 	"pamakv/internal/kv"
@@ -82,6 +84,12 @@ type Config struct {
 	// default tenant). Under multi-tenant serving each tenant owns its own
 	// engine(s); the tag lets audits prove isolation (see tenant.go).
 	Tenant int32
+	// AccessBuffer, when > 0, turns on the lock-amortized read path: GET
+	// hits record into lock-free access rings of this capacity (rounded up
+	// to a power of two) and policy maintenance is applied in batches under
+	// one lock acquisition (see accessbuf.go). 0 keeps the immediate path,
+	// where every access applies its maintenance inline.
+	AccessBuffer int
 }
 
 // Stats are engine-level counters; all monotonically increasing.
@@ -212,6 +220,14 @@ type Cache struct {
 	staleIdx  *hashtable.Table
 	staleLst  lru.List
 	staleSize int64
+
+	// accessState is the lock-amortized read path (accessbuf.go): the MPSC
+	// access rings, the drain counters, and the background maintainer.
+	accessState
+	// nowCache is the coarse expiry clock in unix seconds: refreshed by
+	// drains and the maintainer, read lock-free by expired(). 0 means cold
+	// (fall back to a wall-clock read per check).
+	nowCache atomic.Int64
 }
 
 // New builds an engine bound to the given policy.
@@ -262,6 +278,7 @@ func New(cfg Config, pol Policy) (*Cache, error) {
 	} else {
 		c.stepItems = 64
 	}
+	c.initAccessBuf(cfg.AccessBuffer)
 	pol.Attach(c)
 	return c, nil
 }
@@ -318,11 +335,32 @@ func (c *Cache) resetAttribution(nsub int) {
 // attribution. When StoreValues is on and the key hits, the value is
 // appended to buf.
 func (c *Cache) Get(key string, sizeHint int, penHint float64, buf []byte) (val []byte, flags uint32, hit bool) {
+	h := kv.HashString(key)
 	c.mu.Lock()
+	if c.rings != nil {
+		// Batched read path: a live hit is served under this short critical
+		// section and its policy maintenance deferred into an access ring
+		// (published after unlock — producers never touch rings while
+		// holding the lock). Misses and expired finds fall through to the
+		// immediate path below, draining first so attribution ordering
+		// matches the accesses that preceded them.
+		if it := c.index.Get(h, key); it != nil && !c.expired(it) {
+			c.stats.Gets++
+			c.stats.Hits++
+			if c.cfg.StoreValues {
+				buf = append(buf, it.Value...)
+			}
+			flags = it.Flags
+			rec := accessbuf.Record{It: it, CAS: it.CAS, Pen: it.Penalty}
+			c.mu.Unlock()
+			c.record(h, rec)
+			return buf, flags, true
+		}
+		c.drainLocked()
+	}
 	defer c.mu.Unlock()
 	c.tick()
 	c.stats.Gets++
-	h := kv.HashString(key)
 	if it := c.index.Get(h, key); it != nil && c.expired(it) {
 		// Lazy expiry, as in Memcached: the GET that finds a stale
 		// item reaps it and proceeds as a miss (no ghost entry — the
@@ -378,6 +416,7 @@ func (c *Cache) Set(key string, size int, pen float64, flags uint32, value []byt
 func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt int64, value []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	c.tick()
 	c.stats.Sets++
 	cl := c.geom.ClassFor(size)
@@ -469,6 +508,7 @@ func (c *Cache) SetTTL(key string, size int, pen float64, flags uint32, expireAt
 func (c *Cache) Delete(key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	c.tick()
 	c.stats.Deletes++
 	h := kv.HashString(key)
@@ -491,6 +531,7 @@ func (c *Cache) Delete(key string) bool {
 func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	for ci := range c.classes {
 		cl := &c.classes[ci]
 		for si := range cl.subs {
@@ -664,6 +705,7 @@ func (c *Cache) SnapshotSlabs() []int {
 func (c *Cache) SnapshotSubSlabs(cl int) []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	out := make([]float64, len(c.classes[cl].subs))
 	for i := range c.classes[cl].subs {
 		out[i] = float64(c.classes[cl].subs[i].list.Len()) / float64(c.classes[cl].spc)
@@ -675,6 +717,7 @@ func (c *Cache) SnapshotSubSlabs(cl int) []float64 {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	st := c.stats
 	st.SlabMigrations = c.slabs.Migrations
 	return st
@@ -692,6 +735,7 @@ func (c *Cache) Items() int {
 func (c *Cache) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	if err := c.slabs.CheckInvariants(); err != nil {
 		return err
 	}
@@ -771,16 +815,23 @@ func (c *Cache) CheckInvariants() error {
 
 // ---- Internals ----
 
-// expired reports whether it carries a TTL that has passed.
+// expired reports whether it carries a TTL that has passed. An injected
+// Config.Now always wins (test clocks); otherwise the coarse cached second
+// (refreshed by drains and the maintainer) keeps the wall-clock read off
+// the per-item path, falling back to a live read only while the cache is
+// cold. Staleness is bounded by the drain/maintainer cadence — well under
+// the protocol's one-second TTL granularity.
 func (c *Cache) expired(it *kv.Item) bool {
 	if it.ExpireAt == 0 {
 		return false
 	}
-	now := c.cfg.Now
-	if now == nil {
-		return it.ExpireAt <= time.Now().Unix()
+	if now := c.cfg.Now; now != nil {
+		return it.ExpireAt <= now()
 	}
-	return it.ExpireAt <= now()
+	if cached := c.nowCache.Load(); cached != 0 {
+		return it.ExpireAt <= cached
+	}
+	return it.ExpireAt <= time.Now().Unix()
 }
 
 func (c *Cache) subclassFor(pen float64) int {
@@ -801,6 +852,10 @@ func (c *Cache) tick() {
 	if c.winTick >= c.cfg.WindowLen {
 		c.stats.WindowRollovers++
 		if c.old == nil {
+			// Deferred hits must reach the policy before the window closes,
+			// or a drain straddling a rollover would attribute them to the
+			// wrong window.
+			c.flushPolicyHitsLocked()
 			c.policy.OnWindow()
 		}
 		for ci := range c.classes {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 
+	"pamakv/internal/accessbuf"
 	"pamakv/internal/kv"
 )
 
@@ -36,11 +37,27 @@ const (
 // GetWithCAS is Get returning the item's CAS token as well. The token
 // changes on every store of the key.
 func (c *Cache) GetWithCAS(key string, buf []byte) (val []byte, flags uint32, cas uint64, hit bool) {
+	h := kv.HashString(key)
 	c.mu.Lock()
+	if c.rings != nil {
+		// Batched read path; mirrors Get (see cache.go and accessbuf.go).
+		if it := c.index.Get(h, key); it != nil && !c.expired(it) {
+			c.stats.Gets++
+			c.stats.Hits++
+			if c.cfg.StoreValues {
+				buf = append(buf, it.Value...)
+			}
+			flags, cas = it.Flags, it.CAS
+			rec := accessbuf.Record{It: it, CAS: it.CAS, Pen: it.Penalty}
+			c.mu.Unlock()
+			c.record(h, rec)
+			return buf, flags, cas, true
+		}
+		c.drainLocked()
+	}
 	defer c.mu.Unlock()
 	c.tick()
 	c.stats.Gets++
-	h := kv.HashString(key)
 	it := c.index.Get(h, key)
 	if it != nil && c.expired(it) {
 		c.pushStaleLocked(it)
@@ -124,6 +141,7 @@ func (c *Cache) peekLocked(key string) (bool, uint64) {
 func (c *Cache) Touch(key string, expireAt int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	c.tick()
 	h := kv.HashString(key)
 	it := c.index.Get(h, key)
@@ -141,6 +159,7 @@ func (c *Cache) Touch(key string, expireAt int64) bool {
 func (c *Cache) ReapExpired(max int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	var victims []*kv.Item
 	c.index.Range(func(it *kv.Item) bool {
 		if c.expired(it) {
@@ -183,6 +202,7 @@ func (c *Cache) ScanKeys(fn func(key string, pen float64, size int, expireAt int
 		expireAt int64
 	}
 	c.mu.Lock()
+	c.drainLocked()
 	snap := make([]entry, 0, 1024)
 	c.index.Range(func(it *kv.Item) bool {
 		if !c.expired(it) {
@@ -205,6 +225,7 @@ func (c *Cache) ScanKeys(fn func(key string, pen float64, size int, expireAt int
 func (c *Cache) Delta(key string, delta uint64, decr bool) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	c.tick()
 	h := kv.HashString(key)
 	it := c.index.Get(h, key)

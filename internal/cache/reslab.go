@@ -165,6 +165,9 @@ func (c *Cache) beginReslabLocked(target kv.Geometry) error {
 	if c.old != nil {
 		return ErrReslabActive
 	}
+	// Deferred accesses reference items by the class/sub indices the era
+	// swap is about to redefine; apply them all before any structure moves.
+	c.drainLocked()
 	if err := target.Validate(); err != nil {
 		return err
 	}

@@ -39,6 +39,7 @@ type TenantValuer interface {
 func (c *Cache) ArbiterValues() (incoming, outgoing float64, canDonate bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	if tv, ok := c.policy.(TenantValuer); ok {
 		incoming = tv.BestIncoming()
 		if _, _, v, vok := tv.CheapestOutgoing(); vok {
@@ -119,6 +120,7 @@ func (c *Cache) donationVictimLocked() (class, sub int, ok bool) {
 func (c *Cache) DonateSlab() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainLocked()
 	if c.old != nil {
 		return fmt.Errorf("cache: slab donation refused during re-slab transition")
 	}

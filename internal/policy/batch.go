@@ -1,0 +1,38 @@
+package policy
+
+import "pamakv/internal/cache"
+
+// Batched drain entry points (cache.BatchRecorder) for the baselines whose
+// OnHit does real work. Each must be observably equivalent to calling OnHit
+// per entry in order — they exist so the engine's batched read path hands a
+// whole drain pass over in one call instead of one virtual dispatch per hit.
+//
+// Note these live on the concrete policy types, NOT on the shared base:
+// a RecordBatch method on base would statically bind base's no-op OnHit and
+// silently swallow every subclass's override. Policies not listed here
+// (PSA, Twemcache, FacebookAge track hits through engine window counters
+// and LastAccess, with no-op OnHit) fall back to the engine's per-hit loop.
+
+// RecordBatch implements cache.BatchRecorder: Static's OnHit is a no-op
+// (the engine already moved the item to MRU), so the batch is too — the
+// method's value is skipping the per-hit interface dispatch entirely.
+func (*Static) RecordBatch([]cache.BatchHit) {}
+
+// RecordBatch implements cache.BatchRecorder for CAMP: each hit re-queues
+// the mirror entry with a freshly inflated priority, in drain order, exactly
+// as consecutive OnHit calls would.
+func (p *CAMP) RecordBatch(hits []cache.BatchHit) {
+	for i := range hits {
+		p.OnHit(hits[i].It, hits[i].Seg)
+	}
+}
+
+// RecordBatch implements cache.BatchRecorder for SizeAware: each hit feeds
+// the count-min sketch in drain order (the sketch's periodic decay makes
+// application order observable, so per-entry replay is required for
+// exactness).
+func (p *SizeAware) RecordBatch(hits []cache.BatchHit) {
+	for i := range hits {
+		p.observe(hits[i].It.Hash)
+	}
+}

@@ -45,6 +45,12 @@ import (
 // per-subclass and slab-move detail.
 type introspector interface{ Introspect() cache.Introspection }
 
+// accessBufStatser is optionally implemented by stores running the
+// lock-amortized read path (*cache.Cache, and *shard.Group merging its
+// shards'). Immediate-mode stores report Enabled=false and the section is
+// omitted.
+type accessBufStatser interface{ AccessBufStats() cache.AccessBufStats }
+
 // tenantStatser is optionally implemented by multi-tenant stores
 // (*tenant.Router): per-tenant accounting rows and the arbiter snapshot.
 // Single-tenant stores simply lack the section.
@@ -205,6 +211,19 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("pamakv_stale_gets_total", "Reads answered from the stale buffer.", st.StaleGets)
 	p.Counter("pamakv_slab_migrations_total", "Cross-class slab moves.", st.SlabMigrations)
 	p.Gauge("pamakv_items", "Resident items.", float64(a.srv.c.Items()))
+
+	if ab, ok := a.srv.c.(accessBufStatser); ok {
+		if abs := ab.AccessBufStats(); abs.Enabled {
+			p.Gauge("pamakv_accessbuf_depth", "Deferred access records currently buffered in the MPSC rings.", float64(abs.Depth))
+			p.Gauge("pamakv_accessbuf_ring_capacity", "Per-ring record capacity times rings per engine.", float64(abs.Rings*abs.RingCap))
+			p.Counter("pamakv_accessbuf_drains_total", "Batched drain passes that applied at least one record.", abs.Drains)
+			p.Counter("pamakv_accessbuf_drained_records_total", "Deferred access records applied under the engine lock.", abs.Drained)
+			p.Gauge("pamakv_accessbuf_max_batch", "Largest single drain pass (records per lock acquisition).", float64(abs.MaxBatch))
+			p.Counter("pamakv_accessbuf_full_drains_total", "Drains forced by a producer finding its ring full.", abs.FullDrains)
+			p.Counter("pamakv_accessbuf_lock_wait_ns_total", "Lock wait paid by the read path on full-ring drains.", abs.LockWaitNs)
+			p.Counter("pamakv_accessbuf_stale_refs_total", "Drained records skipped by the incarnation check.", abs.StaleRefs)
+		}
+	}
 
 	if in, ok := a.srv.c.(introspector); ok {
 		a.writeIntrospection(p, in.Introspect())
@@ -624,6 +643,11 @@ type Statsz struct {
 	// accounting row per tenant and the arbiter's counters and move matrix.
 	Tenants []tenant.Snapshot    `json:"tenants,omitempty"`
 	Arbiter *tenant.ArbiterStats `json:"arbiter,omitempty"`
+
+	// AccessBuf appears when the store runs the lock-amortized read path:
+	// ring depth, drain batching, and staleness counters (see
+	// cache.AccessBufStats).
+	AccessBuf *cache.AccessBufStats `json:"access_buf,omitempty"`
 }
 
 // statsz assembles the document (shared by the HTTP handler and tests).
@@ -640,6 +664,11 @@ func (a *Admin) statsz() Statsz {
 		hr := float64(st.Hits) / float64(st.Gets)
 		if !math.IsNaN(hr) {
 			doc.HitRatio = &hr
+		}
+	}
+	if ab, ok := a.srv.c.(accessBufStatser); ok {
+		if abs := ab.AccessBufStats(); abs.Enabled {
+			doc.AccessBuf = &abs
 		}
 	}
 	doc.Latencies = make(map[string]LatencySummary, numFams)

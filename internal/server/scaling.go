@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pamakv/internal/cache"
+	"pamakv/internal/core"
+	"pamakv/internal/kv"
+	"pamakv/internal/shard"
+)
+
+// Multi-core scaling harness: boots a sharded, batched-read-path server on a
+// loopback listener and drives it with pipelined GET clients at a fixed
+// GOMAXPROCS, measuring sustained hit throughput. It backs the fig_scaling
+// figure in cmd/pama-bench and the CI scaling gate (TestScalingGate), so the
+// "lock amortization actually buys cores" claim is measured, not asserted.
+//
+// Clients run in-process, so a point's GOMAXPROCS bounds client and server
+// work together — the sweep reports whole-system scaling, the same quantity a
+// co-located benchmark loop sees.
+
+// ScalingOptions configures one sweep. The zero value is usable: every field
+// picks the default documented on it.
+type ScalingOptions struct {
+	Shards       int           // engine shards (default 8)
+	AccessBuffer int           // deferred-access ring capacity (default 256; <0 = immediate mode)
+	Keys         int           // preloaded resident keys (default 4096)
+	ValueBytes   int           // value size per key (default 100)
+	Conns        int           // concurrent pipelined client connections (default 8)
+	Depth        int           // GETs per pipeline batch (default 64)
+	Warmup       time.Duration // per-point warmup before counting (default 250ms)
+	Measure      time.Duration // per-point measured interval (default 1s)
+}
+
+func (o ScalingOptions) withDefaults() ScalingOptions {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.AccessBuffer == 0 {
+		o.AccessBuffer = 256
+	} else if o.AccessBuffer < 0 {
+		o.AccessBuffer = 0
+	}
+	if o.Keys <= 0 {
+		o.Keys = 4096
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 100
+	}
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Depth <= 0 {
+		o.Depth = 64
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 250 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = time.Second
+	}
+	return o
+}
+
+// ScalingPoint is one measured sweep point.
+type ScalingPoint struct {
+	Procs     int                  `json:"gomaxprocs"`
+	OpsPerSec float64              `json:"ops_per_sec"`
+	Speedup   float64              `json:"speedup"` // vs the sweep's first point; 0 until a sweep fills it
+	AccessBuf cache.AccessBufStats `json:"access_buf"`
+}
+
+// ScalingReport is the sweep result serialized into BENCH_scaling.json.
+type ScalingReport struct {
+	Shards       int            `json:"shards"`
+	AccessBuffer int            `json:"access_buffer"`
+	Conns        int            `json:"conns"`
+	Depth        int            `json:"depth"`
+	Keys         int            `json:"keys"`
+	Points       []ScalingPoint `json:"points"`
+}
+
+// RunScalingPoint measures sustained pipelined GET-hit throughput at the
+// given GOMAXPROCS. It restores the previous GOMAXPROCS before returning.
+func RunScalingPoint(procs int, opts ScalingOptions) (ScalingPoint, error) {
+	o := opts.withDefaults()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	g, err := shard.New(cache.Config{
+		Geometry:     kv.Geometry{SlabSize: 1 << 16, Base: 64, NumClasses: 8},
+		CacheBytes:   1 << 26,
+		StoreValues:  true,
+		WindowLen:    1 << 40,
+		AccessBuffer: o.AccessBuffer,
+	}, o.Shards, func() cache.Policy { return core.New(core.DefaultConfig()) })
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	keys := make([]string, o.Keys)
+	body := bytes.Repeat([]byte{'v'}, o.ValueBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+		if err := g.Set(keys[i], len(keys[i])+len(body)+itemOverhead, 0.01, 0, body); err != nil {
+			return ScalingPoint{}, err
+		}
+	}
+	if o.AccessBuffer > 0 {
+		g.StartMaintainers(0)
+		defer g.StopMaintainers()
+	}
+
+	srv := New(g, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	var ops atomic.Uint64
+	var stop atomic.Bool
+	errc := make(chan error, o.Conns)
+	var wg sync.WaitGroup
+	for ci := 0; ci < o.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errc <- scalingClient(ln.Addr().String(), keys, ci, o.Depth, &ops, &stop)
+		}(ci)
+	}
+
+	time.Sleep(o.Warmup)
+	base := ops.Load()
+	t0 := time.Now()
+	time.Sleep(o.Measure)
+	delta := ops.Load() - base
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return ScalingPoint{}, err
+		}
+	}
+	return ScalingPoint{
+		Procs:     procs,
+		OpsPerSec: float64(delta) / elapsed.Seconds(),
+		AccessBuf: g.AccessBufStats(),
+	}, nil
+}
+
+// scalingClient drives one connection: writes a pipelined batch of depth
+// GETs (each client strides the key space from a different offset so load
+// spreads across shards), reads the batch's END markers, and repeats until
+// stopped.
+func scalingClient(addr string, keys []string, ci, depth int, ops *atomic.Uint64, stop *atomic.Bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var req []byte
+	stride := ci*depth + 1
+	for i := 0; i < depth; i++ {
+		req = append(req, "get "...)
+		req = append(req, keys[(stride*(i+1))%len(keys)]...)
+		req = append(req, '\r', '\n')
+	}
+	buf := make([]byte, 1<<16)
+	work := make([]byte, 0, len(buf)+4)
+	var carry []byte // last <=4 bytes of the previous chunk, for split markers
+	marker := []byte("END\r\n")
+	readBatch := func() error {
+		// Responses are "VALUE ...\r\n<data>\r\nEND\r\n" per GET; counting
+		// END\r\n markers frames the batch. A marker can split across two
+		// reads, so each count runs over the previous chunk's last 4 bytes
+		// plus the new chunk — too short to hold a whole marker on its own,
+		// so nothing is counted twice.
+		for ends := 0; ends < depth; {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return err
+			}
+			work = append(append(work[:0], carry...), buf[:n]...)
+			ends += bytes.Count(work, marker)
+			tail := len(work)
+			if tail > 4 {
+				tail = 4
+			}
+			carry = append(carry[:0], work[len(work)-tail:]...)
+		}
+		return nil
+	}
+	for !stop.Load() {
+		if _, err := conn.Write(req); err != nil {
+			return err
+		}
+		if err := readBatch(); err != nil {
+			return err
+		}
+		ops.Add(uint64(depth))
+	}
+	return nil
+}
+
+// RunScalingSweep measures every GOMAXPROCS in procs (in order) and fills
+// Speedup relative to the first point.
+func RunScalingSweep(procs []int, opts ScalingOptions) (ScalingReport, error) {
+	o := opts.withDefaults()
+	rep := ScalingReport{
+		Shards:       o.Shards,
+		AccessBuffer: o.AccessBuffer,
+		Conns:        o.Conns,
+		Depth:        o.Depth,
+		Keys:         o.Keys,
+	}
+	for _, p := range procs {
+		pt, err := RunScalingPoint(p, o)
+		if err != nil {
+			return rep, fmt.Errorf("scaling point GOMAXPROCS=%d: %w", p, err)
+		}
+		if len(rep.Points) > 0 && rep.Points[0].OpsPerSec > 0 {
+			pt.Speedup = pt.OpsPerSec / rep.Points[0].OpsPerSec
+		} else {
+			pt.Speedup = 1
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// WriteScalingTSV renders the sweep as the fig_scaling table.
+func WriteScalingTSV(w io.Writer, rep ScalingReport) error {
+	if _, err := fmt.Fprintln(w, "gomaxprocs\tops_per_sec\tspeedup\tdrains\tdrained\tfull_drains\tstale_refs"); err != nil {
+		return err
+	}
+	for _, pt := range rep.Points {
+		ab := pt.AccessBuf
+		if _, err := fmt.Fprintf(w, "%d\t%.0f\t%.2f\t%d\t%d\t%d\t%d\n",
+			pt.Procs, pt.OpsPerSec, pt.Speedup, ab.Drains, ab.Drained, ab.FullDrains, ab.StaleRefs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
